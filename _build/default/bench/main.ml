@@ -1,0 +1,208 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Table I, Figure 3, Figure 4, the §II-C bypass study, the §V-C
+   penetration tests and real-vulnerability studies), plus the §III-E
+   ablation, and runs one Bechamel micro-benchmark per artifact for the
+   OCaml implementation itself.
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- fig3      # one experiment
+     dune exec bench/main.exe -- table1 fig4 micro
+   Experiments: table1 fig3 fig4 bypass pentest realvuln brute ablation micro *)
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+(* ------------------------------------------------------------------ *)
+(* Paper-style tables                                                  *)
+
+let run_table1 () =
+  let t = Harness.Randrate.run () in
+  Sutil.Texttable.print
+    ~title:"Table I: source of randomness (cycles per 64-bit draw)"
+    (Harness.Randrate.table t)
+
+let run_fig3 () =
+  let t = Harness.Overhead.run () in
+  Sutil.Texttable.print
+    ~title:"Figure 3: % runtime overhead (SPEC-like + I/O workloads)"
+    (Harness.Overhead.table t);
+  say "worst I/O-bound overhead: %s (paper: 6%% worst case)"
+    (Sutil.Texttable.fmt_pct t.io_worst)
+
+let run_fig4 () =
+  let t = Harness.Memov.run () in
+  Sutil.Texttable.print ~title:"Figure 4: % memory overhead (max-RSS proxy)"
+    (Harness.Memov.table t)
+
+let run_bypass () =
+  let t = Harness.Security.bypass_prior () in
+  Sutil.Texttable.print ~title:t.title (Harness.Security.table t)
+
+let run_pentest () =
+  let t = Harness.Security.pentest () in
+  Sutil.Texttable.print ~title:t.title (Harness.Security.table t)
+
+let run_realvuln () =
+  let t = Harness.Security.realvuln () in
+  Sutil.Texttable.print ~title:t.title (Harness.Security.table t)
+
+let run_brute () =
+  let rows = Harness.Security.brute () in
+  Sutil.Texttable.print
+    ~title:"E8: brute-force attempts until the librelp exploit lands"
+    (Harness.Security.brute_table rows)
+
+let run_rngsec () =
+  let t = Harness.Security.rng_security () in
+  Sutil.Texttable.print ~title:t.title (Harness.Security.table t)
+
+let run_rerand () =
+  let rows = Harness.Security.rerandomization () in
+  Sutil.Texttable.print
+    ~title:
+      "E11: same-run probe-then-exploit vs re-randomization interval \
+       (per-invocation is the design point)"
+    (Harness.Security.rerand_table rows)
+
+let run_ablation () =
+  let t = Harness.Ablation.run () in
+  Sutil.Texttable.print ~title:"E7: P-BOX optimization ablation"
+    (Harness.Ablation.table t)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure           *)
+
+let micro_tests () =
+  let open Bechamel in
+  let entropy = Crypto.Entropy.create ~seed:11L in
+  (* Table I: the four generators, OCaml-side *)
+  let gen_test scheme =
+    let gen = Rng.Generator.create scheme ~entropy in
+    Test.make
+      ~name:("table1/" ^ Rng.Scheme.name scheme)
+      (Staged.stage (fun () -> ignore (Rng.Generator.next_u64 gen)))
+  in
+  (* Figure 3: executing a hardened call-dense probe *)
+  let fig3_probe =
+    let w = Option.get (Apps.Spec.find "gobmk") in
+    let prog = Lazy.force w.program in
+    let hardened = Smokestack.Harden.harden Smokestack.Config.default prog in
+    Test.make ~name:"fig3/exec-gobmk-hardened"
+      (Staged.stage (fun () ->
+           let st =
+             Smokestack.Harden.prepare hardened
+               ~entropy:(Crypto.Entropy.create ~seed:5L)
+           in
+           ignore (Machine.Exec.run ~fuel:50_000_000 st)))
+  in
+  (* Figure 4: P-BOX construction (what the memory overhead buys) *)
+  let fig4_pbox =
+    let prog = Lazy.force (Option.get (Apps.Spec.find "h264ref")).program in
+    Test.make ~name:"fig4/pbox-build-h264ref"
+      (Staged.stage (fun () ->
+           ignore (Smokestack.Harden.harden Smokestack.Config.default prog)))
+  in
+  (* §II-C / §V-C: one full exploit attempt *)
+  let sec_attempt =
+    let prog = Lazy.force Apps.Librelp.program in
+    let applied =
+      Defenses.Defense.apply
+        (Defenses.Defense.Smokestack Smokestack.Config.default)
+        prog
+    in
+    let i = ref 0 in
+    Test.make ~name:"security/librelp-attempt-vs-smokestack"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Apps.Librelp.attack_static applied ~seed:(Int64.of_int !i))))
+  in
+  (* Algorithm 1 itself *)
+  let permgen =
+    let metas = [| (1024, 1); (64, 1); (8, 8); (8, 8); (4, 4); (2, 2) |] in
+    Test.make ~name:"alg1/permgen-6-slots"
+      (Staged.stage (fun () -> ignore (Smokestack.Permgen.generate metas)))
+  in
+  let aes =
+    let key = Crypto.Aes.expand_key (Crypto.Entropy.bytes entropy 16) in
+    let block = Crypto.Entropy.bytes entropy 16 in
+    Test.make ~name:"table1/aes-block-software"
+      (Staged.stage (fun () -> ignore (Crypto.Aes.encrypt_block key block)))
+  in
+  Test.make_grouped ~name:"smokestack"
+    [
+      gen_test Rng.Scheme.Pseudo; gen_test Rng.Scheme.aes1;
+      gen_test Rng.Scheme.aes10; gen_test Rng.Scheme.Rdrand;
+      fig3_probe; fig4_pbox; sec_attempt; permgen; aes;
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  say "Bechamel micro-benchmarks (wall-clock per iteration):";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let tbl =
+    Sutil.Texttable.create
+      ~columns:
+        [
+          ("benchmark", Sutil.Texttable.Left);
+          ("time/iter", Sutil.Texttable.Right);
+        ]
+  in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+      in
+      let cell =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Sutil.Texttable.add_row tbl [ name; cell ])
+    (List.sort compare rows);
+  Sutil.Texttable.print tbl
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", run_table1);
+    ("fig3", run_fig3);
+    ("fig4", run_fig4);
+    ("bypass", run_bypass);
+    ("pentest", run_pentest);
+    ("realvuln", run_realvuln);
+    ("brute", run_brute);
+    ("rngsec", run_rngsec);
+    ("rerand", run_rerand);
+    ("ablation", run_ablation);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+          say "== %s ==" name;
+          f ();
+          say ""
+      | None ->
+          say "unknown experiment %S; available: %s" name
+            (String.concat " " (List.map fst experiments));
+          exit 2)
+    requested

@@ -1,0 +1,228 @@
+(* smokestackc — compile, harden, inspect and run MiniC programs.
+
+   Examples:
+     smokestackc run examples/programs/hello.c
+     smokestackc run --scheme AES-10 --seed 42 prog.c --input "bytes"
+     smokestackc ir --harden prog.c
+     smokestackc pbox prog.c *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let compile ?optimize path =
+  match Minic.Driver.compile_result ?optimize (read_file path) with
+  | Ok prog -> prog
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+let opt_flag =
+  Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Run the -O1 pipeline before anything else")
+
+let scheme_conv =
+  let parse s =
+    match Rng.Scheme.of_name s with
+    | Some scheme -> Ok scheme
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S (pseudo, AES-1..AES-10, RDRAND)" s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Rng.Scheme.name s))
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt scheme_conv Rng.Scheme.aes10
+    & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Randomness scheme for hardening")
+
+let seed_arg =
+  Arg.(
+    value & opt int64 1L
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Entropy seed (reproducible runs)")
+
+let harden_flag =
+  Arg.(value & flag & info [ "harden" ] ~doc:"Apply Smokestack before the action")
+
+let input_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "input" ] ~docv:"BYTES" ~doc:"Bytes served to read_input")
+
+let no_fid =
+  Arg.(value & flag & info [ "no-fid-checks" ] ~doc:"Disable function-identifier checks")
+
+let config_of scheme no_fid =
+  let c = Smokestack.Config.with_scheme scheme Smokestack.Config.default in
+  if no_fid then { c with Smokestack.Config.fid_checks = false } else c
+
+let trace_flag =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Print a call/intrinsic trace after the run")
+
+let run_cmd =
+  let action file harden scheme seed input no_fid optimize trace =
+    let prog = compile ~optimize file in
+    let st =
+      if harden then
+        let hardened = Smokestack.Harden.harden (config_of scheme no_fid) prog in
+        Smokestack.Harden.prepare hardened
+          ~entropy:(Crypto.Entropy.create ~seed)
+      else Machine.Exec.prepare prog
+    in
+    let tracer =
+      if trace then begin
+        let t = Machine.Trace.create () in
+        Machine.Trace.attach t st;
+        Some t
+      end
+      else None
+    in
+    Machine.Exec.set_input st (Machine.Exec.input_string input);
+    let outcome, stats = Machine.Exec.run st in
+    Option.iter (fun t -> prerr_string (Machine.Trace.render ~limit:200 t)) tracer;
+    print_string stats.output;
+    Printf.printf "-- %s | cycles=%.0f instrs=%d calls=%d max-depth=%d max-frame=%dB rss=%s\n"
+      (Machine.Exec.outcome_to_string outcome)
+      stats.cycles stats.instr_count stats.call_count stats.max_depth
+      stats.max_frame_bytes
+      (Sutil.Texttable.fmt_bytes stats.rss_bytes);
+    match outcome with Machine.Exec.Exit 0L -> () | _ -> exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and execute a MiniC program")
+    Term.(
+      const action $ file_arg $ harden_flag $ scheme_arg $ seed_arg $ input_arg
+      $ no_fid $ opt_flag $ trace_flag)
+
+let ir_cmd =
+  let action file harden scheme no_fid optimize =
+    let prog = compile ~optimize file in
+    let prog =
+      if harden then
+        (Smokestack.Harden.harden (config_of scheme no_fid) prog).prog
+      else prog
+    in
+    print_string (Ir.Printer.prog_to_string prog)
+  in
+  Cmd.v
+    (Cmd.info "ir" ~doc:"Print the (optionally hardened) IR")
+    Term.(const action $ file_arg $ harden_flag $ scheme_arg $ no_fid $ opt_flag)
+
+let pbox_cmd =
+  let action file scheme no_fid =
+    let prog = compile file in
+    let hardened = Smokestack.Harden.harden (config_of scheme no_fid) prog in
+    let pbox = hardened.pbox in
+    Printf.printf "P-BOX: %d shared table(s), %d dynamically-decoded frame(s), %s of read-only data\n"
+      (Array.length pbox.entries) (Array.length pbox.dyns)
+      (Sutil.Texttable.fmt_bytes (Smokestack.Pbox.blob_bytes pbox));
+    Array.iteri
+      (fun i (e : Smokestack.Pbox.entry) ->
+        Printf.printf "  table %d: %d slot(s), %d rows (%d materialized), users: %s\n"
+          i
+          (Array.length e.canon_meta)
+          (Array.length e.table.offsets)
+          e.rows_materialized
+          (String.concat ", " e.users))
+      pbox.entries;
+    Array.iter
+      (fun (d : Smokestack.Pbox.dyn_binding) ->
+        Printf.printf "  dynamic: %s — %d slots, decoded per invocation\n"
+          d.dfunc (Array.length d.metas))
+      pbox.dyns
+  in
+  Cmd.v
+    (Cmd.info "pbox" ~doc:"Summarize the P-BOX a program would get")
+    Term.(const action $ file_arg $ scheme_arg $ no_fid)
+
+let layouts_cmd =
+  let action file func runs scheme seed =
+    let prog = compile file in
+    let hardened = Smokestack.Harden.harden (config_of scheme false) prog in
+    (* observe the chosen frame layout by dumping the offsets the
+       runtime would select across invocations *)
+    let binding = Smokestack.Pbox.binding hardened.pbox func in
+    match binding with
+    | None ->
+        Printf.eprintf "function %s has no permuted frame\n" func;
+        exit 1
+    | Some b -> (
+        match b.mode with
+        | Smokestack.Pbox.Dynamic _ ->
+            Printf.printf "%s uses per-invocation dynamic decoding (%d slots)\n"
+              func b.n_orig
+        | Smokestack.Pbox.Exhaustive _ ->
+            let entropy = Crypto.Entropy.create ~seed in
+            let gen =
+              Rng.Generator.create hardened.config.scheme ~entropy
+            in
+            let e = Option.get (Smokestack.Pbox.entry_of hardened.pbox b) in
+            for _ = 1 to runs do
+              let idx =
+                Int64.to_int
+                  (Int64.logand (Rng.Generator.next_u64 gen)
+                     (Int64.of_int (e.rows_materialized - 1)))
+              in
+              let offs = Smokestack.Pbox.lookup_offsets hardened.pbox b ~row:idx in
+              Printf.printf "row %5d: [%s]\n" idx
+                (String.concat "; "
+                   (Array.to_list (Array.map string_of_int offs)))
+            done)
+  in
+  let func_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FUNC" ~doc:"Function whose layouts to sample")
+  in
+  let runs_arg =
+    Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N" ~doc:"Invocations to sample")
+  in
+  Cmd.v
+    (Cmd.info "layouts"
+       ~doc:"Sample the per-invocation frame layouts of a function")
+    Term.(const action $ file_arg $ func_arg $ runs_arg $ scheme_arg $ seed_arg)
+
+let entropy_cmd =
+  let action file scheme =
+    let prog = compile file in
+    let hardened = Smokestack.Harden.harden (config_of scheme false) prog in
+    List.iter
+      (fun fname ->
+        match Smokestack.Pbox.binding hardened.pbox fname with
+        | None -> ()
+        | Some b ->
+            let t = Smokestack.Entropy_an.of_binding hardened.pbox b in
+            Printf.printf
+              "%s: %d layout(s) considered, %d distinct; whole-frame \
+               collision %.2e; expected brute-force attempts %.0f\n"
+              fname t.rows t.distinct_layouts t.whole_frame_collision
+              t.expected_bruteforce_attempts;
+            List.iter
+              (fun (s : Smokestack.Entropy_an.slot_stats) ->
+                Printf.printf
+                  "    slot %d: %d possible offsets, collision %.3f\n"
+                  s.orig_index s.distinct_offsets s.collision_probability)
+              t.per_slot)
+      (Smokestack.Harden.permuted_functions hardened)
+  in
+  Cmd.v
+    (Cmd.info "entropy"
+       ~doc:"Quantify each permuted frame's layout entropy (what a \
+             brute-force attacker faces)")
+    Term.(const action $ file_arg $ scheme_arg)
+
+let () =
+  let info =
+    Cmd.info "smokestackc" ~version:"1.0.0"
+      ~doc:"MiniC compiler with Smokestack runtime stack-layout randomization"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; ir_cmd; pbox_cmd; layouts_cmd; entropy_cmd ]))

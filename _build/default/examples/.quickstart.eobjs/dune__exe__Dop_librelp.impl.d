@@ -1,0 +1,1 @@
+examples/dop_librelp.ml: Apps Attacks Defenses Format Int64 Lazy List Printf Rng Smokestack String

@@ -1,0 +1,1 @@
+examples/dop_librelp.mli:

@@ -1,0 +1,1 @@
+examples/permutation_lab.ml: Array Format List Printf Smokestack String Sutil Sys

@@ -1,0 +1,1 @@
+examples/permutation_lab.mli:

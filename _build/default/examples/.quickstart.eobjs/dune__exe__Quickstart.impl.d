@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Crypto Format Int64 List Machine Minic Rng Smokestack String Sutil

@@ -1,0 +1,80 @@
+(* Permutation lab: poke at Algorithm 1 and the P-BOX optimizations
+   with your own frame shapes.
+
+     dune exec examples/permutation_lab.exe
+     dune exec examples/permutation_lab.exe -- 64:1 8:8 8:8 4:4
+   (each argument is size:alignment of one stack allocation) *)
+
+let parse_meta s =
+  match String.split_on_char ':' s with
+  | [ size; alignment ] -> (int_of_string size, int_of_string alignment)
+  | _ -> failwith (Printf.sprintf "bad slot spec %S (want size:align)" s)
+
+let () =
+  let metas =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as specs) -> Array.of_list (List.map parse_meta specs)
+    | _ -> [| (64, 1); (8, 8); (4, 4); (2, 2) |]
+  in
+  let n = Array.length metas in
+  Format.printf "frame: %d allocation(s): %s@." n
+    (String.concat " "
+       (Array.to_list (Array.map (fun (s, a) -> Printf.sprintf "%d:%d" s a) metas)));
+
+  (* Algorithm 1, unshuffled, to see the lexical order *)
+  let table = Smokestack.Permgen.generate metas in
+  let rows = Array.length table.offsets in
+  Format.printf "@.Algorithm 1 generates %d rows (n!), total allocation %d..%d bytes@."
+    rows
+    (Array.fold_left min max_int table.totals)
+    table.max_total;
+  let show = min rows 12 in
+  for r = 0 to show - 1 do
+    Format.printf "  row %2d: offsets [%s]  (frame %d bytes)@." r
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int table.offsets.(r))))
+      table.totals.(r)
+  done;
+  if rows > show then Format.printf "  ... %d more rows@." (rows - show);
+
+  (* entropy: distinct offset vectors (alignment padding merges some) *)
+  let distinct =
+    List.length
+      (List.sort_uniq compare (Array.to_list (Array.map Array.to_list table.offsets)))
+  in
+  Format.printf
+    "@.%d distinct layouts out of %d permutations — alignment padding both@.merges \
+     identical-shape slots and creates offsets no padding-free layout has.@."
+    distinct rows;
+
+  (* per-slot offset distribution: what the attacker must guess *)
+  Format.printf "@.per-slot offset spread (the DOP attacker must pin these):@.";
+  Array.iteri
+    (fun i (size, alignment) ->
+      let offsets =
+        List.sort_uniq compare
+          (Array.to_list (Array.map (fun row -> row.(i)) table.offsets))
+      in
+      Format.printf "  slot %d (%4d:%d): %2d possible offsets: %s@." i size
+        alignment (List.length offsets)
+        (String.concat "," (List.map string_of_int offsets)))
+    metas;
+
+  (* what the P-BOX does with it *)
+  let config = Smokestack.Config.default in
+  let pbox =
+    Smokestack.Pbox.build config
+      [ ("f", metas); ("g", metas); ("h", Array.append metas [| (8, 8) |]) ]
+  in
+  Format.printf
+    "@.P-BOX for three functions (two share this frame, one has an extra long):@.";
+  Format.printf "  %d table(s), %s read-only (power-of-2 rows: %b)@."
+    (Array.length pbox.entries)
+    (Sutil.Texttable.fmt_bytes (Smokestack.Pbox.blob_bytes pbox))
+    config.pow2_pbox;
+  Array.iteri
+    (fun i (e : Smokestack.Pbox.entry) ->
+      Format.printf "  table %d: %d rows materialized, users: %s@." i
+        e.rows_materialized
+        (String.concat ", " (List.sort compare e.users)))
+    pbox.entries

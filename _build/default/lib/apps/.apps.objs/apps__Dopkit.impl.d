@@ -1,0 +1,1 @@
+lib/apps/dopkit.ml: Array Attacks Fun Hashtbl Ir List Machine Option Smokestack String Sutil

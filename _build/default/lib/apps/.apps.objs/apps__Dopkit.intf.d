@@ -1,0 +1,1 @@
+lib/apps/dopkit.mli: Ir Machine

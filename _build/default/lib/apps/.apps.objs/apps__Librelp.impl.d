@@ -1,0 +1,1 @@
+lib/apps/librelp.ml: Array Attacks Char Defenses Dopkit Int64 List Machine Minic Option Printf Rng Runner Smokestack String Sutil

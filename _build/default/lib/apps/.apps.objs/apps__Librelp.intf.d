@@ -1,0 +1,1 @@
+lib/apps/librelp.mli: Attacks Defenses Ir Lazy

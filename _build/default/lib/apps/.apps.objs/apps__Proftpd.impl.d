@@ -1,0 +1,1 @@
+lib/apps/proftpd.ml: Attacks Char Defenses Dopkit Int64 List Minic Runner String Sutil

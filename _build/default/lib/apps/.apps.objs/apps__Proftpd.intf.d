@@ -1,0 +1,1 @@
+lib/apps/proftpd.mli: Attacks Defenses Ir Lazy

@@ -1,0 +1,1 @@
+lib/apps/runner.ml: Crypto Defenses Machine String

@@ -1,0 +1,1 @@
+lib/apps/spec.ml: Buffer Char Ir Lazy List Minic Printf Proftpd String

@@ -1,0 +1,1 @@
+lib/apps/spec.mli: Ir Lazy

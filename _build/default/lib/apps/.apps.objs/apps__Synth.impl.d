@@ -1,0 +1,1 @@
+lib/apps/synth.ml: Attacks Defenses Dopkit Int64 Ir Lazy List Machine Minic Runner String

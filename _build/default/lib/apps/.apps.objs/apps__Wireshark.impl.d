@@ -1,0 +1,1 @@
+lib/apps/wireshark.ml: Attacks Defenses Dopkit Int64 List Minic Runner String Sutil

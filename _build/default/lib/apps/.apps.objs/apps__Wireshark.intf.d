@@ -1,0 +1,1 @@
+lib/apps/wireshark.mli: Attacks Defenses Ir Lazy

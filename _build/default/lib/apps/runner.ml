@@ -1,0 +1,17 @@
+let run_adaptive ?fuel ?heap_size ?stack_size
+    (applied : Defenses.Defense.applied) ~seed ~input =
+  let entropy = Crypto.Entropy.create ~seed in
+  let st = applied.fresh_state ?heap_size ?stack_size entropy in
+  Machine.Exec.set_input st input;
+  Machine.Exec.run ?fuel st
+
+let run_chunks ?fuel ?heap_size ?stack_size applied ~seed ~chunks =
+  let remaining = ref chunks in
+  let input _st max =
+    match !remaining with
+    | [] -> ""
+    | chunk :: rest ->
+        remaining := rest;
+        if String.length chunk > max then String.sub chunk 0 max else chunk
+  in
+  run_adaptive ?fuel ?heap_size ?stack_size applied ~seed ~input

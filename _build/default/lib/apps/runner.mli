@@ -1,0 +1,31 @@
+(** Running defense-applied programs under attacker-supplied input.
+
+    Each run models one service process: fresh state, fresh per-run
+    entropy (derived from [seed] so experiments are reproducible), and
+    an input source that answers the program's [read_input]/[input_byte]
+    calls.  Restart-after-crash is simply another [run_*] call with the
+    next seed. *)
+
+val run_chunks :
+  ?fuel:int ->
+  ?heap_size:int ->
+  ?stack_size:int ->
+  Defenses.Defense.applied ->
+  seed:int64 ->
+  chunks:string list ->
+  Machine.Exec.outcome * Machine.Exec.stats
+(** Each [read_input] call consumes the next chunk whole (truncated to
+    the callee's limit); after the list is exhausted, reads return
+    empty.  This models one network message per read, which is how the
+    exploit payloads are framed. *)
+
+val run_adaptive :
+  ?fuel:int ->
+  ?heap_size:int ->
+  ?stack_size:int ->
+  Defenses.Defense.applied ->
+  seed:int64 ->
+  input:(Machine.Exec.state -> int -> string) ->
+  Machine.Exec.outcome * Machine.Exec.stats
+(** Full control: the callback sees the live machine state (the
+    disclosure-capable attacker of the threat model). *)

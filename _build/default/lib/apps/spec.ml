@@ -1,0 +1,897 @@
+type workload = {
+  wname : string;
+  kind : [ `Spec | `Io ];
+  description : string;
+  source : string;
+  input : string;
+  sched_bias_pct : float;
+  program : Ir.Prog.t Lazy.t;
+}
+
+(* Each kernel is calibrated to its namesake's call density — the ratio
+   of baseline cycles to calls is what determines Figure 3's
+   per-benchmark overhead, since Smokestack's cost is per invocation.
+   gobmk is the most call-dense (the paper's 29% worst case), mcf /
+   hmmer / libquantum are loop-dominated (≈0.5-2%). *)
+
+(* 400.perlbench: opcode interpreter whose ops are string/vector
+   operations over 128-byte windows (very perl); deep call chains but
+   chunky bodies — the paper notes perlbench's performance overhead is
+   comparatively low despite its memory overhead. *)
+let perlbench_src =
+  {|
+char heap_str[8192];
+long sp = 0;
+
+long op_concat(long a, long b) {
+  long i = 0;
+  long h = 0;
+  while (i < 128) {
+    heap_str[(a + i) & 8191] = (char)(heap_str[(b + i) & 8191] + 1);
+    h += heap_str[(a + i) & 8191] & 255;
+    i += 1;
+  }
+  return h;
+}
+
+long op_index(long a, long needle) {
+  long i = 0;
+  while (i < 128) {
+    if ((heap_str[(a + i) & 8191] & 255) == (needle & 255)) return i;
+    i += 1;
+  }
+  return 0 - 1;
+}
+
+long op_hash(long a) {
+  long h = 5381;
+  long i = 0;
+  while (i < 128) {
+    h = h * 33 + (heap_str[(a + i) & 8191] & 255);
+    i += 1;
+  }
+  return h;
+}
+
+long op_tr(long a) {
+  long i = 0;
+  long count = 0;
+  while (i < 128) {
+    long c = heap_str[(a + i) & 8191] & 255;
+    if (c > 96 && c < 123) { heap_str[(a + i) & 8191] = (char)(c - 32); count += 1; }
+    i += 1;
+  }
+  return count;
+}
+
+long interp_block(long seed, long depth) {
+  long pc = 0;
+  long acc = 0;
+  long code = seed;
+  if (depth > 0) acc += interp_block(seed * 31 + 7, depth - 1);
+  while (pc < 6) {
+    long op = code & 3;
+    code = code * 1103515245 + 12345;
+    switch (op) {
+    case 0: acc += op_concat(code & 8191, acc & 8191); break;
+    case 1: acc += op_index(code & 8191, acc); break;
+    case 2: acc += op_hash(code & 8191); break;
+    default: acc += op_tr(code & 8191);
+    }
+    pc += 1;
+  }
+  return acc;
+}
+
+int main() {
+  long total = 0;
+  long i = 0;
+  while (i < 8192) { heap_str[i] = (char)(97 + (i % 26)); i += 1; }
+  while (i < 8192 + 20) {
+    total ^= interp_block(i * 2654435761, 24);
+    i += 1;
+  }
+  print_int(total); print_newline();
+  return 0;
+}
+|}
+
+(* 401.bzip2: block-wise RLE + move-to-front; the encoder helper
+   processes a 64-byte block per call. *)
+let bzip2_src =
+  {|
+char data[4096];
+char mtf[256];
+char out[8192];
+long out_pos = 0;
+
+void gen_data() {
+  long seed = 99;
+  long i = 0;
+  while (i < 4096) {
+    seed = seed * 1103515245 + 12345;
+    data[i] = (char)(((seed >> 16) & 7) + 97);
+    i += 1;
+  }
+}
+
+void encode_block(long base) {
+  long i = base;
+  long stop = base + 64;
+  while (i < stop) {
+    long c = data[i] & 255;
+    long run = 1;
+    long j = 0;
+    long prev = 0;
+    while (i + run < stop && (data[i + run] & 255) == c && run < 63) run += 1;
+    // move-to-front of c
+    while ((mtf[j] & 255) != c) j += 1;
+    prev = mtf[0] & 255;
+    mtf[0] = (char)c;
+    long k = 1;
+    while (k <= j) {
+      long tmp = mtf[k] & 255;
+      mtf[k] = (char)prev;
+      prev = tmp;
+      k += 1;
+    }
+    out[out_pos & 8191] = (char)run;
+    out[(out_pos + 1) & 8191] = (char)j;
+    out_pos += 2;
+    i += run;
+  }
+}
+
+int main() {
+  long pass = 0;
+  gen_data();
+  while (pass < 10) {
+    long k = 0;
+    while (k < 256) { mtf[k] = (char)k; k += 1; }
+    long blk = 0;
+    while (blk < 4096) {
+      encode_block(blk);
+      blk += 64;
+    }
+    data[pass & 4095] = (char)(pass & 255);
+    pass += 1;
+  }
+  print_int(out_pos); print_newline();
+  return 0;
+}
+|}
+
+(* 403.gcc: tokenizer + recursive-descent folding; scanning is inline,
+   parse functions are called per term/expression. *)
+let gcc_src =
+  {|
+char src[2048];
+long pos = 0;
+
+void gen_expr() {
+  long seed = 1234567;
+  long i = 0;
+  while (i < 2040) {
+    long r = 0;
+    seed = seed * 6364136223846793005 + 1442695040888963407;
+    r = (seed >> 33) & 15;
+    if (r < 12) src[i] = (char)(48 + ((seed >> 8) & 9));
+    else if (r == 12) src[i] = 43;
+    else if (r == 13) src[i] = 42;
+    else if (r == 14) src[i] = 45;
+    else src[i] = 49;
+    i += 1;
+  }
+  src[2040] = 48;
+  src[2041] = 0;
+}
+
+long symtab[128];
+
+long parse_atom() {
+  long c = src[pos] & 255;
+  long v = 0;
+  long probe = 0;
+  long h = 0;
+  while (c >= 48 && c <= 57) {
+    v = v * 10 + (c - 48);
+    pos += 1;
+    c = src[pos] & 255;
+  }
+  // constant-pool interning: probe the open-addressed table
+  h = (v * 2654435761) & 127;
+  while (probe < 96) {
+    if (symtab[(h + probe) & 127] == v) { probe = 200; }
+    else if (symtab[(h + probe) & 127] == 0) {
+      symtab[(h + probe) & 127] = v | 1;
+      probe = 200;
+    }
+    else probe += 1;
+  }
+  return v;
+}
+
+long parse_term() {
+  long v = parse_atom();
+  while ((src[pos] & 255) == 42) {
+    pos += 1;
+    v = v * parse_atom();
+  }
+  return v;
+}
+
+long parse_expr() {
+  long v = parse_term();
+  long c = src[pos] & 255;
+  while (c == 43 || c == 45) {
+    pos += 1;
+    if (c == 43) v += parse_term();
+    else v -= parse_term();
+    c = src[pos] & 255;
+  }
+  return v;
+}
+
+int main() {
+  long total = 0;
+  long i = 0;
+  gen_expr();
+  while (i < 20) {
+    pos = 0;
+    total ^= parse_expr();
+    src[(i * 37) & 2039] = (char)(48 + (i & 7));
+    i += 1;
+  }
+  print_int(total); print_newline();
+  return 0;
+}
+|}
+
+(* 429.mcf: arc relaxation sweeps — loop-dominated, a pricing helper
+   called once per sweep. *)
+let mcf_src =
+  {|
+long cost_[2048];
+long head_[2048];
+long dist_[512];
+
+long price_sweep(long round) {
+  long i = 0;
+  long p = 0;
+  while (i < 64) {
+    p += dist_[(round + i) & 511] & 1023;
+    i += 1;
+  }
+  return p;
+}
+
+int main() {
+  long seed = 7;
+  long i = 0;
+  long sweep = 0;
+  long total = 0;
+  while (i < 2048) {
+    seed = seed * 1103515245 + 12345;
+    cost_[i] = (seed >> 12) & 1023;
+    head_[i] = (seed >> 22) & 511;
+    i += 1;
+  }
+  i = 0;
+  while (i < 512) { dist_[i] = 1 << 20; i += 1; }
+  dist_[0] = 0;
+  while (sweep < 70) {
+    long a = 0;
+    while (a < 2048) {
+      long from = a & 511;
+      long to = head_[a];
+      long nd = dist_[from] + cost_[a];
+      if (nd < dist_[to]) dist_[to] = nd;
+      a += 1;
+    }
+    total += price_sweep(sweep);
+    sweep += 1;
+  }
+  print_int(total + dist_[311]); print_newline();
+  return 0;
+}
+|}
+
+(* 445.gobmk: the paper's call-density worst case — small per-call work
+   on a large (mostly untouched) board-copy frame, called very often. *)
+let gobmk_src =
+  {|
+char board[4096];
+
+void init_board() {
+  long seed = 31;
+  long i = 0;
+  while (i < 4096) {
+    seed = seed * 1103515245 + 12345;
+    board[i] = (char)((seed >> 20) & 3);
+    i += 1;
+  }
+}
+
+long count_liberties(long at) {
+  char scratch[4096];    // working copy of the board: a gobmk-sized frame
+  long libs = 0;
+  long i = 0;
+  memcpy(scratch, board + (at & 3071), 48);
+  while (i < 16) {
+    libs += scratch[i] & 3;
+    i += 1;
+  }
+  return libs;
+}
+
+long eval_point(long at, long depth) {
+  long score = count_liberties(at);
+  if (depth > 0) score += eval_point(at + 37, depth - 1);
+  return score;
+}
+
+int main() {
+  long total = 0;
+  long move = 0;
+  init_board();
+  while (move < 1600) {
+    total += eval_point(move * 7, 4);
+    board[(move * 53) & 4095] = (char)(move & 3);
+    move += 1;
+  }
+  print_int(total); print_newline();
+  return 0;
+}
+|}
+
+(* 456.hmmer: DP inner loops; a per-row posterior helper. *)
+let hmmer_src =
+  {|
+long vit[3][256];
+long match_s[256];
+long insert_s[256];
+
+long row_posterior(long row) {
+  long j = 0;
+  long acc = 0;
+  while (j < 48) {
+    acc += vit[row % 3][j * 5 & 255];
+    j += 1;
+  }
+  return acc;
+}
+
+int main() {
+  long seed = 17;
+  long i = 0;
+  long row = 0;
+  long total = 0;
+  while (i < 256) {
+    seed = seed * 1103515245 + 12345;
+    match_s[i] = (seed >> 10) & 255;
+    insert_s[i] = (seed >> 18) & 127;
+    vit[0][i] = 0;
+    i += 1;
+  }
+  while (row < 280) {
+    long cur = row % 3;
+    long prev = (row + 2) % 3;
+    long j = 1;
+    while (j < 256) {
+      long m = vit[prev][j - 1] + match_s[(row + j) & 255];
+      long ins = vit[prev][j] + insert_s[j];
+      long del = vit[cur][j - 1] - 3;
+      long best = m;
+      if (ins > best) best = ins;
+      if (del > best) best = del;
+      vit[cur][j] = best;
+      j += 1;
+    }
+    total ^= row_posterior(row);
+    row += 1;
+  }
+  print_int(total); print_newline();
+  return 0;
+}
+|}
+
+(* 458.sjeng: alpha-beta with a substantial leaf evaluation. *)
+let sjeng_src =
+  {|
+long pst[256];
+long nodes = 0;
+
+long eval_leaf(long state) {
+  long h = state * 2654435761;
+  long score = 0;
+  long i = 0;
+  while (i < 56) {
+    score += pst[(h + i * 7) & 255] * ((i & 3) + 1);
+    i += 1;
+  }
+  return score & 1023;
+}
+
+long alphabeta(long state, long depth, long alpha, long beta) {
+  long k = 0;
+  long best = 0 - 100000;
+  nodes += 1;
+  if (depth == 0) return eval_leaf(state);
+  while (k < 4) {
+    long child = state * 31 + k * 17 + 1;
+    long v = 0 - alphabeta(child, depth - 1, 0 - beta, 0 - alpha);
+    if (v > best) best = v;
+    if (best > alpha) alpha = best;
+    if (alpha >= beta) { k = 4; }
+    else k += 1;
+  }
+  return best;
+}
+
+int main() {
+  long total = 0;
+  long root = 0;
+  long i = 0;
+  while (i < 256) { pst[i] = (i * 13) & 127; i += 1; }
+  while (root < 3) {
+    total ^= alphabeta(root * 977, 6, 0 - 100000, 100000);
+    root += 1;
+  }
+  print_int(total + nodes); print_newline();
+  return 0;
+}
+|}
+
+(* 462.libquantum: gate application over the state vector — tight
+   loops; one measurement helper per gate. *)
+let libquantum_src =
+  {|
+long amp_re[4096];
+long amp_im[4096];
+
+long measure_norm(long stride) {
+  long j = 0;
+  long n = 0;
+  while (j < 64) {
+    n += amp_re[(j * stride) & 4095] & 255;
+    j += 1;
+  }
+  return n;
+}
+
+int main() {
+  long i = 0;
+  long gate = 0;
+  long total = 0;
+  while (i < 4096) { amp_re[i] = i & 255; amp_im[i] = (i * 7) & 255; i += 1; }
+  while (gate < 36) {
+    long target = gate % 12;
+    long mask = 1 << target;
+    long j = 0;
+    while (j < 4096) {
+      if ((j & mask) == 0) {
+        long k = j | mask;
+        long re = amp_re[j] + amp_re[k];
+        long im = amp_im[j] - amp_im[k];
+        amp_re[j] = re >> 1;
+        amp_im[j] = im >> 1;
+        amp_re[k] = (amp_re[j] - re) & 65535;
+        amp_im[k] = (amp_im[j] + im) & 65535;
+      }
+      j += 1;
+    }
+    total += measure_norm(gate + 3);
+    gate += 1;
+  }
+  print_int(total + amp_re[1234] + amp_im[2345]); print_newline();
+  return 0;
+}
+|}
+
+(* 464.h264ref: 16x16 SAD and 4x4 transforms across many distinct
+   small functions — the P-BOX heavyweight. *)
+let h264ref_src =
+  {|
+char frame_a[8192];
+char frame_b[8192];
+
+void gen_frames() {
+  long seed = 3;
+  long i = 0;
+  while (i < 8192) {
+    seed = seed * 1103515245 + 12345;
+    frame_a[i] = (char)((seed >> 16) & 255);
+    frame_b[i] = (char)((seed >> 8) & 255);
+    i += 1;
+  }
+}
+
+long clip255(long v) { if (v < 0) return 0; if (v > 255) return 255; return v; }
+
+long sad16x16(long oa, long ob) {
+  long s = 0;
+  long r = 0;
+  while (r < 16) {
+    long c = 0;
+    while (c < 16) {
+      long d = (frame_a[(oa + r * 64 + c) & 8191] & 255)
+               - (frame_b[(ob + r * 64 + c) & 8191] & 255);
+      if (d < 0) d = 0 - d;
+      s += d;
+      c += 1;
+    }
+    r += 1;
+  }
+  return s;
+}
+
+void hadamard4(long *v0, long *v1, long *v2, long *v3) {
+  long a = *v0 + *v2;
+  long b = *v0 - *v2;
+  long c = *v1 + *v3;
+  long d = *v1 - *v3;
+  *v0 = a + c; *v1 = b + d; *v2 = a - c; *v3 = b - d;
+}
+
+long transform_block(long off) {
+  long t0 = frame_a[off & 8191] & 255;
+  long t1 = frame_a[(off + 1) & 8191] & 255;
+  long t2 = frame_a[(off + 2) & 8191] & 255;
+  long t3 = frame_a[(off + 3) & 8191] & 255;
+  long acc = 0;
+  long rep = 0;
+  while (rep < 12) {
+    hadamard4(&t0, &t1, &t2, &t3);
+    acc += clip255(t0) + clip255(t1 >> 1) + clip255(t2 >> 2) + clip255(t3 >> 3);
+    t0 = acc & 255;
+    rep += 1;
+  }
+  return acc;
+}
+
+long quant_coeff(long v, long qp) {
+  long q = 0;
+  long i = 0;
+  while (i < 16) { q += (v * (52 - qp) + i) >> 6; i += 1; }
+  return q;
+}
+
+long median3(long a, long b, long c) {
+  if (a > b) { long t = a; a = b; b = t; }
+  if (b > c) { long t = b; b = c; c = t; }
+  if (a > b) { long t = a; a = b; b = t; }
+  return b;
+}
+
+long lambda_of(long qp) { return (qp * qp) >> 4; }
+
+long mode_decide(long blk) {
+  short costs[8];
+  long best = 1 << 30;
+  long m = 0;
+  while (m < 8) {
+    long c = sad16x16((blk * 16) & 8063, ((blk + m) * 16) & 8063)
+             + lambda_of(m + 20) + quant_coeff(m * 3, 26)
+             + median3(m, blk & 15, (blk + m) & 15);
+    costs[m] = (short)c;
+    if (c < best) best = c;
+    m += 1;
+  }
+  return best + costs[blk & 7];
+}
+
+int main() {
+  long total = 0;
+  long blk = 0;
+  gen_frames();
+  while (blk < 70) {
+    total += mode_decide(blk);
+    total += transform_block(blk * 4);
+    blk += 1;
+  }
+  print_int(total); print_newline();
+  return 0;
+}
+|}
+
+(* 471.omnetpp: discrete-event simulation — heap churn plus a routing
+   table update per event. *)
+let omnetpp_src =
+  {|
+long heap_t[1025];
+long heap_d[1025];
+long route[256];
+long hsize = 0;
+
+void heap_push(long t, long d) {
+  long i = 0;
+  hsize += 1;
+  heap_t[hsize] = t;
+  heap_d[hsize] = d;
+  i = hsize;
+  while (i > 1 && heap_t[i / 2] > heap_t[i]) {
+    long tt = heap_t[i / 2]; heap_t[i / 2] = heap_t[i]; heap_t[i] = tt;
+    long dd = heap_d[i / 2]; heap_d[i / 2] = heap_d[i]; heap_d[i] = dd;
+    i = i / 2;
+  }
+}
+
+long heap_pop() {
+  long top = heap_d[1];
+  long i = 1;
+  heap_t[1] = heap_t[hsize];
+  heap_d[1] = heap_d[hsize];
+  hsize -= 1;
+  while (2 * i <= hsize) {
+    long c = 2 * i;
+    if (c + 1 <= hsize && heap_t[c + 1] < heap_t[c]) c += 1;
+    if (heap_t[i] <= heap_t[c]) { i = hsize + 1; }
+    else {
+      long tt = heap_t[i]; heap_t[i] = heap_t[c]; heap_t[c] = tt;
+      long dd = heap_d[i]; heap_d[i] = heap_d[c]; heap_d[c] = dd;
+      i = c;
+    }
+  }
+  return top;
+}
+
+long handle_event(long data, long now) {
+  long kind = data & 3;
+  long hop = 0;
+  while (hop < 72) {
+    route[(data + hop) & 255] = (route[(data + hop) & 255] + now) & 65535;
+    hop += 1;
+  }
+  if (kind == 0) heap_push(now + (data & 63) + 1, data * 5 + 1);
+  else if (kind == 1) {
+    heap_push(now + 3, data ^ 9);
+    heap_push(now + 9, data + 2);
+  }
+  return kind;
+}
+
+int main() {
+  long now = 0;
+  long processed = 0;
+  long total = 0;
+  heap_push(1, 4);
+  heap_push(2, 9);
+  while (hsize > 0 && processed < 4000) {
+    long d = heap_pop();
+    now += 1;
+    total += handle_event(d, now);
+    processed += 1;
+  }
+  print_int(total + processed); print_newline();
+  return 0;
+}
+|}
+
+(* 473.astar: greedy search; neighbor pushes inline, the open-list scan
+   is the hot call. *)
+let astar_src =
+  {|
+char grid[4096];
+long open_x[1024];
+long open_y[1024];
+long open_f[1024];
+long n_open = 0;
+
+void gen_grid() {
+  long seed = 23;
+  long i = 0;
+  while (i < 4096) {
+    seed = seed * 1103515245 + 12345;
+    if (((seed >> 13) & 7) == 0) grid[i] = 1;
+    else grid[i] = 0;
+    i += 1;
+  }
+  grid[0] = 0;
+  grid[4095] = 0;
+}
+
+long pop_best() {
+  long best = 0;
+  long i = 1;
+  while (i < n_open) {
+    if (open_f[i] < open_f[best]) best = i;
+    i += 1;
+  }
+  n_open -= 1;
+  long bx = open_x[best];
+  long by = open_y[best];
+  open_x[best] = open_x[n_open];
+  open_y[best] = open_y[n_open];
+  open_f[best] = open_f[n_open];
+  return bx * 64 + by;
+}
+
+int main() {
+  long expansions = 0;
+  long restart = 0;
+  while (restart < 5) {
+    gen_grid();
+    n_open = 0;
+    open_x[0] = restart & 3;
+    open_y[0] = 0;
+    open_f[0] = 126;
+    n_open = 1;
+    while (n_open > 0 && n_open < 1020 && expansions < 7000) {
+      long cell = pop_best();
+      long x = cell / 64;
+      long y = cell % 64;
+      expansions += 1;
+      if (x + 1 < 64 && grid[(x + 1) * 64 + y] == 0) {
+        open_x[n_open] = x + 1; open_y[n_open] = y;
+        open_f[n_open] = 126 - x - y; n_open += 1;
+        grid[(x + 1) * 64 + y] = 2;
+      }
+      if (y + 1 < 64 && grid[x * 64 + y + 1] == 0) {
+        open_x[n_open] = x; open_y[n_open] = y + 1;
+        open_f[n_open] = 126 - x - y; n_open += 1;
+        grid[x * 64 + y + 1] = 2;
+      }
+    }
+    restart += 1;
+  }
+  print_int(expansions); print_newline();
+  return 0;
+}
+|}
+
+(* 483.xalancbmk: markup transformation — the escaper handles a run of
+   characters per call. *)
+let xalanc_src =
+  {|
+char doc[4096];
+char out_buf[8192];
+
+void gen_doc() {
+  long seed = 41;
+  long i = 0;
+  while (i < 2040) {
+    seed = seed * 1103515245 + 12345;
+    long r = (seed >> 17) & 31;
+    if (r == 0) doc[i] = 60;
+    else if (r == 1) doc[i] = 62;
+    else if (r == 2) doc[i] = 38;
+    else doc[i] = (char)(97 + (r & 7));
+    i += 1;
+  }
+  doc[4088] = 0;
+}
+
+// copies the plain run starting at [i], escapes the markup char after
+// it, returns the new input position
+long emit_run(long i, long *optr) {
+  long o = *optr;
+  long c = doc[i] & 255;
+  while (c != 0 && c != 60 && c != 62 && c != 38) {
+    out_buf[o & 8191] = (char)c;
+    o += 1;
+    i += 1;
+    c = doc[i] & 255;
+  }
+  if (c == 60) { out_buf[o & 8191] = 38; out_buf[(o+1) & 8191] = 108; o += 4; i += 1; }
+  else if (c == 62) { out_buf[o & 8191] = 38; out_buf[(o+1) & 8191] = 103; o += 4; i += 1; }
+  else if (c == 38) { out_buf[o & 8191] = 38; out_buf[(o+1) & 8191] = 97; o += 5; i += 1; }
+  *optr = o;
+  return i;
+}
+
+long transform_doc() {
+  long i = 0;
+  long o = 0;
+  while (doc[i] != 0) {
+    i = emit_run(i, &o);
+  }
+  return o;
+}
+
+int main() {
+  long total = 0;
+  long round = 0;
+  gen_doc();
+  while (round < 40) {
+    total += transform_doc();
+    doc[(round * 101) & 4087] = 60;
+    round += 1;
+  }
+  print_int(total); print_newline();
+  return 0;
+}
+|}
+
+(* Wireshark-like I/O loop: dissect a long stream of small frames. *)
+let wireshark_io_src =
+  {|
+long n_dissected = 0;
+
+void dissect_frame(char *data, long len) {
+  long proto = 0;
+  long off = 0;
+  char pd[256];
+  memcpy(pd, data, len);
+  while (off < len) {
+    proto ^= pd[off] & 255;
+    off += 1;
+  }
+  n_dissected += proto & 1;
+}
+
+void capture_loop() {
+  char fdata[2048];
+  long flen = 0;
+  long frames = 0;
+  while (frames < 100000) {
+    flen = read_input(fdata, 255);
+    if (flen <= 0) break;
+    dissect_frame(fdata, flen);
+    frames += 1;
+  }
+  print_int(frames); print_newline();
+}
+
+int main() { capture_loop(); return 0; }
+|}
+
+let lcg_input n seed =
+  let b = Buffer.create n in
+  let s = ref seed in
+  for _ = 1 to n do
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    Buffer.add_char b (Char.chr (97 + (!s lsr 16 mod 26)))
+  done;
+  Buffer.contents b
+
+(* ProFTPD-like I/O loop: benign commands through the same binary the
+   security experiments attack. *)
+let proftpd_io_input =
+  String.concat ""
+    (List.init 2500 (fun i -> Printf.sprintf "CWD /srv/data/%02d" (i mod 97)))
+
+(* Wireshark-like I/O loop: a stream of small frames. *)
+let wireshark_io_input =
+  String.concat "" (List.init 1500 (fun i -> lcg_input 48 (i + 5)))
+
+let mk wname kind description source input sched_bias_pct =
+  {
+    wname;
+    kind;
+    description;
+    source;
+    input;
+    sched_bias_pct;
+    program = lazy (Minic.Driver.compile source);
+  }
+
+let spec =
+  [
+    mk "perlbench" `Spec "opcode interpreter, deep call chains" perlbench_src ""
+      1.2;
+    mk "bzip2" `Spec "RLE + move-to-front compression" bzip2_src "" (-0.6);
+    mk "gcc" `Spec "expression parsing + constant folding" gcc_src "" 0.4;
+    mk "mcf" `Spec "min-cost-flow arc relaxation" mcf_src "" (-1.8);
+    mk "gobmk" `Spec "board evaluation, multi-KiB frames" gobmk_src "" 2.0;
+    mk "hmmer" `Spec "profile-HMM dynamic programming" hmmer_src "" (-2.2);
+    mk "sjeng" `Spec "alpha-beta game-tree search" sjeng_src "" 1.5;
+    mk "libquantum" `Spec "quantum gate simulation, tight loops"
+      libquantum_src "" (-2.6);
+    mk "h264ref" `Spec "block transforms, many small functions" h264ref_src ""
+      0.8;
+    mk "omnetpp" `Spec "discrete-event simulation over a heap" omnetpp_src ""
+      (-0.4);
+    mk "astar" `Spec "greedy grid pathfinding" astar_src "" 0.6;
+    mk "xalancbmk" `Spec "markup transformation pipeline" xalanc_src "" 0.3;
+  ]
+
+let io =
+  [
+    mk "proftpd-io" `Io "FTP command loop (I/O bound)" Proftpd.source
+      proftpd_io_input 0.2;
+    mk "wireshark-io" `Io "frame dissection loop (I/O bound)" wireshark_io_src
+      wireshark_io_input 0.1;
+  ]
+
+let all = spec @ io
+let find name = List.find_opt (fun w -> String.equal w.wname name) all

@@ -1,0 +1,1 @@
+lib/attacks/bruteforce.ml: List Verdict

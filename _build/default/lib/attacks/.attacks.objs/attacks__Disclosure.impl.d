@@ -1,0 +1,1 @@
+lib/attacks/disclosure.ml: Char Int64 List Machine String

@@ -1,0 +1,1 @@
+lib/attacks/disclosure.mli: Machine

@@ -1,0 +1,1 @@
+lib/attacks/layout.ml: Hashtbl Ir List Machine String Sutil

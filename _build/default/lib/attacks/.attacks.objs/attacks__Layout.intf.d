@@ -1,0 +1,1 @@
+lib/attacks/layout.mli: Ir

@@ -1,0 +1,1 @@
+lib/attacks/overflow.ml: Bytes Char Int64 List Printf String

@@ -1,0 +1,69 @@
+type frame = {
+  fname : string;
+  vars : (string * int) list;
+  frame_bytes : int;
+}
+
+(* Must mirror Machine.Exec.do_alloca: sp -= size, then align down. *)
+let frame_of_func (f : Ir.Func.t) =
+  match f.blocks with
+  | [] -> { fname = f.name; vars = []; frame_bytes = 0 }
+  | entry :: _ ->
+      let sp = ref 0 in
+      let vars = ref [] in
+      List.iter
+        (fun i ->
+          match i with
+          | Ir.Instr.Alloca { ty; count = None; name; _ } ->
+              sp :=
+                Sutil.Align.align_down (!sp - Ir.Ty.size ty)
+                  ~alignment:(max 1 (Ir.Ty.alignment ty));
+              vars := (name, !sp) :: !vars
+          | _ -> ())
+        entry.instrs;
+      { fname = f.name; vars = List.rev !vars; frame_bytes = - !sp }
+
+let var_offset frame name = List.assoc_opt name frame.vars
+
+(* The running stack pointer is threaded through the whole chain:
+   alignment padding depends on the actual entry sp of each frame, so
+   composing per-function offsets computed from a zero base would be
+   wrong whenever a caller's frame size is not 8-aligned. *)
+let chain (prog : Ir.Prog.t) funcs =
+  let sp = ref 0 in
+  List.concat_map
+    (fun fname ->
+      match Ir.Prog.find_func prog fname with
+      | None -> invalid_arg ("Attacks.Layout.chain: unknown function " ^ fname)
+      | Some f ->
+          let rows = ref [] in
+          (match f.blocks with
+          | [] -> ()
+          | entry :: _ ->
+              List.iter
+                (fun i ->
+                  match i with
+                  | Ir.Instr.Alloca { ty; count = None; name; _ } ->
+                      sp :=
+                        Sutil.Align.align_down (!sp - Ir.Ty.size ty)
+                          ~alignment:(max 1 (Ir.Ty.alignment ty));
+                      rows := (fname, name, !sp) :: !rows
+                  | _ -> ())
+                entry.instrs);
+          List.rev !rows)
+    funcs
+
+let global_addrs (prog : Ir.Prog.t) =
+  let st = Machine.Exec.prepare ~heap_size:4096 ~stack_size:4096 prog in
+  Hashtbl.fold (fun name addr acc -> (name, addr) :: acc) st.globals []
+
+let distance rows ~from_:(ff, fv) ~to_:(tf, tv) =
+  let find f v =
+    List.find_map
+      (fun (f', v', off) ->
+        if String.equal f f' && String.equal v v' then Some off else None)
+      rows
+  in
+  match (find ff fv, find tf tv) with
+  | Some a, Some b -> Some (b - a)
+  | _ -> None

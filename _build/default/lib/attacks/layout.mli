@@ -1,0 +1,45 @@
+(** Static stack-layout analysis — the attacker's "binary analysis"
+    step (threat model §III-B: the adversary can obtain the binary).
+
+    Replays the machine's allocation rule (descending, aligned bumps)
+    over a function's entry-block allocas, yielding each named
+    variable's offset.  On a Smokestack-hardened binary the per-variable
+    allocas are gone — only the opaque [__ss_total] slab remains — so
+    the analysis comes back empty for exactly the variables the attack
+    needs, which is the point. *)
+
+type frame = {
+  fname : string;
+  vars : (string * int) list;
+      (** offsets relative to the frame's {e entry} stack pointer
+          (negative, descending) in allocation order *)
+  frame_bytes : int;  (** total static frame consumption *)
+}
+
+val frame_of_func : Ir.Func.t -> frame
+
+val var_offset : frame -> string -> int option
+(** Offset of a named variable; [None] if the binary does not reveal
+    it. *)
+
+val chain : Ir.Prog.t -> string list -> (string * string * int) list
+(** [chain prog [f1; f2; ...]] simulates the call chain [f1 -> f2 ->
+    ...]: each function's frame is placed below its caller's.  Returns
+    [(func, var, offset)] triples relative to [f1]'s entry stack
+    pointer.  This is how a cross-frame overflow distance (librelp) is
+    computed from the binary. *)
+
+val global_addrs : Ir.Prog.t -> (string * int) list
+(** Loaded address of every global — static analysis of the data and
+    rodata layout, which no evaluated defense randomizes.  (Obtained by
+    actually loading the program into a throwaway state, so it cannot
+    drift from the machine's placement rule.) *)
+
+val distance :
+  (string * string * int) list ->
+  from_:string * string ->
+  to_:string * string ->
+  int option
+(** Byte distance between two (func, var) addresses in a simulated
+    chain: positive when [to_] lies above (at a higher address than)
+    [from_]. *)

@@ -1,0 +1,30 @@
+type write = { rel : int; data : string }
+
+let le_bytes width v =
+  String.init width (fun i ->
+      Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+
+let u64 rel v = { rel; data = le_bytes 8 v }
+let u32 rel v = { rel; data = le_bytes 4 v }
+let bytes rel data = { rel; data }
+
+let craft ?(filler = 'A') ~len writes =
+  let writes = List.sort (fun a b -> compare a.rel b.rel) writes in
+  let total =
+    List.fold_left
+      (fun acc w ->
+        if w.rel < 0 then invalid_arg "Attacks.Overflow.craft: negative offset";
+        max acc (w.rel + String.length w.data))
+      len writes
+  in
+  let buf = Bytes.make total filler in
+  let last_end = ref (-1) in
+  List.iter
+    (fun w ->
+      if w.rel < !last_end then
+        invalid_arg
+          (Printf.sprintf "Attacks.Overflow.craft: overlapping write at %d" w.rel);
+      Bytes.blit_string w.data 0 buf w.rel (String.length w.data);
+      last_end := w.rel + String.length w.data)
+    writes;
+  Bytes.to_string buf

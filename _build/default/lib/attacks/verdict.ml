@@ -1,0 +1,36 @@
+type t = Success | Crashed of string | Detected of string | No_effect
+
+let classify (outcome : Machine.Exec.outcome) ~goal_met =
+  if goal_met then Success
+  else
+    match outcome with
+    | Machine.Exec.Exit _ -> No_effect
+    | Machine.Exec.Fault { fault; func } ->
+        Crashed
+          (Printf.sprintf "%s in %s" (Machine.Memory.fault_to_string fault) func)
+    | Machine.Exec.Detected { reason; func } ->
+        Detected (Printf.sprintf "%s in %s" reason func)
+    | Machine.Exec.Fuel_exhausted -> Crashed "fuel exhausted (runaway)"
+
+let blocked = function Success -> false | _ -> true
+
+let to_string = function
+  | Success -> "SUCCESS"
+  | Crashed m -> "crashed: " ^ m
+  | Detected m -> "detected: " ^ m
+  | No_effect -> "no effect"
+
+let success_rate vs =
+  if vs = [] then 0.
+  else
+    float_of_int (List.length (List.filter (fun v -> not (blocked v)) vs))
+    /. float_of_int (List.length vs)
+
+let summarize vs =
+  let count p = List.length (List.filter p vs) in
+  Printf.sprintf "%d/%d success, %d crashed, %d detected, %d no-effect"
+    (count (fun v -> v = Success))
+    (List.length vs)
+    (count (function Crashed _ -> true | _ -> false))
+    (count (function Detected _ -> true | _ -> false))
+    (count (fun v -> v = No_effect))

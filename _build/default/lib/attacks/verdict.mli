@@ -1,0 +1,25 @@
+(** Attack outcome classification.
+
+    A defense "blocks" an attack if the attacker's goal predicate does
+    not hold afterwards — whether because the corrupted program
+    crashed (the paper's restart-after-crash service model), a defense
+    check fired, or the payload landed on the wrong bytes and did
+    nothing. *)
+
+type t =
+  | Success  (** goal predicate met: the attack worked *)
+  | Crashed of string  (** memory fault — unintended corruption *)
+  | Detected of string  (** FID check / canary fired *)
+  | No_effect  (** program finished normally, goal unmet *)
+
+val classify : Machine.Exec.outcome -> goal_met:bool -> t
+(** [goal_met] is evaluated by the caller from the final state/output
+    (e.g. "the secret appeared on the wire"). A met goal counts as
+    {!constructor:Success} even if the program crashed afterwards. *)
+
+val blocked : t -> bool
+val to_string : t -> string
+val summarize : t list -> string
+(** e.g. ["3/100 success, 82 crashed, 15 detected"]. *)
+
+val success_rate : t list -> float

@@ -1,0 +1,1 @@
+lib/core/abi.ml: Char Int64 String

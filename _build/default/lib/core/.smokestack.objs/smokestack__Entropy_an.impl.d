@@ -1,0 +1,1 @@
+lib/core/entropy_an.ml: Array Format Fun Hashtbl List Option Pbox Permgen Sutil

@@ -1,0 +1,1 @@
+lib/core/entropy_an.mli: Format Pbox Permgen

@@ -1,0 +1,1 @@
+lib/core/harden.ml: Abi Config Crypto Instrument Ir List Machine Pbox Runtime

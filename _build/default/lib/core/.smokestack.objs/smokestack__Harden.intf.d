@@ -1,0 +1,1 @@
+lib/core/harden.mli: Config Crypto Ir Machine Pbox

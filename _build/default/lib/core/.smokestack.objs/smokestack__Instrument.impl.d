@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Abi Array Config Int64 Ir List Option Pbox Printf Slots

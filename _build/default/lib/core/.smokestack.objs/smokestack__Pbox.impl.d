@@ -1,0 +1,1 @@
+lib/core/pbox.ml: Array Buffer Char Config Hashtbl List Permgen String Sutil

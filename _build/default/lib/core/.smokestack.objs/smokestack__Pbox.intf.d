@@ -1,0 +1,1 @@
+lib/core/pbox.mli: Config Hashtbl Permgen

@@ -1,0 +1,1 @@
+lib/core/permgen.ml: Array Fun Sutil

@@ -1,0 +1,1 @@
+lib/core/permgen.mli: Sutil

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Abi Array Config Crypto Fun Int64 Machine Pbox Rng Sutil

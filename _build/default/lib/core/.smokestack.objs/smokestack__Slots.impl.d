@@ -1,0 +1,1 @@
+lib/core/slots.ml: Array Ir List

@@ -1,0 +1,18 @@
+let pbox_global = "__ss_pbox"
+let prng_state_global = "__ss_prng_state"
+let intr_rand = "ss.rand"
+let intr_pad = "ss.pad"
+let intr_fid_key = "ss.fid_key"
+let intr_fid_assert = "ss.fid_assert"
+let intr_layout_dynamic = "ss.layout_dynamic"
+let smokestack_attr = "smokestack"
+
+(* FNV-1a, 64-bit. *)
+let fid_const name =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    name;
+  !h

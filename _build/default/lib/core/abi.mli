@@ -1,0 +1,35 @@
+(** Names shared between the instrumentation pass and the runtime. *)
+
+val pbox_global : string
+(** Read-only global holding the serialized P-BOX. *)
+
+val prng_state_global : string
+(** Writable 8-byte global holding the pseudo-scheme generator state —
+    deliberately attacker-readable, as the paper's threat model
+    demands. *)
+
+val intr_rand : string
+(** [i64 ss.rand()] — draw a permutation index. *)
+
+val intr_pad : string
+(** [i64 ss.pad()] — random byte count for VLA dummy allocas. *)
+
+val intr_fid_key : string
+(** [i64 ss.fid_key()] — the per-run XOR key (lives outside VM memory,
+    modelling a reserved register). *)
+
+val intr_fid_assert : string
+(** [ss.fid_assert(decoded, expected)] — raises detection on
+    mismatch. *)
+
+val intr_layout_dynamic : string
+(** [ss.layout_dynamic(dyn_id, frame_base)] — decode a fresh
+    permutation for an oversized frame, writing per-slot u32 offsets at
+    the frame base. *)
+
+val fid_const : string -> int64
+(** The unique load-time function identifier (stable FNV-1a hash of the
+    function name). *)
+
+val smokestack_attr : string
+(** Attribute set on hardened functions. *)

@@ -1,0 +1,47 @@
+type t = {
+  scheme : Rng.Scheme.t;
+  pow2_pbox : bool;
+  share_tables : bool;
+  round_up_allocs : bool;
+  max_exhaustive_vars : int;
+  fid_checks : bool;
+  vla_padding : bool;
+  vla_pad_max : int;
+  rekey_interval : int;
+  exclude : string list;
+  redraw_interval : int;
+}
+
+let default =
+  {
+    scheme = Rng.Scheme.aes10;
+    pow2_pbox = true;
+    share_tables = true;
+    round_up_allocs = true;
+    max_exhaustive_vars = 6;
+    fid_checks = true;
+    vla_padding = true;
+    vla_pad_max = 128;
+    rekey_interval = 65536;
+    exclude = [];
+    redraw_interval = 1;
+  }
+
+let with_scheme scheme t = { t with scheme }
+let with_exclude exclude t = { t with exclude }
+
+let validate t =
+  if t.max_exhaustive_vars < 1 || t.max_exhaustive_vars > 8 then
+    Error
+      (Printf.sprintf
+         "max_exhaustive_vars = %d: must be in [1, 8] (8! = 40320 rows is \
+          already 1.1 MiB per table)"
+         t.max_exhaustive_vars)
+  else if t.vla_pad_max < 1 then Error "vla_pad_max must be positive"
+  else if t.rekey_interval < 1 then Error "rekey_interval must be positive"
+  else if t.redraw_interval < 1 then Error "redraw_interval must be positive"
+  else
+    match t.scheme with
+    | Rng.Scheme.Aes_ctr { rounds } when rounds < 1 || rounds > 10 ->
+        Error (Printf.sprintf "AES rounds = %d: must be in [1, 10]" rounds)
+    | _ -> Ok t

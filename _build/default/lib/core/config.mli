@@ -1,0 +1,54 @@
+(** Smokestack configuration.
+
+    One value of this type fixes everything about a hardening run: the
+    randomness scheme for permutation selection, which of the paper's
+    §III-E optimizations are enabled, how large a function's permutation
+    table may get before switching to on-demand decoding, and whether
+    the auxiliary defenses (function-identifier checks, VLA padding) are
+    active. *)
+
+type t = {
+  scheme : Rng.Scheme.t;  (** permutation-index generator (Table I) *)
+  pow2_pbox : bool;
+      (** §III-E "P-BOX size of power of 2": materialize tables with a
+          power-of-two row count so index selection is an AND instead of
+          a modulo *)
+  share_tables : bool;
+      (** §III-E "Rearranging Stack Allocations": functions whose
+          allocations form the same multiset share one table *)
+  round_up_allocs : bool;
+      (** §III-E "Rounding up Allocations": a function may use the table
+          of a one-primitive-larger frame, paying a dummy slot *)
+  max_exhaustive_vars : int;
+      (** materialize the full n!-row table only for n <= this; larger
+          frames decode their permutation at the prologue (DESIGN.md
+          extension — the paper is silent on large n) *)
+  fid_checks : bool;  (** §III-D.2 function-identifier XOR checks *)
+  vla_padding : bool;  (** §III-D.1 random dummy alloca before each VLA *)
+  vla_pad_max : int;  (** exclusive bound on the dummy's byte size *)
+  rekey_interval : int;
+      (** AES-CTR blocks between key/nonce refreshes (the paper's
+          universal call counter maximum) *)
+  exclude : string list;
+      (** functions left un-instrumented — the §III-A "modular support
+          to enable gradual migration of code" requirement *)
+  redraw_interval : int;
+      (** draw a fresh permutation index every [n]-th request instead
+          of every one.  1 (the default, the paper's design) is
+          per-invocation; larger values interpolate toward static
+          permutation and re-open the same-run probe-then-exploit
+          window the E11 experiment measures. *)
+}
+
+val default : t
+(** AES-10, every optimization and auxiliary defense on,
+    [max_exhaustive_vars = 6], [vla_pad_max = 128],
+    [rekey_interval = 65536], nothing excluded. *)
+
+val with_exclude : string list -> t -> t
+
+val with_scheme : Rng.Scheme.t -> t -> t
+
+val validate : t -> (t, string) result
+(** Checks ranges ([max_exhaustive_vars] within factorial limits, VLA
+    pad bound positive, AES rounds in range). *)

@@ -1,0 +1,34 @@
+type t = { prog : Ir.Prog.t; pbox : Pbox.t; config : Config.t }
+
+let harden ?(seed = 1L) config prog =
+  let config =
+    match Config.validate config with
+    | Ok c -> c
+    | Error msg -> failwith ("Smokestack.Harden: invalid config: " ^ msg)
+  in
+  if
+    List.exists
+      (fun f -> Ir.Func.has_attr f Abi.smokestack_attr)
+      prog.Ir.Prog.funcs
+  then failwith "Smokestack.Harden: program is already hardened";
+  let prog = Ir.Prog.copy prog in
+  let metas = Instrument.collect_metas config prog in
+  let pbox = Pbox.build ~seed config metas in
+  Ir.Pass.run [ Instrument.pass config ~pbox ] prog;
+  { prog; pbox; config }
+
+let prepare ?heap_size ?stack_size ?entropy t =
+  let entropy =
+    match entropy with Some e -> e | None -> Crypto.Entropy.system ()
+  in
+  let st = Machine.Exec.prepare ?heap_size ?stack_size t.prog in
+  Runtime.install t.config ~pbox:t.pbox ~entropy st;
+  st
+
+let pbox_bytes t = Pbox.blob_bytes t.pbox
+
+let permuted_functions t =
+  List.filter_map
+    (fun (f : Ir.Func.t) ->
+      if Ir.Func.has_attr f Abi.smokestack_attr then Some f.name else None)
+    t.prog.funcs

@@ -1,0 +1,39 @@
+(** Top-level Smokestack API: compile-time hardening plus runtime
+    installation.
+
+    {[
+      let hardened = Harden.harden Config.default prog in
+      let st = Harden.prepare hardened ~entropy in
+      let outcome, stats = Machine.Exec.run st in
+      ...
+    ]} *)
+
+type t = {
+  prog : Ir.Prog.t;  (** the hardened program (the input is not mutated) *)
+  pbox : Pbox.t;
+  config : Config.t;
+}
+
+val harden : ?seed:int64 -> Config.t -> Ir.Prog.t -> t
+(** Runs the full pipeline on a copy of the program: allocation
+    discovery → P-BOX generation (with the configured optimizations and
+    row shuffles driven by [seed], default 1) → instrumentation →
+    verification.  Raises [Failure] if the configuration is invalid,
+    the program was already hardened (re-instrumenting a permuted frame
+    would permute the opaque slab, not the variables), or the
+    instrumented IR fails verification. *)
+
+val prepare :
+  ?heap_size:int ->
+  ?stack_size:int ->
+  ?entropy:Crypto.Entropy.t ->
+  t ->
+  Machine.Exec.state
+(** {!Machine.Exec.prepare} followed by {!Runtime.install}.  [entropy]
+    defaults to a source seeded from the OS. *)
+
+val pbox_bytes : t -> int
+(** Read-only bytes the P-BOX adds (Figure 4's numerator). *)
+
+val permuted_functions : t -> string list
+(** Names of functions that received the frame-permutation treatment. *)

@@ -1,0 +1,83 @@
+(** The P-BOX: read-only permutation tables (paper §III-C/E).
+
+    Built at compile time from every function's allocation metadata and
+    embedded in the program's read-only data (the paper links it as a
+    shared library; here it becomes the [__ss_pbox] rodata global).
+    Rows are indexed at each function prologue by a fresh random number.
+
+    The three §III-E optimizations are implemented here:
+
+    - {b power-of-2 row counts}: tables are materialized with
+      [next_pow2 (n!)] rows (wrapping), so the prologue masks the random
+      index with [rows - 1] instead of taking a modulo;
+    - {b table sharing}: functions whose allocations form the same
+      multiset of [(size, alignment)] share one table, via a canonical
+      allocation order plus a per-function original→canonical map;
+    - {b rounding up}: a function may adopt the table of a frame that is
+      one primitive allocation larger, treating the surplus allocation
+      as a dummy that merely pads its frame.
+
+    Functions with more than [max_exhaustive_vars] allocations are not
+    materialized at all: they receive a {e dynamic} binding, and the
+    runtime decodes a fresh permutation at each prologue into a scratch
+    region at the base of the frame (see DESIGN.md). *)
+
+type exhaustive = {
+  entry_index : int;
+  canon_of_orig : int array;
+      (** original slot [i]'s column in the shared canonical table *)
+  dummy_slots : int;  (** 1 if bound via rounding-up, else 0 *)
+}
+
+type mode = Exhaustive of exhaustive | Dynamic of { dyn_id : int }
+
+type binding = { bfunc : string; n_orig : int; mode : mode }
+
+type entry = {
+  key : (int * int) list;  (** canonical multiset, sorted *)
+  canon_meta : (int * int) array;
+  table : Permgen.table;
+  rows_materialized : int;
+  byte_offset : int;  (** of this table within the blob *)
+  mutable users : string list;
+}
+
+type dyn_binding = {
+  dyn_id : int;
+  dfunc : string;
+  metas : (int * int) array;  (** original order *)
+  scratch_bytes : int;  (** u32 offset slots at the frame base *)
+  dyn_max_total : int;
+}
+
+type t = {
+  entries : entry array;
+  dyns : dyn_binding array;
+  bindings : (string, binding) Hashtbl.t;
+  blob : string;
+  config : Config.t;
+}
+
+val build : ?seed:int64 -> Config.t -> (string * (int * int) array) list -> t
+(** [build config funcs] where each element is
+    [(function name, per-slot (size, alignment) in program order)].
+    Functions with zero slots are skipped.  [seed] drives the row
+    shuffles (default 1). *)
+
+val binding : t -> string -> binding option
+val entry_of : t -> binding -> entry option
+val dyn_of : t -> binding -> dyn_binding option
+val blob_bytes : t -> int
+(** Read-only bytes the P-BOX adds to the binary — the memory-overhead
+    experiment's numerator. *)
+
+val row_stride : entry -> int
+(** Bytes per row: 4 x canonical slot count. *)
+
+val max_total : t -> binding -> int
+(** Total-allocation size for the function's frame. *)
+
+val lookup_offsets : t -> binding -> row:int -> int array
+(** Offsets (original slot order) encoded in the blob for a
+    materialized row — decoding what the instrumented loads would read;
+    used by tests and the disclosure-attack oracle. *)

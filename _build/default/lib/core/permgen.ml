@@ -1,0 +1,76 @@
+type table = {
+  offsets : int array array;
+  totals : int array;
+  max_total : int;
+}
+
+(* One row of Algorithm 1: place the allocations in the [p]-th
+   lexical-order permutation, aligning each as it is placed, and record
+   each allocation's offset indexed by its ORIGINAL position. *)
+let row_for_index meta p =
+  let n = Array.length meta in
+  let order = Sutil.Fact.lehmer_decode ~n p in
+  let indexes = Array.make n 0 in
+  let ind = ref 0 in
+  Array.iter
+    (fun e ->
+      let size, alignment = meta.(e) in
+      ind := Sutil.Align.align_up !ind ~alignment;
+      indexes.(e) <- !ind;
+      ind := !ind + size)
+    order;
+  (indexes, !ind)
+
+let generate ?shuffle meta =
+  let n = Array.length meta in
+  if n > Sutil.Fact.max_factorial_arg then
+    invalid_arg "Smokestack.Permgen.generate: too many allocations";
+  Array.iter
+    (fun (size, alignment) ->
+      if size < 0 then invalid_arg "Smokestack.Permgen.generate: negative size";
+      if not (Sutil.Align.is_pow2 alignment) then
+        invalid_arg "Smokestack.Permgen.generate: alignment not a power of two")
+    meta;
+  let rows = Sutil.Fact.factorial n in
+  let offsets = Array.make rows [||] in
+  let totals = Array.make rows 0 in
+  for p = 0 to rows - 1 do
+    let indexes, total = row_for_index meta p in
+    offsets.(p) <- indexes;
+    totals.(p) <- total
+  done;
+  (* Shuffle rows in tandem to break lexical adjacency. *)
+  (match shuffle with
+  | Some rng ->
+      let order = Array.init rows Fun.id in
+      Sutil.Simrng.shuffle rng order;
+      let offsets' = Array.map (fun i -> offsets.(i)) order in
+      let totals' = Array.map (fun i -> totals.(i)) order in
+      Array.blit offsets' 0 offsets 0 rows;
+      Array.blit totals' 0 totals 0 rows
+  | None -> ());
+  let max_total = Array.fold_left max 0 totals in
+  { offsets; totals; max_total }
+
+let layout_valid meta row =
+  let n = Array.length meta in
+  Array.length row = n
+  && (let ok = ref true in
+      for i = 0 to n - 1 do
+        let _, alignment = meta.(i) in
+        if not (Sutil.Align.is_aligned row.(i) ~alignment) then ok := false
+      done;
+      !ok)
+  &&
+  (* no overlap: sort intervals by start and check adjacency *)
+  let intervals =
+    Array.init n (fun i -> (row.(i), row.(i) + fst meta.(i)))
+  in
+  Array.sort compare intervals;
+  let ok = ref true in
+  for i = 1 to n - 1 do
+    let _, prev_end = intervals.(i - 1) in
+    let start, _ = intervals.(i) in
+    if start < prev_end then ok := false
+  done;
+  !ok

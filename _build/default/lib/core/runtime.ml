@@ -1,0 +1,100 @@
+let scheme_cost = function
+  | Rng.Scheme.Pseudo -> Machine.Cost.rng_pseudo
+  | Rng.Scheme.Aes_ctr { rounds } -> Machine.Cost.rng_aes ~rounds
+  | Rng.Scheme.Rdrand -> Machine.Cost.rng_rdrand
+
+let dynamic_offsets_for_draw (dyn : Pbox.dyn_binding) draw =
+  let n = Array.length dyn.metas in
+  let perm_rng = Sutil.Simrng.create ~seed:draw in
+  let order = Array.init n Fun.id in
+  Sutil.Simrng.shuffle perm_rng order;
+  let offsets = Array.make n 0 in
+  let ind = ref dyn.scratch_bytes in
+  Array.iter
+    (fun slot ->
+      let size, alignment = dyn.metas.(slot) in
+      ind := Sutil.Align.align_up !ind ~alignment;
+      offsets.(slot) <- !ind;
+      ind := !ind + size)
+    order;
+  offsets
+
+let install (config : Config.t) ~(pbox : Pbox.t) ~entropy
+    (st : Machine.Exec.state) =
+  let scheme = config.scheme in
+  let cost = scheme_cost scheme in
+  let gen =
+    Rng.Generator.create ~rekey_interval:config.rekey_interval scheme ~entropy
+  in
+  let fid_key = Crypto.Entropy.u64 entropy in
+  (* For the pseudo scheme the live state word sits in VM data memory:
+     mirror the seed in, and route every draw through memory so an
+     attacker with a read (or write) primitive sees exactly what the
+     paper's unsafe baseline exposes. *)
+  let state_addr =
+    if Rng.Scheme.memory_resident_state scheme then begin
+      let addr = Machine.Exec.global_addr st Abi.prng_state_global in
+      Machine.Memory.store st.mem ~width:8 addr (Rng.Generator.pseudo_state gen);
+      Some addr
+    end
+    else None
+  in
+  let raw_draw () =
+    match state_addr with
+    | Some addr ->
+        let s = Machine.Memory.load st.mem ~width:8 addr in
+        let s' = Rng.Pseudo.step s in
+        Machine.Memory.store st.mem ~width:8 addr s';
+        Rng.Pseudo.output s'
+    | None -> Rng.Generator.next_u64 gen
+  in
+  (* redraw_interval > 1 reuses the last index for a window of requests
+     (the E11 periodic-rerandomization ablation); 1 is the paper. *)
+  let cached = ref None in
+  let since_redraw = ref 0 in
+  let draw () =
+    match !cached with
+    | Some v when !since_redraw < config.redraw_interval ->
+        incr since_redraw;
+        v
+    | _ ->
+        let v = raw_draw () in
+        cached := Some v;
+        since_redraw := 1;
+        v
+  in
+  Machine.Exec.register_intrinsic st Abi.intr_rand (fun st _args ->
+      Machine.Exec.charge st cost;
+      Some (draw ()));
+  Machine.Exec.register_intrinsic st Abi.intr_pad (fun st _args ->
+      Machine.Exec.charge st cost;
+      let v = Int64.to_int (Int64.logand (draw ()) 0x7fffffffL) in
+      Some (Int64.of_int (v mod config.vla_pad_max)));
+  Machine.Exec.register_intrinsic st Abi.intr_fid_key (fun st _args ->
+      Machine.Exec.charge st 1.;
+      Some fid_key);
+  Machine.Exec.register_intrinsic st Abi.intr_fid_assert (fun st args ->
+      Machine.Exec.charge st 1.;
+      if not (Int64.equal args.(0) args.(1)) then
+        raise (Machine.Exec.Detect "smokestack: function identifier mismatch");
+      None);
+  Machine.Exec.register_intrinsic st Abi.intr_layout_dynamic (fun st args ->
+      let dyn_id = Int64.to_int args.(0) in
+      let base = Int64.to_int args.(1) in
+      if dyn_id < 0 || dyn_id >= Array.length pbox.dyns then
+        raise (Machine.Memory.Fault (Machine.Memory.Misc "bad dynamic layout id"));
+      let dyn = pbox.dyns.(dyn_id) in
+      let n = Array.length dyn.metas in
+      Machine.Exec.charge st
+        (cost +. (Machine.Cost.layout_dynamic_per_var *. float_of_int n));
+      (* One scheme draw seeds the permutation; for the secure schemes
+         this is as unpredictable as the draw itself (see DESIGN.md on
+         oversized frames). *)
+      let offsets = dynamic_offsets_for_draw dyn (draw ()) in
+      Array.iteri
+        (fun slot off ->
+          assert (off + fst dyn.metas.(slot) <= dyn.dyn_max_total);
+          Machine.Memory.store st.mem ~width:4 (base + (4 * slot))
+            (Int64.of_int off))
+        offsets;
+      None)

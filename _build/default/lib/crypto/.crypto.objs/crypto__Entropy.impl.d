@@ -1,0 +1,1 @@
+lib/crypto/entropy.ml: Bytes Char Hashtbl Int64 Sutil Unix

@@ -1,0 +1,120 @@
+(* GF(2^8) arithmetic with the AES reduction polynomial x^8+x^4+x^3+x+1. *)
+
+let xtime b =
+  let b = b lsl 1 in
+  if b land 0x100 <> 0 then (b lxor 0x11b) land 0xff else b
+
+let gmul a b =
+  let acc = ref 0 in
+  let a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 <> 0 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc
+
+(* The S-box is derived rather than transcribed: multiplicative inverse
+   in GF(2^8) followed by the FIPS-197 affine transformation.  The
+   known-answer tests pin it against published vectors. *)
+let sbox_table =
+  lazy
+    (let inv = Array.make 256 0 in
+     for a = 1 to 255 do
+       for b = 1 to 255 do
+         if gmul a b = 1 then inv.(a) <- b
+       done
+     done;
+     Array.init 256 (fun x ->
+         let b = inv.(x) in
+         let rotl8 v k = ((v lsl k) lor (v lsr (8 - k))) land 0xff in
+         b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63))
+
+let sbox x = (Lazy.force sbox_table).(x land 0xff)
+
+type key = { round_keys : int array array (* 11 round keys x 16 bytes *) }
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+let expand_key k =
+  if String.length k <> 16 then
+    invalid_arg "Crypto.Aes.expand_key: key must be 16 bytes";
+  (* Words are 4 bytes; 44 words total for AES-128. *)
+  let w = Array.make_matrix 44 4 0 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      w.(i).(j) <- Char.code k.[(4 * i) + j]
+    done
+  done;
+  for i = 4 to 43 do
+    let temp = Array.copy w.(i - 1) in
+    if i mod 4 = 0 then begin
+      (* RotWord *)
+      let t0 = temp.(0) in
+      temp.(0) <- temp.(1);
+      temp.(1) <- temp.(2);
+      temp.(2) <- temp.(3);
+      temp.(3) <- t0;
+      (* SubWord + Rcon *)
+      for j = 0 to 3 do
+        temp.(j) <- sbox temp.(j)
+      done;
+      temp.(0) <- temp.(0) lxor rcon.((i / 4) - 1)
+    end;
+    for j = 0 to 3 do
+      w.(i).(j) <- w.(i - 4).(j) lxor temp.(j)
+    done
+  done;
+  let round_keys =
+    Array.init 11 (fun r -> Array.init 16 (fun b -> w.((4 * r) + (b / 4)).(b mod 4)))
+  in
+  { round_keys }
+
+let standard_rounds = 10
+
+let add_round_key state rk =
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor rk.(i)
+  done
+
+let sub_bytes state =
+  for i = 0 to 15 do
+    state.(i) <- sbox state.(i)
+  done
+
+(* State is stored column-major: byte [4*c + r] is row r, column c. *)
+let shift_rows state =
+  let s = Array.copy state in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      state.((4 * c) + r) <- s.((4 * ((c + r) mod 4)) + r)
+    done
+  done
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let b = c * 4 in
+    let a0 = state.(b) and a1 = state.(b + 1) and a2 = state.(b + 2) and a3 = state.(b + 3) in
+    state.(b) <- gmul 2 a0 lxor gmul 3 a1 lxor a2 lxor a3;
+    state.(b + 1) <- a0 lxor gmul 2 a1 lxor gmul 3 a2 lxor a3;
+    state.(b + 2) <- a0 lxor a1 lxor gmul 2 a2 lxor gmul 3 a3;
+    state.(b + 3) <- gmul 3 a0 lxor a1 lxor a2 lxor gmul 2 a3
+  done
+
+let encrypt_block ?(rounds = standard_rounds) { round_keys } block =
+  if String.length block <> 16 then
+    invalid_arg "Crypto.Aes.encrypt_block: block must be 16 bytes";
+  if rounds < 1 || rounds > standard_rounds then
+    invalid_arg "Crypto.Aes.encrypt_block: rounds must be in [1, 10]";
+  let state = Array.init 16 (fun i -> Char.code block.[i]) in
+  add_round_key state round_keys.(0);
+  for r = 1 to rounds - 1 do
+    sub_bytes state;
+    shift_rows state;
+    mix_columns state;
+    add_round_key state round_keys.(r)
+  done;
+  sub_bytes state;
+  shift_rows state;
+  add_round_key state round_keys.(rounds);
+  String.init 16 (fun i -> Char.chr state.(i))

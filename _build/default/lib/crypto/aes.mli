@@ -1,0 +1,32 @@
+(** AES-128 block cipher (FIPS-197), software implementation.
+
+    The paper accelerates its permutation-index generator with the Intel
+    AES-NI instructions; this is the software equivalent.  The number of
+    rounds is configurable to reproduce the paper's {b AES-1} (one
+    round, low security) and {b AES-10} (ten rounds, standard AES)
+    operating points.
+
+    State layout follows FIPS-197: the 16-byte block is a 4x4 column-
+    major byte matrix.  Only encryption is provided — counter mode never
+    needs the inverse cipher. *)
+
+type key
+(** An expanded AES-128 key schedule (11 round keys). *)
+
+val expand_key : string -> key
+(** [expand_key k] expands a 16-byte key. Raises [Invalid_argument] if
+    [String.length k <> 16]. *)
+
+val standard_rounds : int
+(** 10 — the FIPS-197 round count for AES-128. *)
+
+val encrypt_block : ?rounds:int -> key -> string -> string
+(** [encrypt_block ?rounds key block] encrypts one 16-byte block.
+    [rounds] defaults to {!standard_rounds}; it must be in [1, 10].
+    With fewer than 10 rounds the schedule is truncated: the cipher runs
+    [rounds - 1] full rounds plus the final (MixColumns-free) round,
+    mirroring how a reduced-round AES-NI loop behaves.  Raises
+    [Invalid_argument] on a block that is not 16 bytes. *)
+
+val sbox : int -> int
+(** The AES S-box, exposed for the known-answer tests. *)

@@ -1,0 +1,70 @@
+type t = {
+  rounds : int;
+  rekey_interval : int;
+  entropy : int -> string;
+  mutable key : Aes.key;
+  mutable nonce : string; (* 8 bytes *)
+  mutable counter : int64; (* universal call counter *)
+  mutable since_rekey : int;
+  mutable total_blocks : int;
+  mutable rekeys : int;
+  mutable pending : int64 option; (* second half of the last block *)
+}
+
+let fresh_key entropy = Aes.expand_key (entropy 16)
+
+let create ?(rounds = Aes.standard_rounds) ?(rekey_interval = 65536) ~entropy () =
+  if rekey_interval <= 0 then
+    invalid_arg "Crypto.Ctr.create: rekey_interval must be positive";
+  {
+    rounds;
+    rekey_interval;
+    entropy;
+    key = fresh_key entropy;
+    nonce = entropy 8;
+    counter = 0L;
+    since_rekey = 0;
+    total_blocks = 0;
+    rekeys = 0;
+    pending = None;
+  }
+
+let rekey t =
+  t.key <- fresh_key t.entropy;
+  t.nonce <- t.entropy 8;
+  t.since_rekey <- 0;
+  t.rekeys <- t.rekeys + 1
+
+let next_block t =
+  if t.since_rekey >= t.rekey_interval then rekey t;
+  let ctr = t.counter in
+  t.counter <- Int64.add t.counter 1L;
+  t.since_rekey <- t.since_rekey + 1;
+  t.total_blocks <- t.total_blocks + 1;
+  let block =
+    String.init 16 (fun i ->
+        if i < 8 then t.nonce.[i]
+        else Char.chr (Int64.to_int (Int64.shift_right_logical ctr ((i - 8) * 8)) land 0xff))
+  in
+  Aes.encrypt_block ~rounds:t.rounds t.key block
+
+let u64_of_sub s off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !v
+
+let next_u64 t =
+  match t.pending with
+  | Some v ->
+      t.pending <- None;
+      v
+  | None ->
+      let block = next_block t in
+      t.pending <- Some (u64_of_sub block 8);
+      u64_of_sub block 0
+
+let blocks_generated t = t.total_blocks
+let rekeys t = t.rekeys
+let rounds t = t.rounds

@@ -1,0 +1,31 @@
+type t = { rng : Sutil.Simrng.t; mutable draws : int }
+
+let create ~seed = { rng = Sutil.Simrng.create ~seed; draws = 0 }
+
+let system () =
+  let seed =
+    Int64.logxor
+      (Int64.of_float (Unix.gettimeofday () *. 1e6))
+      (Int64.of_int (Hashtbl.hash (Unix.getpid ())))
+  in
+  create ~seed
+
+let u64 t =
+  t.draws <- t.draws + 1;
+  Sutil.Simrng.next_u64 t.rng
+
+let bytes t n =
+  let b = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let v = u64 t in
+    let take = min 8 (n - !i) in
+    for j = 0 to take - 1 do
+      Bytes.set b (!i + j)
+        (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * j)) land 0xff))
+    done;
+    i := !i + take
+  done;
+  Bytes.to_string b
+
+let draws t = t.draws

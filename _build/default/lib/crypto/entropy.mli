@@ -1,0 +1,32 @@
+(** Simulated true-random entropy source.
+
+    Stands in for the paper's hardware sources (Intel RDRAND, and
+    /dev/random which the paper rejects for stalling).  The defining
+    property for the threat model is that the source's state is {e not}
+    resident in attacker-readable memory — on real hardware it lives
+    on-chip.  Here the state lives in the OCaml heap, outside the
+    virtual machine's address space, which models the same boundary.
+
+    The source is seedable so experiments are reproducible; an attack
+    that could predict its output would have to read state the VM
+    cannot address, which is exactly what the paper assumes is
+    impossible. *)
+
+type t
+
+val create : seed:int64 -> t
+(** [create ~seed] builds a deterministic-but-opaque entropy source.
+    Distinct seeds give independent streams. *)
+
+val system : unit -> t
+(** An entropy source seeded from the OS (for the CLI tools; tests and
+    experiments should use {!create}). *)
+
+val bytes : t -> int -> string
+(** [bytes t n] draws [n] fresh bytes. *)
+
+val u64 : t -> int64
+(** One 64-bit draw — the RDRAND analogue. *)
+
+val draws : t -> int
+(** Number of primitive 64-bit draws so far (throughput accounting). *)

@@ -1,0 +1,1 @@
+lib/defenses/canary.ml: Array Crypto Forrest Int64 Ir List Machine

@@ -1,0 +1,1 @@
+lib/defenses/canary.mli: Crypto Ir Machine

@@ -1,0 +1,1 @@
+lib/defenses/defense.ml: Canary Crypto Forrest Ir Machine Printf Rng Smokestack Stack_base Static_perm Sutil

@@ -1,0 +1,1 @@
+lib/defenses/forrest.ml: Array Ir List Sutil

@@ -1,0 +1,1 @@
+lib/defenses/forrest.mli: Ir Sutil

@@ -1,0 +1,1 @@
+lib/defenses/stack_base.ml: Crypto Int64 Machine Sutil

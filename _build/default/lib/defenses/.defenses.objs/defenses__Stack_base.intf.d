@@ -1,0 +1,1 @@
+lib/defenses/stack_base.mli: Crypto Machine

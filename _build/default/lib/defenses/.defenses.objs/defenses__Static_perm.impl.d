@@ -1,0 +1,1 @@
+lib/defenses/static_perm.ml: Array Ir List Sutil

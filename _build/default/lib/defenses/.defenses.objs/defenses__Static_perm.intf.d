@@ -1,0 +1,1 @@
+lib/defenses/static_perm.mli: Ir Sutil

@@ -1,0 +1,69 @@
+let intr_get = "canary.get"
+let intr_check = "canary.check"
+
+let protect_function (f : Ir.Func.t) =
+  match f.blocks with
+  | [] -> ()
+  | entry :: _ ->
+      let static_bytes =
+        List.fold_left
+          (fun acc i ->
+            match i with
+            | Ir.Instr.Alloca { ty; count = None; _ } -> acc + Ir.Ty.size ty
+            | _ -> acc)
+          0 entry.instrs
+      in
+      if static_bytes > Forrest.frame_threshold then begin
+        let slot = Ir.Func.fresh_reg f in
+        let r_val = Ir.Func.fresh_reg f in
+        (* First alloca = highest address = the attack path between
+           this frame's buffers and the caller's locals. *)
+        entry.instrs <-
+          Ir.Instr.Alloca
+            { dst = slot; ty = Ir.Ty.I64; count = None; name = "__guard" }
+          :: Ir.Instr.Intrinsic { dst = Some r_val; name = intr_get; args = [] }
+          :: Ir.Instr.Store
+               { ty = Ir.Ty.I64; value = Ir.Instr.Reg r_val; addr = Ir.Instr.Reg slot }
+          :: entry.instrs;
+        List.iter
+          (fun (b : Ir.Func.block) ->
+            match b.term with
+            | Ir.Instr.Ret _ ->
+                let r_cur = Ir.Func.fresh_reg f in
+                b.instrs <-
+                  b.instrs
+                  @ [
+                      Ir.Instr.Load
+                        { dst = r_cur; ty = Ir.Ty.I64; addr = Ir.Instr.Reg slot };
+                      Ir.Instr.Intrinsic
+                        {
+                          dst = None;
+                          name = intr_check;
+                          args = [ Ir.Instr.Reg r_cur ];
+                        };
+                    ]
+            | _ -> ())
+          f.blocks
+      end
+
+let pass =
+  Ir.Pass.Module_pass
+    {
+      name = "stack-canary";
+      run = (fun prog -> List.iter protect_function prog.Ir.Prog.funcs);
+    }
+
+let install ~entropy (st : Machine.Exec.state) =
+  (* Terminator-style canary: a NUL low byte frustrates string-based
+     linear overflows. *)
+  let value =
+    Int64.logand (Crypto.Entropy.u64 entropy) 0xffffffffffffff00L
+  in
+  Machine.Exec.register_intrinsic st intr_get (fun st _ ->
+      Machine.Exec.charge st 1.;
+      Some value);
+  Machine.Exec.register_intrinsic st intr_check (fun st args ->
+      Machine.Exec.charge st 2.;
+      if not (Int64.equal args.(0) value) then
+        raise (Machine.Exec.Detect "stack canary clobbered");
+      None)

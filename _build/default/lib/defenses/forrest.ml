@@ -1,0 +1,30 @@
+let pad_choices = [| 8; 16; 24; 32; 40; 48; 56; 64 |]
+let frame_threshold = 16
+
+let pad_function rng (f : Ir.Func.t) =
+  match f.blocks with
+  | [] -> ()
+  | entry :: _ ->
+      let static_bytes =
+        List.fold_left
+          (fun acc i ->
+            match i with
+            | Ir.Instr.Alloca { ty; count = None; _ } -> acc + Ir.Ty.size ty
+            | _ -> acc)
+          0 entry.instrs
+      in
+      if static_bytes > frame_threshold then begin
+        let pad = pad_choices.(Sutil.Simrng.int rng ~bound:(Array.length pad_choices)) in
+        let dst = Ir.Func.fresh_reg f in
+        entry.instrs <-
+          Ir.Instr.Alloca
+            { dst; ty = Ir.Ty.Array (Ir.Ty.I8, pad); count = None; name = "__pad" }
+          :: entry.instrs
+      end
+
+let pass rng =
+  Ir.Pass.Module_pass
+    {
+      name = "forrest-random-padding";
+      run = (fun prog -> List.iter (pad_function rng) prog.Ir.Prog.funcs);
+    }

@@ -1,0 +1,20 @@
+(** Random padding at function entry (Forrest et al., HotOS 1997 — the
+    paper's §II-B second transformation).
+
+    At {e compile} time, every function whose static frame exceeds 16
+    bytes (the original heuristic for "contains a buffer") receives one
+    padding allocation whose size is drawn uniformly from
+    [{8, 16, 24, ..., 64}].  The pad is inserted {e before} the other
+    allocas, shifting the whole frame; because the choice is fixed per
+    build, a disclosure of any one frame instance reveals it for every
+    future call — the weakness §II-C exploits. *)
+
+val pad_choices : int array
+(** [|8; 16; 24; 32; 40; 48; 56; 64|] — the 8 possible paddings. *)
+
+val frame_threshold : int
+(** 16 bytes. *)
+
+val pass : Sutil.Simrng.t -> Ir.Pass.t
+(** The compile-time pass; the generator supplies the per-function
+    padding choices (per-build randomness). *)

@@ -1,0 +1,6 @@
+let max_pad = 64 * 1024
+
+let install ~entropy (st : Machine.Exec.state) =
+  let raw = Int64.to_int (Int64.logand (Crypto.Entropy.u64 entropy) 0xffffL) in
+  let pad = Sutil.Align.align_down (raw mod max_pad) ~alignment:16 in
+  st.sp <- st.sp - pad

@@ -1,0 +1,14 @@
+(** Stack base address randomization (ASLR for the stack — the paper's
+    §II-B first transformation).
+
+    A random, 16-byte-aligned pad is subtracted from the initial stack
+    pointer at program start, so every absolute stack address differs
+    between runs.  Relative distances between a vulnerable buffer and
+    its victims are untouched — which is why the paper's DOP attacks,
+    which only need relative offsets, go straight through it. *)
+
+val max_pad : int
+(** Exclusive bound on the pad (64 KiB). *)
+
+val install : entropy:Crypto.Entropy.t -> Machine.Exec.state -> unit
+(** Applies the per-run pad to the prepared state's stack pointer. *)

@@ -1,0 +1,24 @@
+let shuffle_function rng (f : Ir.Func.t) =
+  match f.blocks with
+  | [] -> ()
+  | entry :: _ ->
+      let allocas, others =
+        List.partition
+          (function Ir.Instr.Alloca { count = None; _ } -> true | _ -> false)
+          entry.instrs
+      in
+      if List.length allocas > 1 then begin
+        let arr = Array.of_list allocas in
+        Sutil.Simrng.shuffle rng arr;
+        (* Allocas stay at the head of the block (their registers must
+           still dominate every use); only their relative order — and
+           hence the frame layout — changes. *)
+        entry.instrs <- Array.to_list arr @ others
+      end
+
+let pass rng =
+  Ir.Pass.Module_pass
+    {
+      name = "static-stack-permutation";
+      run = (fun prog -> List.iter (shuffle_function rng) prog.Ir.Prog.funcs);
+    }

@@ -1,0 +1,11 @@
+(** Static (compile-time) stack layout randomization (Giuffrida et al.,
+    the paper's §II-B third transformation).
+
+    Shuffles the order of each function's entry-block allocas once, at
+    compile time.  Relative distances between locals become unknown
+    a priori — but identical on every run and every call, so a single
+    memory disclosure (or an offline brute force over at most [n!]
+    layouts) de-randomizes the binary for good, which is exactly how
+    the paper's §II-C exploit defeats it. *)
+
+val pass : Sutil.Simrng.t -> Ir.Pass.t

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Apps Buffer Lazy List Printf Smokestack Sutil Workbench

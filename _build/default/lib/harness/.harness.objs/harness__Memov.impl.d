@@ -1,0 +1,1 @@
+lib/harness/memov.ml: Apps Buffer List Printf Smokestack Sutil Workbench

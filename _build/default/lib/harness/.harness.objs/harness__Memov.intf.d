@@ -1,0 +1,1 @@
+lib/harness/memov.mli: Apps Sutil

@@ -1,0 +1,1 @@
+lib/harness/overhead.ml: Apps Buffer List Printf Rng Smokestack Sutil Workbench

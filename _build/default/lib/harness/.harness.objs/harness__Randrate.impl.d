@@ -1,0 +1,1 @@
+lib/harness/randrate.ml: Buffer Crypto List Machine Minic Printf Rng Smokestack Str_replace Sutil

@@ -1,0 +1,1 @@
+lib/harness/randrate.mli: Rng Sutil

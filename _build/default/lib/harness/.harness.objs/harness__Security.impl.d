@@ -1,0 +1,1 @@
+lib/harness/security.ml: Apps Attacks Buffer Defenses Int64 Lazy List Printf Rng Smokestack String Sutil

@@ -1,0 +1,1 @@
+lib/harness/security.mli: Attacks Defenses Sutil

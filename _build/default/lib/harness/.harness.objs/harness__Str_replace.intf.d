@@ -1,0 +1,1 @@
+lib/harness/str_replace.mli:

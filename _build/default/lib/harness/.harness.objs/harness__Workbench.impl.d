@@ -1,0 +1,1 @@
+lib/harness/workbench.ml: Apps Defenses Hashtbl Lazy Machine Printf String

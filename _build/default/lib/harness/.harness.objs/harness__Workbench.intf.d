@@ -1,0 +1,1 @@
+lib/harness/workbench.mli: Apps Defenses Machine Smokestack

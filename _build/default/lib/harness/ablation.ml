@@ -1,0 +1,79 @@
+type row = {
+  label : string;
+  config : Smokestack.Config.t;
+  total_pbox_bytes : int;
+  gobmk_cycles : float;
+}
+
+type t = { rows : row list }
+
+let configs =
+  let base = Smokestack.Config.default in
+  [
+    ("all optimizations", base);
+    ("no power-of-2 rows", { base with pow2_pbox = false });
+    ("no table sharing", { base with share_tables = false });
+    ("no rounding-up", { base with round_up_allocs = false });
+    ( "neither sharing opt",
+      { base with share_tables = false; round_up_allocs = false } );
+    ("no FID checks", { base with fid_checks = false });
+    ("no VLA padding", { base with vla_padding = false });
+  ]
+
+let run ?(seed = 1L) () =
+  let probe =
+    match Apps.Spec.find "gobmk" with
+    | Some w -> w
+    | None -> failwith "Harness.Ablation: gobmk workload missing"
+  in
+  let rows =
+    List.map
+      (fun (label, config) ->
+        let total_pbox_bytes =
+          List.fold_left
+            (fun acc (w : Apps.Spec.workload) ->
+              let hardened =
+                Smokestack.Harden.harden ~seed:3L config (Lazy.force w.program)
+              in
+              acc + Smokestack.Harden.pbox_bytes hardened)
+            0 Apps.Spec.all
+        in
+        let stats, _ = Workbench.smokestack_stats ~seed config probe in
+        { label; config; total_pbox_bytes; gobmk_cycles = stats.cycles })
+      configs
+  in
+  { rows }
+
+let table t =
+  let tbl =
+    Sutil.Texttable.create
+      ~columns:
+        [
+          ("configuration", Sutil.Texttable.Left);
+          ("P-BOX bytes (all workloads)", Sutil.Texttable.Right);
+          ("gobmk cycles", Sutil.Texttable.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Sutil.Texttable.add_row tbl
+        [
+          r.label;
+          Sutil.Texttable.fmt_bytes r.total_pbox_bytes;
+          Printf.sprintf "%.0f" r.gobmk_cycles;
+        ])
+    t.rows;
+  tbl
+
+let to_markdown t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "| configuration | P-BOX bytes (all workloads) | gobmk cycles |\n|---|---|---|\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %s | %.0f |\n" r.label
+           (Sutil.Texttable.fmt_bytes r.total_pbox_bytes)
+           r.gobmk_cycles))
+    t.rows;
+  Buffer.contents buf

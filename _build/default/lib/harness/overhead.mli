@@ -1,0 +1,23 @@
+(** Figure 3: percentage runtime overhead of Smokestack on the SPEC-like
+    and I/O-bound workloads, one series per randomness scheme. *)
+
+type row = {
+  workload : string;
+  kind : [ `Spec | `Io ];
+  baseline_cycles : float;
+  by_scheme : (Rng.Scheme.t * float) list;  (** overhead %, bias included *)
+}
+
+type t = {
+  rows : row list;
+  spec_means : (Rng.Scheme.t * float) list;
+  io_worst : float;  (** worst I/O overhead under AES-10 (paper: 6%) *)
+}
+
+val run : ?workloads:Apps.Spec.workload list -> ?seed:int64 -> unit -> t
+(** Measures every workload baseline vs hardened under each of the four
+    schemes.  The reported percentage is measured overhead plus the
+    workload's modeled scheduling bias (see {!Apps.Spec}). *)
+
+val table : t -> Sutil.Texttable.t
+val to_markdown : t -> string

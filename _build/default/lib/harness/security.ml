@@ -1,0 +1,294 @@
+type cell = {
+  attack_name : string;
+  defense : Defenses.Defense.t;
+  verdicts : Attacks.Verdict.t list;
+  success_rate : float;
+}
+
+type t = { title : string; cells : cell list }
+
+let trials attack applied ~n ~seed0 =
+  List.init n (fun i -> attack applied ~seed:(Int64.of_int (seed0 + (1000 * i))))
+
+let mk_cell attack_name defense verdicts =
+  {
+    attack_name;
+    defense;
+    verdicts;
+    success_rate = Attacks.Verdict.success_rate verdicts;
+  }
+
+let defenses () = Defenses.Defense.all ()
+
+let pentest ?(trials_per_cell = 12) ?(build_seed = 3L) () =
+  let cells =
+    List.concat_map
+      (fun (v : Apps.Synth.variant) ->
+        let prog = Lazy.force v.program in
+        List.map
+          (fun d ->
+            let applied = Defenses.Defense.apply ~seed:build_seed d prog in
+            mk_cell v.vname d
+              (trials v.attack applied ~n:trials_per_cell ~seed0:17))
+          (defenses ()))
+      Apps.Synth.variants
+  in
+  { title = "E5: synthetic DOP penetration tests (success rate per attempt)"; cells }
+
+let bypass_prior ?(trials_per_cell = 12) ?(builds = 12) () =
+  let prog = Lazy.force Apps.Librelp.program in
+  let strategies =
+    [
+      ("librelp/static-analysis", Apps.Librelp.attack_static);
+      ("librelp/disclosure", Apps.Librelp.attack_disclosure);
+    ]
+  in
+  let cells =
+    List.concat_map
+      (fun (name, attack) ->
+        List.map
+          (fun d ->
+            (* per-build randomization: every trial gets a fresh build,
+               so the rate reads "fraction of builds exploitable" *)
+            let per_build =
+              match d with
+              | Defenses.Defense.Forrest_pad | Defenses.Defense.Static_perm -> true
+              | _ -> false
+            in
+            let verdicts =
+              if per_build then
+                List.init builds (fun b ->
+                    let applied =
+                      Defenses.Defense.apply ~seed:(Int64.of_int (100 + b)) d prog
+                    in
+                    attack applied ~seed:(Int64.of_int (17 + (1000 * b))))
+              else
+                let applied = Defenses.Defense.apply ~seed:3L d prog in
+                trials attack applied ~n:trials_per_cell ~seed0:17
+            in
+            mk_cell name d verdicts)
+          (defenses ()))
+      strategies
+  in
+  { title = "E4: librelp CVE-2018-1000140 vs prior stack randomizations"; cells }
+
+let realvuln ?(trials_per_cell = 12) ?(build_seed = 3L) () =
+  let attacks =
+    [
+      ( "librelp/key-leak",
+        Lazy.force Apps.Librelp.program,
+        Apps.Librelp.attack_static );
+      ("wireshark/CVE-2014-2299", Lazy.force Apps.Wireshark.program, Apps.Wireshark.attack);
+      ( "proftpd/key-extraction",
+        Lazy.force Apps.Proftpd.program,
+        Apps.Proftpd.attack_key_extraction );
+      ("proftpd/bot", Lazy.force Apps.Proftpd.program, Apps.Proftpd.attack_bot);
+      ( "proftpd/mem-permissions",
+        Lazy.force Apps.Proftpd.program,
+        Apps.Proftpd.attack_memperm );
+    ]
+  in
+  let cells =
+    List.concat_map
+      (fun (name, prog, attack) ->
+        List.map
+          (fun d ->
+            let applied = Defenses.Defense.apply ~seed:build_seed d prog in
+            mk_cell name d (trials attack applied ~n:trials_per_cell ~seed0:29))
+          [
+            Defenses.Defense.No_defense;
+            Defenses.Defense.Smokestack Smokestack.Config.default;
+          ])
+      attacks
+  in
+  { title = "E6: real-vulnerability DOP exploits, undefended vs Smokestack"; cells }
+
+let rng_security ?(trials_per_cell = 12) ?(build_seed = 3L) () =
+  let prog = Lazy.force Apps.Librelp.program in
+  let cells =
+    List.map
+      (fun scheme ->
+        let config =
+          Smokestack.Config.with_scheme scheme Smokestack.Config.default
+        in
+        let d = Defenses.Defense.Smokestack config in
+        let applied = Defenses.Defense.apply ~seed:build_seed d prog in
+        mk_cell "librelp/state-disclosure" d
+          (trials Apps.Librelp.attack_pseudo_state applied ~n:trials_per_cell
+             ~seed0:61))
+      Rng.Scheme.all
+  in
+  {
+    title =
+      "E10: state-disclosure prediction vs randomness scheme (Table I's \
+       security column, executed)";
+    cells;
+  }
+
+type rerand_row = { interval : int; rr_success_rate : float }
+
+let rerandomization ?(trials_per_cell = 12) ?(intervals = [ 1; 8; 64 ]) () =
+  let prog = Lazy.force Apps.Librelp.program in
+  List.map
+    (fun interval ->
+      let config = { Smokestack.Config.default with redraw_interval = interval } in
+      let applied =
+        Defenses.Defense.apply ~seed:3L (Defenses.Defense.Smokestack config) prog
+      in
+      let verdicts =
+        trials Apps.Librelp.attack_probe_then_exploit applied ~n:trials_per_cell
+          ~seed0:83
+      in
+      { interval; rr_success_rate = Attacks.Verdict.success_rate verdicts })
+    intervals
+
+let rerand_table rows =
+  let tbl =
+    Sutil.Texttable.create
+      ~columns:
+        [
+          ("redraw interval (requests)", Sutil.Texttable.Right);
+          ("probe-then-exploit success", Sutil.Texttable.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Sutil.Texttable.add_row tbl
+        [
+          string_of_int r.interval;
+          Printf.sprintf "%.0f%%" (r.rr_success_rate *. 100.);
+        ])
+    rows;
+  tbl
+
+let rerand_to_markdown rows =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    "| redraw interval (requests) | probe-then-exploit success |\n|---|---|\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %d | %.0f%% |\n" r.interval
+           (r.rr_success_rate *. 100.)))
+    rows;
+  Buffer.contents buf
+
+type brute_row = {
+  bdefense : Defenses.Defense.t;
+  attempts_to_success : int option;
+  budget : int;
+  detected_along_the_way : int;
+}
+
+let brute ?(max_attempts = 400) ?(build_seed = 3L) () =
+  let prog = Lazy.force Apps.Librelp.program in
+  List.map
+    (fun d ->
+      let applied = Defenses.Defense.apply ~seed:build_seed d prog in
+      let result =
+        Attacks.Bruteforce.run ~max_attempts (fun i ->
+            Apps.Librelp.attack_static applied ~seed:(Int64.of_int (5000 + i)))
+      in
+      {
+        bdefense = d;
+        attempts_to_success = (if result.succeeded then Some result.attempts else None);
+        budget = max_attempts;
+        detected_along_the_way =
+          List.length
+            (List.filter
+               (function Attacks.Verdict.Detected _ -> true | _ -> false)
+               result.verdicts);
+      })
+    (defenses ())
+
+let table t =
+  let names = List.sort_uniq compare (List.map (fun c -> c.attack_name) t.cells) in
+  let ds = List.sort_uniq compare (List.map (fun c -> c.defense) t.cells) in
+  let tbl =
+    Sutil.Texttable.create
+      ~columns:
+        (("attack", Sutil.Texttable.Left)
+        :: List.map (fun d -> (Defenses.Defense.name d, Sutil.Texttable.Right)) ds)
+  in
+  List.iter
+    (fun name ->
+      Sutil.Texttable.add_row tbl
+        (name
+        :: List.map
+             (fun d ->
+               match
+                 List.find_opt
+                   (fun c -> c.attack_name = name && c.defense = d)
+                   t.cells
+               with
+               | Some c -> Printf.sprintf "%.0f%%" (c.success_rate *. 100.)
+               | None -> "-")
+             ds))
+    names;
+  tbl
+
+let to_markdown t =
+  let names = List.sort_uniq compare (List.map (fun c -> c.attack_name) t.cells) in
+  let ds = List.sort_uniq compare (List.map (fun c -> c.defense) t.cells) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    ("| attack | "
+    ^ String.concat " | " (List.map Defenses.Defense.name ds)
+    ^ " |\n|---|" ^ String.concat "" (List.map (fun _ -> "---|") ds) ^ "\n");
+  List.iter
+    (fun name ->
+      Buffer.add_string buf ("| " ^ name ^ " | ");
+      Buffer.add_string buf
+        (String.concat " | "
+           (List.map
+              (fun d ->
+                match
+                  List.find_opt
+                    (fun c -> c.attack_name = name && c.defense = d)
+                    t.cells
+                with
+                | Some c -> Printf.sprintf "%.0f%%" (c.success_rate *. 100.)
+                | None -> "-")
+              ds));
+      Buffer.add_string buf " |\n")
+    names;
+  Buffer.contents buf
+
+let brute_table rows =
+  let tbl =
+    Sutil.Texttable.create
+      ~columns:
+        [
+          ("defense", Sutil.Texttable.Left);
+          ("attempts to success", Sutil.Texttable.Right);
+          ("detections en route", Sutil.Texttable.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Sutil.Texttable.add_row tbl
+        [
+          Defenses.Defense.name r.bdefense;
+          (match r.attempts_to_success with
+          | Some n -> string_of_int n
+          | None -> Printf.sprintf "> %d (gave up)" r.budget);
+          string_of_int r.detected_along_the_way;
+        ])
+    rows;
+  tbl
+
+let brute_to_markdown rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "| defense | attempts to success | detections en route |\n|---|---|---|\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %s | %d |\n"
+           (Defenses.Defense.name r.bdefense)
+           (match r.attempts_to_success with
+           | Some n -> string_of_int n
+           | None -> Printf.sprintf "> %d (gave up)" r.budget)
+           r.detected_along_the_way))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,74 @@
+(** Security experiments (paper §II-C and §V-C).
+
+    Every cell is a set of independent exploit attempts (fresh process,
+    fresh per-run entropy) of one attack against one defense-applied
+    program.  Success rates estimate the probability a single attempt
+    lands; a defense "stops" an attack when that probability collapses
+    from ~1 to ~1/permutation-space. *)
+
+type cell = {
+  attack_name : string;
+  defense : Defenses.Defense.t;
+  verdicts : Attacks.Verdict.t list;
+  success_rate : float;
+}
+
+type t = { title : string; cells : cell list }
+
+val trials :
+  (Defenses.Defense.applied -> seed:int64 -> Attacks.Verdict.t) ->
+  Defenses.Defense.applied ->
+  n:int ->
+  seed0:int ->
+  Attacks.Verdict.t list
+
+val pentest : ?trials_per_cell:int -> ?build_seed:int64 -> unit -> t
+(** E5 — the synthetic {direct,indirect} x {stack,data,heap} matrix
+    against all six defenses. *)
+
+val bypass_prior : ?trials_per_cell:int -> ?builds:int -> unit -> t
+(** E4 — the librelp PoC against the prior stack randomizations, via
+    both attacker strategies (binary analysis; probe-then-exploit
+    disclosure).  For the per-build defenses each trial uses a fresh
+    build, so the rate reads "fraction of builds exploitable". *)
+
+val realvuln : ?trials_per_cell:int -> ?build_seed:int64 -> unit -> t
+(** E6 — librelp key leak, Wireshark CVE-2014-2299, and the three
+    ProFTPD CVE-2006-5815 exploits: undefended vs Smokestack (AES-10). *)
+
+val rng_security : ?trials_per_cell:int -> ?build_seed:int64 -> unit -> t
+(** E10 (extension) — why the randomness source matters: the
+    state-disclosure prediction attack (read the pseudo generator's
+    in-memory word, invert xorshift, replicate the public layout
+    decode, exploit within the same invocation) against each of the
+    four schemes.  Expected: ~100% against [pseudo], 0% against the
+    AES and RDRAND schemes, whose state the VM cannot address. *)
+
+type rerand_row = { interval : int; rr_success_rate : float }
+
+val rerandomization :
+  ?trials_per_cell:int -> ?intervals:int list -> unit -> rerand_row list
+(** E11 (extension) — why {e per-invocation} matters: the same-run
+    probe-then-exploit attack against Smokestack variants that redraw
+    the permutation index every [n]-th request.  Windows smaller than
+    one request's draw count behave like the paper's design; anything
+    larger re-opens the attack up to the exploit's reach cap. *)
+
+val rerand_table : rerand_row list -> Sutil.Texttable.t
+val rerand_to_markdown : rerand_row list -> string
+
+type brute_row = {
+  bdefense : Defenses.Defense.t;
+  attempts_to_success : int option;  (** None: budget exhausted *)
+  budget : int;
+  detected_along_the_way : int;
+}
+
+val brute : ?max_attempts:int -> ?build_seed:int64 -> unit -> brute_row list
+(** E8 — brute-force the librelp exploit against each defense with a
+    restart-after-crash service model. *)
+
+val table : t -> Sutil.Texttable.t
+val to_markdown : t -> string
+val brute_table : brute_row list -> Sutil.Texttable.t
+val brute_to_markdown : brute_row list -> string

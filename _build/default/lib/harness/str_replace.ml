@@ -1,0 +1,17 @@
+let replace ~needle ~by s =
+  if String.length needle = 0 then
+    invalid_arg "Harness.Str_replace.replace: empty needle";
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s and m = String.length needle in
+  let i = ref 0 in
+  while !i < n do
+    if !i + m <= n && String.sub s !i m = needle then begin
+      Buffer.add_string buf by;
+      i := !i + m
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf

@@ -1,0 +1,5 @@
+(** Tiny literal string substitution (no [Str] dependency). *)
+
+val replace : needle:string -> by:string -> string -> string
+(** Replace every occurrence; returns the input unchanged when the
+    needle is absent. Raises [Invalid_argument] on an empty needle. *)

@@ -1,0 +1,47 @@
+let chunk_size = 48
+
+let chunks_of_input input =
+  let rec split s =
+    if String.length s <= chunk_size then [ s ]
+    else
+      String.sub s 0 chunk_size
+      :: split (String.sub s chunk_size (String.length s - chunk_size))
+  in
+  if String.equal input "" then [] else split input
+
+let run ?(fuel = 400_000_000) (applied : Defenses.Defense.applied) ~seed
+    (w : Apps.Spec.workload) =
+  let outcome, stats =
+    Apps.Runner.run_chunks ~fuel applied ~seed ~chunks:(chunks_of_input w.input)
+  in
+  (match outcome with
+  | Machine.Exec.Exit 0L -> ()
+  | o ->
+      failwith
+        (Printf.sprintf "Harness.Workbench: workload %s under %s: %s" w.wname
+           (Defenses.Defense.name applied.defense)
+           (Machine.Exec.outcome_to_string o)));
+  (outcome, stats)
+
+let baseline_cache : (string, Machine.Exec.stats) Hashtbl.t = Hashtbl.create 16
+
+let baseline ?(seed = 1L) (w : Apps.Spec.workload) =
+  let key = Printf.sprintf "%s@%Ld" w.wname seed in
+  match Hashtbl.find_opt baseline_cache key with
+  | Some stats -> stats
+  | None ->
+      let applied =
+        Defenses.Defense.apply Defenses.Defense.No_defense (Lazy.force w.program)
+      in
+      let _, stats = run applied ~seed w in
+      Hashtbl.replace baseline_cache key stats;
+      stats
+
+let smokestack_stats ?(seed = 1L) config (w : Apps.Spec.workload) =
+  let applied =
+    Defenses.Defense.apply ~seed:3L
+      (Defenses.Defense.Smokestack config)
+      (Lazy.force w.program)
+  in
+  let _, stats = run applied ~seed w in
+  (stats, applied.pbox_bytes)

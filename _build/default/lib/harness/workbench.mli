@@ -1,0 +1,27 @@
+(** Running workloads under defenses, with the input chunking the
+    I/O-bound applications expect (one network message per read). *)
+
+val chunk_size : int
+(** 48 bytes per [read_input] answer. *)
+
+val run :
+  ?fuel:int ->
+  Defenses.Defense.applied ->
+  seed:int64 ->
+  Apps.Spec.workload ->
+  Machine.Exec.outcome * Machine.Exec.stats
+(** One process run of the workload.  Raises [Failure] if the program
+    did not exit cleanly — a workload crash means the harness itself is
+    broken, and the experiment must not silently absorb that. *)
+
+val baseline :
+  ?seed:int64 -> Apps.Spec.workload -> Machine.Exec.stats
+(** No-defense run (memoized per workload). *)
+
+val smokestack_stats :
+  ?seed:int64 ->
+  Smokestack.Config.t ->
+  Apps.Spec.workload ->
+  Machine.Exec.stats * int
+(** Hardened run; also returns the P-BOX bytes of the hardened
+    binary. *)

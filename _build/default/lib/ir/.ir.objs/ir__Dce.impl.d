@@ -1,0 +1,1 @@
+lib/ir/dce.ml: Func Hashtbl Instr Int List Pass Prog Set

@@ -1,0 +1,1 @@
+lib/ir/memfwd.ml: Func Hashtbl Instr Int List Option Pass Prog Set Ty

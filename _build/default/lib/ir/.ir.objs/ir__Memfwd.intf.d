@@ -1,0 +1,1 @@
+lib/ir/memfwd.mli: Func Pass Prog

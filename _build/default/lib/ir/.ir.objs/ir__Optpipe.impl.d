@@ -1,0 +1,1 @@
+lib/ir/optpipe.ml: Constfold Dce Func List Memfwd Pass Prog Simplify_cfg

@@ -1,0 +1,1 @@
+lib/ir/optpipe.mli: Pass Prog

@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Format Func Hashtbl List Option Printf Prog String Sys Verifier

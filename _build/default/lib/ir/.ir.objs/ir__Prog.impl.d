@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Func List Option Printf String Ty

@@ -1,0 +1,1 @@
+lib/ir/simplify_cfg.ml: Func Hashtbl Instr List Option Pass Prog String

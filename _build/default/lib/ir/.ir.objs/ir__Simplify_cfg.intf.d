@@ -1,0 +1,1 @@
+lib/ir/simplify_cfg.mli: Func Pass Prog

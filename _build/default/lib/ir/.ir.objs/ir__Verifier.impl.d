@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Format Fun Func Hashtbl Instr Int List Option Printf Prog Set String Ty

@@ -1,0 +1,157 @@
+let fold_binop op a b =
+  let open Instr in
+  match op with
+  | Sdiv | Udiv | Srem | Urem when Int64.equal b 0L -> None (* keep the fault *)
+  | Add -> Some (Int64.add a b)
+  | Sub -> Some (Int64.sub a b)
+  | Mul -> Some (Int64.mul a b)
+  | Sdiv -> Some (Int64.div a b)
+  | Udiv -> Some (Int64.unsigned_div a b)
+  | Srem -> Some (Int64.rem a b)
+  | Urem -> Some (Int64.unsigned_rem a b)
+  | And -> Some (Int64.logand a b)
+  | Or -> Some (Int64.logor a b)
+  | Xor -> Some (Int64.logxor a b)
+  | Shl -> Some (Int64.shift_left a (Int64.to_int b land 63))
+  | Lshr -> Some (Int64.shift_right_logical a (Int64.to_int b land 63))
+  | Ashr -> Some (Int64.shift_right a (Int64.to_int b land 63))
+
+let fold_icmp op a b =
+  let open Instr in
+  let r =
+    match op with
+    | Eq -> Int64.equal a b
+    | Ne -> not (Int64.equal a b)
+    | Slt -> Int64.compare a b < 0
+    | Sle -> Int64.compare a b <= 0
+    | Sgt -> Int64.compare a b > 0
+    | Sge -> Int64.compare a b >= 0
+    | Ult -> Int64.unsigned_compare a b < 0
+    | Ule -> Int64.unsigned_compare a b <= 0
+  in
+  if r then 1L else 0L
+
+(* Algebraic identities that fire even with one symbolic operand. *)
+let fold_identity op (lhs : Instr.operand) (rhs : Instr.operand) =
+  let open Instr in
+  match (op, lhs, rhs) with
+  | Add, v, Imm 0L | Add, Imm 0L, v -> Some v
+  | Sub, v, Imm 0L -> Some v
+  | Mul, v, Imm 1L | Mul, Imm 1L, v -> Some v
+  | Mul, _, Imm 0L | Mul, Imm 0L, _ -> Some (Imm 0L)
+  | And, _, Imm 0L | And, Imm 0L, _ -> Some (Imm 0L)
+  | And, v, Imm -1L | And, Imm -1L, v -> Some v
+  | Or, v, Imm 0L | Or, Imm 0L, v -> Some v
+  | Xor, v, Imm 0L | Xor, Imm 0L, v -> Some v
+  | Shl, v, Imm 0L | Lshr, v, Imm 0L | Ashr, v, Imm 0L -> Some v
+  | _ -> None
+
+let run (_prog : Prog.t) (f : Func.t) =
+  List.iter
+    (fun (b : Func.block) ->
+      (* constants and copies live per-block: reg -> immediate / reg,
+         invalidated on redefinition of either side *)
+      let consts : (Instr.reg, int64) Hashtbl.t = Hashtbl.create 16 in
+      let copies : (Instr.reg, Instr.reg) Hashtbl.t = Hashtbl.create 16 in
+      let subst (o : Instr.operand) =
+        match o with
+        | Instr.Reg r -> (
+            match Hashtbl.find_opt consts r with
+            | Some v -> Instr.Imm v
+            | None -> (
+                match Hashtbl.find_opt copies r with
+                | Some s -> Instr.Reg s
+                | None -> o))
+        | _ -> o
+      in
+      let rewrite (i : Instr.t) : Instr.t =
+        match i with
+        | Instr.Alloca _ -> i
+        | Instr.Load { dst; ty; addr } -> Instr.Load { dst; ty; addr = subst addr }
+        | Instr.Store { ty; value; addr } ->
+            Instr.Store { ty; value = subst value; addr = subst addr }
+        | Instr.Gep { dst; base; offset; index } ->
+            Instr.Gep
+              {
+                dst;
+                base = subst base;
+                offset;
+                index = Option.map (fun (i, s) -> (subst i, s)) index;
+              }
+        | Instr.Binop { dst; op; lhs; rhs } ->
+            Instr.Binop { dst; op; lhs = subst lhs; rhs = subst rhs }
+        | Instr.Icmp { dst; op; lhs; rhs } ->
+            Instr.Icmp { dst; op; lhs = subst lhs; rhs = subst rhs }
+        | Instr.Select { dst; cond; if_true; if_false } ->
+            Instr.Select
+              {
+                dst;
+                cond = subst cond;
+                if_true = subst if_true;
+                if_false = subst if_false;
+              }
+        | Instr.Sext { dst; width; value } ->
+            Instr.Sext { dst; width; value = subst value }
+        | Instr.Trunc { dst; width; value } ->
+            Instr.Trunc { dst; width; value = subst value }
+        | Instr.Call { dst; callee; args } ->
+            Instr.Call { dst; callee; args = List.map subst args }
+        | Instr.Call_ind { dst; callee; args } ->
+            Instr.Call_ind { dst; callee = subst callee; args = List.map subst args }
+        | Instr.Intrinsic { dst; name; args } ->
+            Instr.Intrinsic { dst; name; args = List.map subst args }
+      in
+      let note (i : Instr.t) =
+        (* a defined register invalidates any recorded constant or copy
+           (in either direction); a foldable definition records anew *)
+        (match Instr.defined_reg i with
+        | Some r ->
+            Hashtbl.remove consts r;
+            Hashtbl.remove copies r;
+            let stale =
+              Hashtbl.fold (fun d s acc -> if s = r then d :: acc else acc) copies []
+            in
+            List.iter (Hashtbl.remove copies) stale
+        | None -> ());
+        match i with
+        | Instr.Binop { dst; op; lhs = Instr.Imm a; rhs = Instr.Imm b } -> (
+            match fold_binop op a b with
+            | Some v -> Hashtbl.replace consts dst v
+            | None -> ())
+        | Instr.Icmp { dst; op; lhs = Instr.Imm a; rhs = Instr.Imm b } ->
+            Hashtbl.replace consts dst (fold_icmp op a b)
+        | Instr.Select { dst; cond = Instr.Imm c; if_true; if_false } -> (
+            match (if Int64.equal c 0L then if_false else if_true) with
+            | Instr.Imm v -> Hashtbl.replace consts dst v
+            | _ -> ())
+        | Instr.Sext { dst; width; value = Instr.Imm v } ->
+            Hashtbl.replace consts dst (Sutil.Bytecodec.sext ~width v)
+        | Instr.Trunc { dst; width; value = Instr.Imm v } ->
+            Hashtbl.replace consts dst (Sutil.Bytecodec.zext ~width v)
+        | Instr.Binop { dst; op; lhs; rhs } -> (
+            match fold_identity op lhs rhs with
+            | Some (Instr.Imm v) -> Hashtbl.replace consts dst v
+            | Some (Instr.Reg s) when s <> dst -> Hashtbl.replace copies dst s
+            | _ -> ())
+        | _ -> ()
+      in
+      b.instrs <-
+        List.map
+          (fun i ->
+            let i = rewrite i in
+            note i;
+            i)
+          b.instrs;
+      (* fold a constant conditional branch *)
+      b.term <-
+        (match b.term with
+        | Instr.Cond_br { cond; if_true; if_false } -> (
+            match subst cond with
+            | Instr.Imm c ->
+                Instr.Br (if Int64.equal c 0L then if_false else if_true)
+            | cond -> Instr.Cond_br { cond; if_true; if_false })
+        | Instr.Ret (Some v) -> Instr.Ret (Some (subst v))
+        | t -> t))
+    f.blocks
+
+let pass = Pass.Function_pass { name = "constfold"; run }

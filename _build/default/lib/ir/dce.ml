@@ -1,0 +1,134 @@
+module IntSet = Set.Make (Int)
+
+let used_regs (f : Func.t) =
+  let add set = function Instr.Reg r -> IntSet.add r set | _ -> set in
+  List.fold_left
+    (fun set (b : Func.block) ->
+      let set =
+        List.fold_left
+          (fun set i -> List.fold_left add set (Instr.operands i))
+          set b.instrs
+      in
+      List.fold_left add set (Instr.terminator_operands b.term))
+    IntSet.empty f.blocks
+
+let removable (i : Instr.t) =
+  match i with
+  | Instr.Binop _ | Instr.Icmp _ | Instr.Select _ | Instr.Sext _
+  | Instr.Trunc _ | Instr.Gep _ | Instr.Load _ | Instr.Alloca _ ->
+      true
+  | Instr.Store _ | Instr.Call _ | Instr.Call_ind _ | Instr.Intrinsic _ -> false
+
+(* A register "escapes" when it is used anywhere except as the address
+   of a store, or as the base/index of a gep whose own result does not
+   escape.  An alloca that never escapes backs write-only storage: its
+   stores die, which then kills the geps and the alloca itself. *)
+let escaping_regs (f : Func.t) =
+  let add set = function Instr.Reg r -> IntSet.add r set | _ -> set in
+  let base =
+    List.fold_left
+      (fun set (b : Func.block) ->
+        let set =
+          List.fold_left
+            (fun set i ->
+              match i with
+              | Instr.Store { value; addr = _; _ } -> add set value
+              | Instr.Gep _ -> set (* handled in the propagation below *)
+              | _ -> List.fold_left add set (Instr.operands i))
+            set b.instrs
+        in
+        List.fold_left add set (Instr.terminator_operands b.term))
+      IntSet.empty f.blocks
+  in
+  let escaping = ref base in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Func.block) ->
+        List.iter
+          (fun i ->
+            match i with
+            | Instr.Gep { dst; base; index; _ } when IntSet.mem dst !escaping ->
+                let before = IntSet.cardinal !escaping in
+                escaping := add !escaping base;
+                (match index with
+                | Some (op, _) -> escaping := add !escaping op
+                | None -> ());
+                if IntSet.cardinal !escaping <> before then changed := true
+            | _ -> ())
+          b.instrs)
+      f.blocks
+  done;
+  !escaping
+
+let remove_dead_stores (f : Func.t) =
+  let escaping = escaping_regs f in
+  (* only storage rooted at one of THIS function's non-escaping allocas
+     may be dropped: a gep off a parameter or global is observable *)
+  let defs = Hashtbl.create 32 in
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun i ->
+          match Instr.defined_reg i with
+          | Some r -> Hashtbl.replace defs r i
+          | None -> ())
+        b.instrs)
+    f.blocks;
+  let rec rooted_in_dead_alloca r =
+    match Hashtbl.find_opt defs r with
+    | Some (Instr.Alloca { count = None; _ }) -> not (IntSet.mem r escaping)
+    | Some (Instr.Gep { base = Instr.Reg b; _ }) -> rooted_in_dead_alloca b
+    | _ -> false
+  in
+  let slot_like = ref IntSet.empty in
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun i ->
+          match i with
+          | (Instr.Alloca { dst; count = None; _ } | Instr.Gep { dst; _ })
+            when (not (IntSet.mem dst escaping)) && rooted_in_dead_alloca dst ->
+              slot_like := IntSet.add dst !slot_like
+          | _ -> ())
+        b.instrs)
+    f.blocks;
+  let changed = ref false in
+  if not (IntSet.is_empty !slot_like) then
+    List.iter
+      (fun (b : Func.block) ->
+        let before = List.length b.instrs in
+        b.instrs <-
+          List.filter
+            (fun i ->
+              match i with
+              | Instr.Store { addr = Instr.Reg r; _ } when IntSet.mem r !slot_like
+                -> false
+              | _ -> true)
+            b.instrs;
+        if List.length b.instrs <> before then changed := true)
+      f.blocks;
+  !changed
+
+let run (_prog : Prog.t) (f : Func.t) =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    if remove_dead_stores f then changed := true;
+    let live = used_regs f in
+    List.iter
+      (fun (b : Func.block) ->
+        let before = List.length b.instrs in
+        b.instrs <-
+          List.filter
+            (fun i ->
+              match Instr.defined_reg i with
+              | Some r when removable i && not (IntSet.mem r live) -> false
+              | _ -> true)
+            b.instrs;
+        if List.length b.instrs <> before then changed := true)
+      f.blocks
+  done
+
+let pass = Pass.Function_pass { name = "dce"; run }

@@ -1,0 +1,53 @@
+type block = {
+  label : string;
+  mutable instrs : Instr.t list;
+  mutable term : Instr.terminator;
+}
+
+type t = {
+  name : string;
+  params : (Instr.reg * Ty.t) list;
+  returns : Ty.t option;
+  mutable blocks : block list;
+  mutable next_reg : Instr.reg;
+  mutable attrs : string list;
+}
+
+let create ~name ~params ~returns =
+  let next_reg =
+    List.fold_left (fun m (r, _) -> max m (r + 1)) 0 params
+  in
+  { name; params; returns; blocks = []; next_reg; attrs = [] }
+
+let entry t =
+  match t.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg (Printf.sprintf "Ir.Func.entry: %s has no blocks" t.name)
+
+let find_block t label = List.find_opt (fun b -> String.equal b.label label) t.blocks
+
+let fresh_reg t =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  r
+
+let add_block t ~label =
+  if Option.is_some (find_block t label) then
+    invalid_arg
+      (Printf.sprintf "Ir.Func.add_block: duplicate label %s in %s" label t.name);
+  let b = { label; instrs = []; term = Instr.Unreachable } in
+  t.blocks <- t.blocks @ [ b ];
+  b
+
+let iter_instrs t f = List.iter (fun b -> List.iter f b.instrs) t.blocks
+
+let allocas t =
+  let acc = ref [] in
+  iter_instrs t (function
+    | Instr.Alloca { dst; ty; count; name } -> acc := (dst, ty, count, name) :: !acc
+    | _ -> ());
+  List.rev !acc
+
+let has_attr t a = List.mem a t.attrs
+let add_attr t a = if not (has_attr t a) then t.attrs <- a :: t.attrs
+let reg_count t = t.next_reg

@@ -1,0 +1,43 @@
+(** IR basic blocks and functions. *)
+
+type block = {
+  label : string;
+  mutable instrs : Instr.t list;
+  mutable term : Instr.terminator;
+}
+
+type t = {
+  name : string;
+  params : (Instr.reg * Ty.t) list;
+  returns : Ty.t option;  (** [None] means void *)
+  mutable blocks : block list;  (** entry block first *)
+  mutable next_reg : Instr.reg;  (** first unused virtual register *)
+  mutable attrs : string list;  (** free-form attributes, e.g. ["smokestack"] once hardened *)
+}
+
+val create :
+  name:string -> params:(Instr.reg * Ty.t) list -> returns:Ty.t option -> t
+(** Creates a function with no blocks; [next_reg] starts past the
+    parameter registers. *)
+
+val entry : t -> block
+(** The entry block. Raises [Invalid_argument] if the function has no
+    blocks. *)
+
+val find_block : t -> string -> block option
+val fresh_reg : t -> Instr.reg
+
+val add_block : t -> label:string -> block
+(** Appends an empty block (terminator [Unreachable] until set). *)
+
+val iter_instrs : t -> (Instr.t -> unit) -> unit
+(** Iterates instructions of all blocks in block order. *)
+
+val allocas : t -> (Instr.reg * Ty.t * Instr.operand option * string) list
+(** All [Alloca] instructions in the function, in program order:
+    [(dst, ty, vla_count, name)].  This is the paper's "discovering
+    stack allocations" input. *)
+
+val has_attr : t -> string -> bool
+val add_attr : t -> string -> unit
+val reg_count : t -> int

@@ -1,0 +1,120 @@
+module IntSet = Set.Make (Int)
+
+(* A "private" alloca's address never leaves load/store/constant-gep
+   position, so nothing outside this function's visible instructions
+   can alias it.  Dynamic-index geps disqualify the root: writes
+   through them could land on any offset. *)
+let private_allocas (f : Func.t) =
+  let defs = Hashtbl.create 32 in
+  Func.iter_instrs f (fun i ->
+      match Instr.defined_reg i with
+      | Some r -> Hashtbl.replace defs r i
+      | None -> ());
+  let rec root_of r =
+    match Hashtbl.find_opt defs r with
+    | Some (Instr.Alloca { count = None; _ }) -> Some r
+    | Some (Instr.Gep { base = Instr.Reg b; index = None; _ }) -> root_of b
+    | _ -> None
+  in
+  (* collect disqualifying uses *)
+  let bad = ref IntSet.empty in
+  let disqualify operand =
+    match operand with
+    | Instr.Reg r -> (
+        match root_of r with
+        | Some root -> bad := IntSet.add root !bad
+        | None -> ())
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun i ->
+          match i with
+          | Instr.Load { addr; _ } -> (
+              (* fine unless the address chain is not const-resolvable *)
+              match addr with Instr.Reg _ -> () | _ -> disqualify addr)
+          | Instr.Store { value; addr = _; _ } -> disqualify value
+          | Instr.Gep { base; index; _ } -> (
+              match index with
+              | Some _ -> disqualify base (* dynamic index *)
+              | None -> ())
+          | _ -> List.iter disqualify (Instr.operands i))
+        b.instrs;
+      List.iter disqualify (Instr.terminator_operands b.term))
+    f.blocks;
+  let privates = ref IntSet.empty in
+  Func.iter_instrs f (fun i ->
+      match i with
+      | Instr.Alloca { dst; count = None; _ } when not (IntSet.mem dst !bad) ->
+          privates := IntSet.add dst !privates
+      | _ -> ());
+  (!privates, root_of, defs)
+
+let run (_prog : Prog.t) (f : Func.t) =
+  let privates, _root_of, defs = private_allocas f in
+  let rec resolve r =
+    match Hashtbl.find_opt defs r with
+    | Some (Instr.Alloca { count = None; _ }) when IntSet.mem r privates ->
+        Some (r, 0)
+    | Some (Instr.Gep { base = Instr.Reg b; offset; index = None; _ }) ->
+        Option.map (fun (root, off) -> (root, off + offset)) (resolve b)
+    | _ -> None
+  in
+  List.iter
+    (fun (b : Func.block) ->
+      (* (root, off, width) -> forwarded operand *)
+      let known : (int * int * int, Instr.operand) Hashtbl.t = Hashtbl.create 16 in
+      let invalidate_overlaps root off width =
+        let stale =
+          Hashtbl.fold
+            (fun ((r, o, w) as key) _ acc ->
+              if r = root && o < off + width && off < o + w then key :: acc
+              else acc)
+            known []
+        in
+        List.iter (Hashtbl.remove known) stale
+      in
+      let invalidate_value_reg d =
+        let stale =
+          Hashtbl.fold
+            (fun key v acc -> if v = Instr.Reg d then key :: acc else acc)
+            known []
+        in
+        List.iter (Hashtbl.remove known) stale
+      in
+      b.instrs <-
+        List.map
+          (fun i ->
+            let i' =
+              match i with
+              | Instr.Load { dst; ty; addr = Instr.Reg r } -> (
+                  match resolve r with
+                  | Some (root, off) -> (
+                      let width = Ty.scalar_width ty in
+                      match Hashtbl.find_opt known (root, off, width) with
+                      | Some v -> Instr.Trunc { dst; width; value = v }
+                      | None -> i)
+                  | None -> i)
+              | _ -> i
+            in
+            (match i' with
+            | Instr.Store { ty; value; addr = Instr.Reg r } -> (
+                match resolve r with
+                | Some (root, off) ->
+                    let width = Ty.scalar_width ty in
+                    invalidate_overlaps root off width;
+                    Hashtbl.replace known (root, off, width) value
+                | None -> ())
+            | Instr.Store _ -> ()
+            | Instr.Call _ | Instr.Call_ind _ | Instr.Intrinsic _ ->
+                Hashtbl.reset known
+            | _ -> ());
+            (match Instr.defined_reg i' with
+            | Some d -> invalidate_value_reg d
+            | None -> ());
+            i')
+          b.instrs)
+    f.blocks
+
+let pass = Pass.Function_pass { name = "store-to-load-forwarding"; run }

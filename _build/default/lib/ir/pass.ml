@@ -1,0 +1,37 @@
+type t =
+  | Function_pass of { name : string; run : Prog.t -> Func.t -> unit }
+  | Module_pass of { name : string; run : Prog.t -> unit }
+
+let name = function Function_pass { name; _ } | Module_pass { name; _ } -> name
+
+let timing_table : (string, float) Hashtbl.t = Hashtbl.create 16
+
+let record name dt =
+  let prev = Option.value ~default:0. (Hashtbl.find_opt timing_table name) in
+  Hashtbl.replace timing_table name (prev +. dt)
+
+let run ?(verify = true) passes prog =
+  List.iter
+    (fun pass ->
+      let t0 = Sys.time () in
+      (match pass with
+      | Function_pass { run; _ } -> List.iter (run prog) prog.Prog.funcs
+      | Module_pass { run; _ } -> run prog);
+      record (name pass) (Sys.time () -. t0);
+      if verify then
+        match Verifier.verify prog with
+        | [] -> ()
+        | errors ->
+            let report =
+              String.concat "\n"
+                (List.map (Format.asprintf "%a" Verifier.pp_error) errors)
+            in
+            failwith
+              (Printf.sprintf "pass %s broke IR invariants:\n%s" (name pass) report))
+    passes
+
+let timings () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) timing_table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let reset_timings () = Hashtbl.reset timing_table

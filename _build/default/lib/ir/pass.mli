@@ -1,0 +1,23 @@
+(** Pass manager.
+
+    Mirrors the structure of the paper's implementation (§IV): analysis
+    and instrumentation are organized as function passes and module
+    passes run in a pipeline.  Every pass run is followed by IR
+    verification unless disabled. *)
+
+type t =
+  | Function_pass of { name : string; run : Prog.t -> Func.t -> unit }
+  | Module_pass of { name : string; run : Prog.t -> unit }
+
+val name : t -> string
+
+val run : ?verify:bool -> t list -> Prog.t -> unit
+(** Runs the pipeline in order.  With [verify] (default [true]) the
+    program is verified after each pass; a failure identifies the
+    offending pass in the exception message. *)
+
+val timings : unit -> (string * float) list
+(** Cumulative wall-clock seconds per pass name since startup, most
+    recent first; for the compile-time reporting in the harness. *)
+
+val reset_timings : unit -> unit

@@ -1,0 +1,55 @@
+type global = { gname : string; gty : Ty.t; ginit : string; gwritable : bool }
+
+type t = {
+  mutable globals : global list;
+  mutable funcs : Func.t list;
+  mutable externs : string list;
+}
+
+let create () = { globals = []; funcs = []; externs = [] }
+
+let find_global t name =
+  List.find_opt (fun g -> String.equal g.gname name) t.globals
+
+let find_func t name =
+  List.find_opt (fun (f : Func.t) -> String.equal f.name name) t.funcs
+
+let is_extern t name = List.mem name t.externs
+
+let add_global t ~name ~ty ?(init = "") ~writable () =
+  if Option.is_some (find_global t name) then
+    invalid_arg (Printf.sprintf "Ir.Prog.add_global: duplicate global %s" name);
+  let size = Ty.size ty in
+  if String.length init > size then
+    invalid_arg
+      (Printf.sprintf "Ir.Prog.add_global: init for %s is %d bytes, type holds %d"
+         name (String.length init) size);
+  t.globals <- t.globals @ [ { gname = name; gty = ty; ginit = init; gwritable = writable } ]
+
+let add_func t (f : Func.t) =
+  if Option.is_some (find_func t f.name) then
+    invalid_arg (Printf.sprintf "Ir.Prog.add_func: duplicate function %s" f.name);
+  t.funcs <- t.funcs @ [ f ]
+
+let add_extern t name =
+  if not (is_extern t name) then t.externs <- t.externs @ [ name ]
+
+let copy_block (b : Func.block) : Func.block =
+  { label = b.label; instrs = b.instrs; term = b.term }
+
+let copy_func (f : Func.t) : Func.t =
+  {
+    name = f.name;
+    params = f.params;
+    returns = f.returns;
+    blocks = List.map copy_block f.blocks;
+    next_reg = f.next_reg;
+    attrs = f.attrs;
+  }
+
+let copy t =
+  {
+    globals = t.globals;
+    funcs = List.map copy_func t.funcs;
+    externs = t.externs;
+  }

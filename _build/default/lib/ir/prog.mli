@@ -1,0 +1,35 @@
+(** IR compilation units (LLVM modules).
+
+    A program owns its globals and functions.  Globals carry their
+    initial bytes and a writability flag; read-only globals land in the
+    machine's rodata segment, which the threat model says the attacker
+    cannot write — this is where Smokestack's P-BOX lives. *)
+
+type global = {
+  gname : string;
+  gty : Ty.t;
+  ginit : string;  (** initial bytes; padded with zeros to [Ty.size gty] *)
+  gwritable : bool;
+}
+
+type t = {
+  mutable globals : global list;
+  mutable funcs : Func.t list;
+  mutable externs : string list;  (** builtins resolved by the machine *)
+}
+
+val create : unit -> t
+
+val add_global :
+  t -> name:string -> ty:Ty.t -> ?init:string -> writable:bool -> unit -> unit
+(** Raises [Invalid_argument] on duplicate names or oversized [init]. *)
+
+val add_func : t -> Func.t -> unit
+val add_extern : t -> string -> unit
+val find_func : t -> string -> Func.t option
+val find_global : t -> string -> global option
+val is_extern : t -> string -> bool
+
+val copy : t -> t
+(** Deep copy: hardening passes transform a copy so baseline and
+    hardened variants of one program can coexist. *)

@@ -1,0 +1,106 @@
+let successors (b : Func.block) =
+  match b.term with
+  | Instr.Ret _ | Instr.Unreachable -> []
+  | Instr.Br l -> [ l ]
+  | Instr.Cond_br { if_true; if_false; _ } -> [ if_true; if_false ]
+
+let retarget (b : Func.block) ~from ~to_ =
+  let r l = if String.equal l from then to_ else l in
+  b.term <-
+    (match b.term with
+    | Instr.Br l -> Instr.Br (r l)
+    | Instr.Cond_br { cond; if_true; if_false } ->
+        Instr.Cond_br { cond; if_true = r if_true; if_false = r if_false }
+    | t -> t)
+
+let remove_unreachable (f : Func.t) =
+  match f.blocks with
+  | [] -> false
+  | entry :: _ ->
+      let reachable = Hashtbl.create 16 in
+      let rec visit label =
+        if not (Hashtbl.mem reachable label) then begin
+          Hashtbl.add reachable label ();
+          match Func.find_block f label with
+          | Some b -> List.iter visit (successors b)
+          | None -> ()
+        end
+      in
+      visit entry.label;
+      let before = List.length f.blocks in
+      f.blocks <-
+        List.filter (fun (b : Func.block) -> Hashtbl.mem reachable b.label) f.blocks;
+      List.length f.blocks <> before
+
+let collapse_trivial (f : Func.t) =
+  match f.blocks with
+  | [] | [ _ ] -> false
+  | entry :: rest ->
+      let changed = ref false in
+      (* thread empty forwarding blocks *)
+      List.iter
+        (fun (b : Func.block) ->
+          match (b.instrs, b.term) with
+          | [], Instr.Br target when not (String.equal target b.label) ->
+              List.iter
+                (fun (p : Func.block) ->
+                  if p != b then retarget p ~from:b.label ~to_:target)
+                f.blocks;
+              changed := true
+          | _ -> ())
+        rest;
+      ignore entry;
+      (* fold cond_br with equal arms *)
+      List.iter
+        (fun (b : Func.block) ->
+          match b.term with
+          | Instr.Cond_br { if_true; if_false; _ }
+            when String.equal if_true if_false ->
+              b.term <- Instr.Br if_true;
+              changed := true
+          | _ -> ())
+        f.blocks;
+      !changed
+
+(* One merge per call (the caller runs to a fixpoint): merging while
+   iterating would let a just-merged block be visited again. *)
+let merge_linear (f : Func.t) =
+  let preds = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun l ->
+          Hashtbl.replace preds l
+            (1 + Option.value ~default:0 (Hashtbl.find_opt preds l)))
+        (successors b))
+    f.blocks;
+  let candidate =
+    List.find_map
+      (fun (b : Func.block) ->
+        match b.term with
+        | Instr.Br l when not (String.equal l b.label) -> (
+            match (Func.find_block f l, Hashtbl.find_opt preds l) with
+            | Some succ, Some 1 when succ != List.hd f.blocks -> Some (b, succ)
+            | _ -> None)
+        | _ -> None)
+      f.blocks
+  in
+  match candidate with
+  | Some (b, succ) ->
+      b.instrs <- b.instrs @ succ.instrs;
+      b.term <- succ.term;
+      f.blocks <- List.filter (fun x -> x != succ) f.blocks;
+      true
+  | None -> false
+
+let run (_prog : Prog.t) (f : Func.t) =
+  let continue_ = ref true in
+  while !continue_ do
+    let a = remove_unreachable f in
+    let b = collapse_trivial f in
+    let c = remove_unreachable f in
+    let d = merge_linear f in
+    continue_ := a || b || c || d
+  done
+
+let pass = Pass.Function_pass { name = "simplify-cfg"; run }

@@ -1,0 +1,1 @@
+lib/machine/exec.ml: Array Buffer Char Cost Format Hashtbl Int64 Ir List Memory Option Printf Stdlib String Sutil

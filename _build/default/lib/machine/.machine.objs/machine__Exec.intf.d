@@ -1,0 +1,1 @@
+lib/machine/exec.mli: Buffer Format Hashtbl Ir Memory

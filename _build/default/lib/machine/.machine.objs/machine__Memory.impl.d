@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Array Buffer Bytes Char Format Int64 List Printf String Sutil

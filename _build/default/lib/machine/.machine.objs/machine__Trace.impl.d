@@ -1,0 +1,1 @@
+lib/machine/trace.ml: Array Buffer Exec Format List Option Printf String

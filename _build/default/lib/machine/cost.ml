@@ -1,0 +1,24 @@
+let alu = 1.
+let div = 24.
+let load = 4.
+let load_rodata = 1.5
+let store = 4.
+let alloca = 2.
+let branch = 1.
+let cond_branch = 2.
+let call_overhead = 12.
+let intrinsic_base = 2.
+let builtin_base = 20.
+let builtin_per_byte = 0.25
+let syscall = 2500.
+let rng_pseudo = 3.4
+let rng_aes1 = 19.2
+let rng_aes10 = 92.8
+let rng_rdrand = 265.6
+
+let rng_aes ~rounds =
+  if rounds < 1 || rounds > 10 then
+    invalid_arg "Machine.Cost.rng_aes: rounds must be in [1, 10]";
+  rng_aes1 +. (float_of_int (rounds - 1) /. 9. *. (rng_aes10 -. rng_aes1))
+
+let layout_dynamic_per_var = 14.

@@ -1,0 +1,147 @@
+type perm = Read_only | Read_write
+
+type fault =
+  | Out_of_bounds of { addr : int; size : int; op : string }
+  | Write_protected of { addr : int }
+  | Null_dereference
+  | Stack_overflow of { sp : int; need : int }
+  | Misc of string
+
+exception Fault of fault
+
+let pp_fault fmt = function
+  | Out_of_bounds { addr; size; op } ->
+      Format.fprintf fmt "out-of-bounds %s of %d byte(s) at 0x%x" op size addr
+  | Write_protected { addr } ->
+      Format.fprintf fmt "write to read-only memory at 0x%x" addr
+  | Null_dereference -> Format.pp_print_string fmt "null dereference"
+  | Stack_overflow { sp; need } ->
+      Format.fprintf fmt "stack overflow: sp=0x%x, need %d more bytes" sp need
+  | Misc m -> Format.pp_print_string fmt m
+
+let fault_to_string f = Format.asprintf "%a" pp_fault f
+
+let page_size = 4096
+
+type segment = {
+  name : string;
+  base : int;
+  bytes : Bytes.t;
+  perm : perm;
+  touched : Bytes.t;
+}
+
+type t = { segs : segment array }
+
+let create specs =
+  let segs =
+    List.map
+      (fun (name, base, size, perm) ->
+        if base <= 0 || size <= 0 then
+          invalid_arg "Machine.Memory.create: segments must have positive base and size";
+        {
+          name;
+          base;
+          bytes = Bytes.make size '\000';
+          perm;
+          touched = Bytes.make (((size + page_size - 1) / page_size)) '\000';
+        })
+      specs
+    |> List.sort (fun a b -> compare a.base b.base)
+    |> Array.of_list
+  in
+  Array.iteri
+    (fun i s ->
+      if i > 0 then begin
+        let prev = segs.(i - 1) in
+        if prev.base + Bytes.length prev.bytes > s.base then
+          invalid_arg
+            (Printf.sprintf "Machine.Memory.create: segments %s and %s overlap"
+               prev.name s.name)
+      end)
+    segs;
+  { segs }
+
+let segments t = Array.to_list t.segs
+
+let segment t name =
+  match Array.find_opt (fun s -> String.equal s.name name) t.segs with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Machine.Memory.segment: no segment %s" name)
+
+let find t addr =
+  Array.find_opt
+    (fun s -> addr >= s.base && addr < s.base + Bytes.length s.bytes)
+    t.segs
+
+let locate t ~op addr size =
+  if addr = 0 then raise (Fault Null_dereference);
+  match find t addr with
+  | Some s when addr + size <= s.base + Bytes.length s.bytes -> s
+  | _ -> raise (Fault (Out_of_bounds { addr; size; op }))
+
+let touch s off size =
+  let first = off / page_size and last = (off + size - 1) / page_size in
+  for p = first to last do
+    Bytes.set s.touched p '\001'
+  done
+
+let load t ~width addr =
+  let s = locate t ~op:"load" addr width in
+  let off = addr - s.base in
+  touch s off width;
+  Sutil.Bytecodec.get s.bytes ~width off
+
+let load_unchecked = load
+
+let store t ~width addr v =
+  let s = locate t ~op:"store" addr width in
+  if s.perm = Read_only then raise (Fault (Write_protected { addr }));
+  let off = addr - s.base in
+  touch s off width;
+  Sutil.Bytecodec.set s.bytes ~width off v
+
+let read_bytes t addr n =
+  if n = 0 then ""
+  else begin
+    let s = locate t ~op:"read" addr n in
+    let off = addr - s.base in
+    touch s off n;
+    Bytes.sub_string s.bytes off n
+  end
+
+let write_bytes_perm ~check t addr str =
+  let n = String.length str in
+  if n > 0 then begin
+    let s = locate t ~op:"write" addr n in
+    if check && s.perm = Read_only then raise (Fault (Write_protected { addr }));
+    let off = addr - s.base in
+    touch s off n;
+    Bytes.blit_string str 0 s.bytes off n
+  end
+
+let write_bytes t addr str = write_bytes_perm ~check:true t addr str
+let write_protected t addr str = write_bytes_perm ~check:false t addr str
+
+let cstring t ?(max = 1 lsl 20) addr =
+  let buf = Buffer.create 32 in
+  let rec go a =
+    if Buffer.length buf >= max then
+      raise (Fault (Misc (Printf.sprintf "unterminated string at 0x%x" addr)))
+    else
+      let c = Int64.to_int (load t ~width:1 a) in
+      if c <> 0 then begin
+        Buffer.add_char buf (Char.chr c);
+        go (a + 1)
+      end
+  in
+  go addr;
+  Buffer.contents buf
+
+let touched_bytes t =
+  Array.fold_left
+    (fun acc s ->
+      let pages = ref 0 in
+      Bytes.iter (fun c -> if c <> '\000' then incr pages) s.touched;
+      acc + (!pages * page_size))
+    0 t.segs

@@ -1,0 +1,74 @@
+(** Segmented byte-addressable memory.
+
+    Models a process address space with the segments the threat model
+    distinguishes: read-only data (attacker-readable, never writable —
+    the P-BOX lives here), writable globals, heap, and a downward-
+    growing stack.  Addresses are plain integers; address 0 is never
+    mapped.  All accesses are bounds- and permission-checked; a
+    violation raises {!exception:Fault}, which the interpreter turns
+    into a crash outcome (the paper's "service restarts after a
+    crash"). *)
+
+type perm = Read_only | Read_write
+
+type fault =
+  | Out_of_bounds of { addr : int; size : int; op : string }
+  | Write_protected of { addr : int }
+  | Null_dereference
+  | Stack_overflow of { sp : int; need : int }
+  | Misc of string
+
+exception Fault of fault
+
+val pp_fault : Format.formatter -> fault -> unit
+val fault_to_string : fault -> string
+
+type segment = {
+  name : string;
+  base : int;
+  bytes : Bytes.t;
+  perm : perm;
+  touched : Bytes.t;  (** one byte per 4 KiB page, for RSS accounting *)
+}
+
+type t
+
+val page_size : int
+
+val create : (string * int * int * perm) list -> t
+(** [create segs] maps each [(name, base, size, perm)].  Segments must
+    not overlap and must not contain address 0. *)
+
+val segment : t -> string -> segment
+(** Raises [Invalid_argument] for unknown names. *)
+
+val segments : t -> segment list
+val find : t -> int -> segment option
+(** Segment containing an address, if mapped. *)
+
+val load : t -> width:int -> int -> int64
+(** Little-endian load, zero-extended. Raises {!exception:Fault}. *)
+
+val store : t -> width:int -> int -> int64 -> unit
+
+val load_unchecked : t -> width:int -> int -> int64
+(** Permission-free read used by the attack framework's disclosure
+    primitive (the attacker may read all mapped memory) and by
+    diagnostics.  Still bounds-checked. *)
+
+val read_bytes : t -> int -> int -> string
+(** [read_bytes t addr n]; checked like {!load}. *)
+
+val write_bytes : t -> int -> string -> unit
+
+val write_protected : t -> int -> string -> unit
+(** Loader-only write that ignores the read-only permission (used to
+    initialize rodata). *)
+
+val cstring : t -> ?max:int -> int -> string
+(** Reads a NUL-terminated string starting at the address (NUL not
+    included). [max] defaults to 1 MiB. *)
+
+val touched_bytes : t -> int
+(** Total bytes of pages touched so far, across all segments — the
+    max-RSS proxy used by the Figure 4 experiment. *)

@@ -1,0 +1,59 @@
+type event = Exec.trace_event =
+  | Ev_call of { func : string; depth : int; sp : int }
+  | Ev_return of { func : string; depth : int }
+  | Ev_intrinsic of { name : string; result : int64 option }
+  | Ev_fault of { detail : string }
+  | Ev_detected of { reason : string }
+
+type t = {
+  ring : event option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Machine.Trace.create: capacity must be positive";
+  { ring = Array.make capacity None; next = 0; total = 0 }
+
+let record t ev =
+  t.ring.(t.next) <- Some ev;
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let attach t (st : Exec.state) = st.on_event <- Some (record t)
+
+let events t =
+  let cap = Array.length t.ring in
+  let n = min t.total cap in
+  let first = (t.next - n + cap) mod cap in
+  List.init n (fun i -> Option.get t.ring.((first + i) mod cap))
+
+let dropped t = max 0 (t.total - Array.length t.ring)
+
+let pp_event fmt = function
+  | Ev_call { func; depth; sp } ->
+      Format.fprintf fmt "%s-> %s (sp=0x%x)" (String.make (2 * depth) ' ') func sp
+  | Ev_return { func; depth } ->
+      Format.fprintf fmt "%s<- %s" (String.make (2 * depth) ' ') func
+  | Ev_intrinsic { name; result } -> (
+      match result with
+      | Some v -> Format.fprintf fmt "   @%s = 0x%Lx" name v
+      | None -> Format.fprintf fmt "   @%s" name)
+  | Ev_fault { detail } -> Format.fprintf fmt "!! fault: %s" detail
+  | Ev_detected { reason } -> Format.fprintf fmt "!! detected: %s" reason
+
+let render ?limit t =
+  let evs = events t in
+  let evs =
+    match limit with
+    | Some l when List.length evs > l ->
+        List.filteri (fun i _ -> i >= List.length evs - l) evs
+    | _ -> evs
+  in
+  let buf = Buffer.create 1024 in
+  if dropped t > 0 then
+    Buffer.add_string buf (Printf.sprintf "... %d earlier event(s) dropped\n" (dropped t));
+  List.iter
+    (fun ev -> Buffer.add_string buf (Format.asprintf "%a\n" pp_event ev))
+    evs;
+  Buffer.contents buf

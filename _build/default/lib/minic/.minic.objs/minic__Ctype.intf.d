@@ -1,0 +1,1 @@
+lib/minic/ctype.mli: Format

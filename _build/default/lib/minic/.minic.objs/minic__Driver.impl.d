@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Ir Lower Parser Srcloc

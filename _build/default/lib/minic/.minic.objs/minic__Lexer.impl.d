@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Array Buffer Char Int64 List Srcloc String Token

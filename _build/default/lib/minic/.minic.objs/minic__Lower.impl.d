@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Char Ctype Format Hashtbl Int64 Ir List Option Printf Srcloc String

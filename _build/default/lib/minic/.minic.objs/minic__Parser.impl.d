@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Array Ast Char Ctype Int64 Lexer List Option Srcloc Token

@@ -1,0 +1,1 @@
+lib/minic/progen.ml: Buffer List Printf String Sutil

@@ -1,0 +1,76 @@
+(** MiniC abstract syntax. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type unop = Neg | Bnot | Lnot
+
+type expr = { e : expr_kind; eloc : Srcloc.t }
+
+and expr_kind =
+  | Int_lit of int64
+  | Char_lit of char
+  | Str_lit of string
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Logical of [ `And | `Or ] * expr * expr  (** short-circuit *)
+  | Assign of expr * expr
+  | Op_assign of binop * expr * expr  (** [+=], [-=] *)
+  | Cond of expr * expr * expr  (** [c ? a : b] *)
+  | Call of expr * expr list  (** callee is a name or a pointer expression *)
+  | Index of expr * expr
+  | Member of expr * string
+  | Arrow of expr * string
+  | Deref of expr
+  | Addr_of of expr
+  | Sizeof_type of Ctype.t
+  | Sizeof_expr of expr
+  | Cast of Ctype.t * expr
+  | Incdec of [ `Pre | `Post ] * [ `Inc | `Dec ] * expr
+
+type stmt = { s : stmt_kind; sloc : Srcloc.t }
+
+and stmt_kind =
+  | Expr_stmt of expr
+  | Decl of {
+      dname : string;
+      dty : Ctype.t;
+      vla_len : expr option;  (** [Some e] for [T x[e]] with non-constant [e] *)
+      init : expr option;
+    }
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of stmt option * expr option * expr option * stmt list
+  | Switch of expr * switch_case list * stmt list option
+      (** cases in source order (fallthrough applies); the optional
+          final list is [default] *)
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of stmt list
+  | Seq of stmt list
+      (** statement group WITHOUT its own scope (comma declarations) *)
+
+and switch_case = { case_values : int64 list; case_body : stmt list }
+
+type func = {
+  fname : string;
+  params : (string * Ctype.t) list;
+  ret : Ctype.t;
+  body : stmt list;
+  floc : Srcloc.t;
+}
+
+type ginit = Gi_int of int64 | Gi_string of string
+
+type top =
+  | Func_def of func
+  | Global of { gname : string; gty : Ctype.t; ginit : ginit option; gconst : bool }
+  | Struct_def of { sname : string; fields : (string * Ctype.t) list }
+  | Extern_decl of { ename : string; eparams : Ctype.t list; eret : Ctype.t }
+
+type program = top list

@@ -1,0 +1,10 @@
+let compile ?(optimize = false) source =
+  let prog = Lower.lower (Parser.parse source) in
+  if optimize then Ir.Optpipe.optimize prog;
+  prog
+
+let compile_result ?optimize source =
+  match compile ?optimize source with
+  | prog -> Ok prog
+  | exception e -> (
+      match Srcloc.to_string e with Some msg -> Error msg | None -> raise e)

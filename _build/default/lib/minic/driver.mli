@@ -1,0 +1,10 @@
+(** One-call MiniC compilation. *)
+
+val compile : ?optimize:bool -> string -> Ir.Prog.t
+(** [compile source] lexes, parses and lowers a translation unit; with
+    [optimize] (default [false]) the result additionally goes through
+    {!Ir.Optpipe.optimize} (constant folding, DCE, CFG cleanup).
+    Raises {!Srcloc.Error} on any front-end diagnostic. *)
+
+val compile_result : ?optimize:bool -> string -> (Ir.Prog.t, string) result
+(** Like {!compile} but rendering front-end diagnostics to a string. *)

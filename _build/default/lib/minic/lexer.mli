@@ -1,0 +1,8 @@
+(** Hand-written MiniC lexer.
+
+    Supports decimal and hexadecimal integer literals, character
+    literals with the usual escapes, string literals, line ([//]) and
+    block comments.  Raises {!Srcloc.Error} on malformed input. *)
+
+val tokenize : string -> Token.spanned array
+(** The token stream, always terminated by {!Token.Eof}. *)

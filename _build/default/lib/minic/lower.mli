@@ -1,0 +1,24 @@
+(** Typed lowering of MiniC to IR.
+
+    Performs C-style type checking while emitting clang [-O0]-shaped
+    IR: every local (parameters included) becomes an entry-block
+    [alloca]; reads load and sign-extend; integer arithmetic is 64-bit
+    with results truncated on store; pointer arithmetic scales by the
+    pointee size; [&&]/[||]/[?:] compile to control flow through a
+    shared scratch slot; string literals are interned in rodata.
+
+    VLAs lower to dynamic allocas at their declaration point (their
+    storage is reclaimed at function exit, not scope exit — documented
+    divergence from C).
+
+    Raises {!Srcloc.Error} on type errors (unknown names, aggregate
+    assignment, calls with wrong arity, void misuse, …). *)
+
+val builtins : (string * Ctype.t list option * Ctype.t) list
+(** Known VM builtins: name, parameter types ([None] = unchecked
+    arity/types, for the printf-like ones), return type.  Kept in sync
+    with {!Machine.Exec.builtin_names} by a test. *)
+
+val lower : Ast.program -> Ir.Prog.t
+(** Lower a full translation unit; the result passes
+    {!Ir.Verifier.verify}. *)

@@ -1,0 +1,631 @@
+type p = { toks : Token.spanned array; mutable pos : int }
+
+let cur p = p.toks.(p.pos).Token.tok
+let cur_loc p = p.toks.(p.pos).Token.loc
+
+let peek_at p k =
+  let i = min (p.pos + k) (Array.length p.toks - 1) in
+  p.toks.(i).Token.tok
+
+let advance p = if p.pos < Array.length p.toks - 1 then p.pos <- p.pos + 1
+
+let expect p tok =
+  if cur p = tok then advance p
+  else
+    Srcloc.error (cur_loc p) "expected %s, found %s" (Token.to_string tok)
+      (Token.to_string (cur p))
+
+let expect_ident p =
+  match cur p with
+  | Token.Ident name ->
+      advance p;
+      name
+  | t -> Srcloc.error (cur_loc p) "expected identifier, found %s" (Token.to_string t)
+
+let is_type_start = function
+  | Token.Kw_char | Token.Kw_short | Token.Kw_int | Token.Kw_long
+  | Token.Kw_void | Token.Kw_struct | Token.Kw_const ->
+      true
+  | _ -> false
+
+(* type-spec: [const] (char|short|int|long|void|struct Ident) '*'* *)
+let parse_type_spec p =
+  if cur p = Token.Kw_const then advance p;
+  let base =
+    match cur p with
+    | Token.Kw_char -> advance p; Ctype.Char
+    | Token.Kw_short -> advance p; Ctype.Short
+    | Token.Kw_int -> advance p; Ctype.Int
+    | Token.Kw_long -> advance p; Ctype.Long
+    | Token.Kw_void -> advance p; Ctype.Void
+    | Token.Kw_struct ->
+        advance p;
+        Ctype.Struct (expect_ident p)
+    | t -> Srcloc.error (cur_loc p) "expected a type, found %s" (Token.to_string t)
+  in
+  if cur p = Token.Kw_const then advance p;
+  let rec stars t =
+    if cur p = Token.Star then begin
+      advance p;
+      stars (Ctype.Ptr t)
+    end
+    else t
+  in
+  stars base
+
+(* Constant expressions for array bounds and global initializers. *)
+let rec const_eval (e : Ast.expr) : int64 option =
+  match e.e with
+  | Ast.Int_lit v -> Some v
+  | Ast.Char_lit c -> Some (Int64.of_int (Char.code c))
+  | Ast.Unop (Ast.Neg, a) -> Option.map Int64.neg (const_eval a)
+  | Ast.Binop (op, a, b) -> (
+      match (const_eval a, const_eval b) with
+      | Some a, Some b -> (
+          match op with
+          | Ast.Add -> Some (Int64.add a b)
+          | Ast.Sub -> Some (Int64.sub a b)
+          | Ast.Mul -> Some (Int64.mul a b)
+          | Ast.Shl -> Some (Int64.shift_left a (Int64.to_int b))
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let rec parse_expr p = parse_assign p
+
+and parse_assign p =
+  let lhs = parse_cond p in
+  let loc = cur_loc p in
+  match cur p with
+  | Token.Assign ->
+      advance p;
+      let rhs = parse_assign p in
+      { Ast.e = Ast.Assign (lhs, rhs); eloc = loc }
+  | Token.Plus_assign ->
+      advance p;
+      let rhs = parse_assign p in
+      { Ast.e = Ast.Op_assign (Ast.Add, lhs, rhs); eloc = loc }
+  | Token.Minus_assign ->
+      advance p;
+      let rhs = parse_assign p in
+      { Ast.e = Ast.Op_assign (Ast.Sub, lhs, rhs); eloc = loc }
+  | Token.Star_assign ->
+      advance p;
+      let rhs = parse_assign p in
+      { Ast.e = Ast.Op_assign (Ast.Mul, lhs, rhs); eloc = loc }
+  | Token.Amp_assign ->
+      advance p;
+      let rhs = parse_assign p in
+      { Ast.e = Ast.Op_assign (Ast.Band, lhs, rhs); eloc = loc }
+  | Token.Pipe_assign ->
+      advance p;
+      let rhs = parse_assign p in
+      { Ast.e = Ast.Op_assign (Ast.Bor, lhs, rhs); eloc = loc }
+  | Token.Caret_assign ->
+      advance p;
+      let rhs = parse_assign p in
+      { Ast.e = Ast.Op_assign (Ast.Bxor, lhs, rhs); eloc = loc }
+  | _ -> lhs
+
+and parse_cond p =
+  let c = parse_or p in
+  if cur p = Token.Question then begin
+    let loc = cur_loc p in
+    advance p;
+    let a = parse_expr p in
+    expect p Token.Colon;
+    let b = parse_cond p in
+    { Ast.e = Ast.Cond (c, a, b); eloc = loc }
+  end
+  else c
+
+and parse_or p =
+  let rec go lhs =
+    if cur p = Token.Or_or then begin
+      let loc = cur_loc p in
+      advance p;
+      let rhs = parse_and p in
+      go { Ast.e = Ast.Logical (`Or, lhs, rhs); eloc = loc }
+    end
+    else lhs
+  in
+  go (parse_and p)
+
+and parse_and p =
+  let rec go lhs =
+    if cur p = Token.And_and then begin
+      let loc = cur_loc p in
+      advance p;
+      let rhs = parse_binary p 0 in
+      go { Ast.e = Ast.Logical (`And, lhs, rhs); eloc = loc }
+    end
+    else lhs
+  in
+  go (parse_binary p 0)
+
+(* Precedence-climbing for the plain binary operators. *)
+and binop_of_token = function
+  | Token.Pipe -> Some (Ast.Bor, 1)
+  | Token.Caret -> Some (Ast.Bxor, 2)
+  | Token.Amp -> Some (Ast.Band, 3)
+  | Token.Eq -> Some (Ast.Eq, 4)
+  | Token.Ne -> Some (Ast.Ne, 4)
+  | Token.Lt -> Some (Ast.Lt, 5)
+  | Token.Le -> Some (Ast.Le, 5)
+  | Token.Gt -> Some (Ast.Gt, 5)
+  | Token.Ge -> Some (Ast.Ge, 5)
+  | Token.Shl -> Some (Ast.Shl, 6)
+  | Token.Shr -> Some (Ast.Shr, 6)
+  | Token.Plus -> Some (Ast.Add, 7)
+  | Token.Minus -> Some (Ast.Sub, 7)
+  | Token.Star -> Some (Ast.Mul, 8)
+  | Token.Slash -> Some (Ast.Div, 8)
+  | Token.Percent -> Some (Ast.Mod, 8)
+  | _ -> None
+
+and parse_binary p min_prec =
+  let lhs = ref (parse_unary p) in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (cur p) with
+    | Some (op, prec) when prec >= min_prec ->
+        let loc = cur_loc p in
+        advance p;
+        let rhs = parse_binary p (prec + 1) in
+        lhs := { Ast.e = Ast.Binop (op, !lhs, rhs); eloc = loc }
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary p =
+  let loc = cur_loc p in
+  match cur p with
+  | Token.Minus ->
+      advance p;
+      { Ast.e = Ast.Unop (Ast.Neg, parse_unary p); eloc = loc }
+  | Token.Tilde ->
+      advance p;
+      { Ast.e = Ast.Unop (Ast.Bnot, parse_unary p); eloc = loc }
+  | Token.Bang ->
+      advance p;
+      { Ast.e = Ast.Unop (Ast.Lnot, parse_unary p); eloc = loc }
+  | Token.Star ->
+      advance p;
+      { Ast.e = Ast.Deref (parse_unary p); eloc = loc }
+  | Token.Amp ->
+      advance p;
+      { Ast.e = Ast.Addr_of (parse_unary p); eloc = loc }
+  | Token.Plus_plus ->
+      advance p;
+      { Ast.e = Ast.Incdec (`Pre, `Inc, parse_unary p); eloc = loc }
+  | Token.Minus_minus ->
+      advance p;
+      { Ast.e = Ast.Incdec (`Pre, `Dec, parse_unary p); eloc = loc }
+  | Token.Kw_sizeof ->
+      advance p;
+      expect p Token.Lparen;
+      let e =
+        if is_type_start (cur p) then begin
+          let t = parse_sizeof_type p in
+          { Ast.e = Ast.Sizeof_type t; eloc = loc }
+        end
+        else
+          let inner = parse_expr p in
+          { Ast.e = Ast.Sizeof_expr inner; eloc = loc }
+      in
+      expect p Token.Rparen;
+      e
+  | Token.Lparen when is_type_start (peek_at p 1) ->
+      (* cast *)
+      advance p;
+      let t = parse_type_spec p in
+      expect p Token.Rparen;
+      { Ast.e = Ast.Cast (t, parse_unary p); eloc = loc }
+  | _ -> parse_postfix p
+
+(* sizeof accepts array-suffixed types: sizeof(char[64]) *)
+and parse_sizeof_type p =
+  let base = parse_type_spec p in
+  let rec arrays t =
+    if cur p = Token.Lbracket then begin
+      advance p;
+      let len_expr = parse_expr p in
+      expect p Token.Rbracket;
+      match const_eval len_expr with
+      | Some n -> arrays (Ctype.Array (t, Int64.to_int n))
+      | None -> Srcloc.error (cur_loc p) "sizeof array bound must be constant"
+    end
+    else t
+  in
+  arrays base
+
+and parse_postfix p =
+  let e = ref (parse_primary p) in
+  let continue = ref true in
+  while !continue do
+    let loc = cur_loc p in
+    match cur p with
+    | Token.Lparen ->
+        advance p;
+        let args = ref [] in
+        if cur p <> Token.Rparen then begin
+          args := [ parse_expr p ];
+          while cur p = Token.Comma do
+            advance p;
+            args := parse_expr p :: !args
+          done
+        end;
+        expect p Token.Rparen;
+        e := { Ast.e = Ast.Call (!e, List.rev !args); eloc = loc }
+    | Token.Lbracket ->
+        advance p;
+        let i = parse_expr p in
+        expect p Token.Rbracket;
+        e := { Ast.e = Ast.Index (!e, i); eloc = loc }
+    | Token.Dot ->
+        advance p;
+        e := { Ast.e = Ast.Member (!e, expect_ident p); eloc = loc }
+    | Token.Arrow ->
+        advance p;
+        e := { Ast.e = Ast.Arrow (!e, expect_ident p); eloc = loc }
+    | Token.Plus_plus ->
+        advance p;
+        e := { Ast.e = Ast.Incdec (`Post, `Inc, !e); eloc = loc }
+    | Token.Minus_minus ->
+        advance p;
+        e := { Ast.e = Ast.Incdec (`Post, `Dec, !e); eloc = loc }
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_primary p =
+  let loc = cur_loc p in
+  match cur p with
+  | Token.Int_lit v ->
+      advance p;
+      { Ast.e = Ast.Int_lit v; eloc = loc }
+  | Token.Char_lit c ->
+      advance p;
+      { Ast.e = Ast.Char_lit c; eloc = loc }
+  | Token.Str_lit s ->
+      advance p;
+      { Ast.e = Ast.Str_lit s; eloc = loc }
+  | Token.Ident name ->
+      advance p;
+      { Ast.e = Ast.Var name; eloc = loc }
+  | Token.Lparen ->
+      advance p;
+      let e = parse_expr p in
+      expect p Token.Rparen;
+      e
+  | t -> Srcloc.error loc "unexpected token %s in expression" (Token.to_string t)
+
+(* declarator: name ('[' expr ']')*.  Only the outermost array bound
+   may be non-constant; in that case the returned type is the ELEMENT
+   type and the bound expression is returned separately (VLA). *)
+let parse_declarator p base =
+  let name = expect_ident p in
+  let bounds = ref [] in
+  while cur p = Token.Lbracket do
+    advance p;
+    let e = parse_expr p in
+    expect p Token.Rbracket;
+    bounds := e :: !bounds
+  done;
+  match List.rev !bounds (* source order: outermost first *) with
+  | [] -> (name, base, None)
+  | outer :: inner ->
+      let const_bound e =
+        match const_eval e with
+        | Some n when Int64.compare n 0L >= 0 -> Int64.to_int n
+        | _ ->
+            Srcloc.error e.Ast.eloc
+              "only the outermost array bound may be non-constant"
+      in
+      let elem =
+        List.fold_right (fun b t -> Ctype.Array (t, const_bound b)) inner base
+      in
+      (match const_eval outer with
+      | Some n when Int64.compare n 0L >= 0 ->
+          (name, Ctype.Array (elem, Int64.to_int n), None)
+      | _ -> (name, elem, Some outer))
+
+let rec parse_stmt p : Ast.stmt =
+  let loc = cur_loc p in
+  match cur p with
+  | Token.Semi ->
+      advance p;
+      { Ast.s = Ast.Block []; sloc = loc }
+  | Token.Lbrace ->
+      advance p;
+      let body = parse_block_items p in
+      expect p Token.Rbrace;
+      { Ast.s = Ast.Block body; sloc = loc }
+  | Token.Kw_if ->
+      advance p;
+      expect p Token.Lparen;
+      let c = parse_expr p in
+      expect p Token.Rparen;
+      let then_ = parse_stmt_as_list p in
+      let else_ =
+        if cur p = Token.Kw_else then begin
+          advance p;
+          parse_stmt_as_list p
+        end
+        else []
+      in
+      { Ast.s = Ast.If (c, then_, else_); sloc = loc }
+  | Token.Kw_while ->
+      advance p;
+      expect p Token.Lparen;
+      let c = parse_expr p in
+      expect p Token.Rparen;
+      { Ast.s = Ast.While (c, parse_stmt_as_list p); sloc = loc }
+  | Token.Kw_do ->
+      advance p;
+      let body = parse_stmt_as_list p in
+      expect p Token.Kw_while;
+      expect p Token.Lparen;
+      let c = parse_expr p in
+      expect p Token.Rparen;
+      expect p Token.Semi;
+      { Ast.s = Ast.Do_while (body, c); sloc = loc }
+  | Token.Kw_for ->
+      advance p;
+      expect p Token.Lparen;
+      let init =
+        if cur p = Token.Semi then begin
+          advance p;
+          None
+        end
+        else if is_type_start (cur p) then Some (parse_decl_stmt p)
+        else begin
+          let e = parse_expr p in
+          expect p Token.Semi;
+          Some { Ast.s = Ast.Expr_stmt e; sloc = loc }
+        end
+      in
+      let cond = if cur p = Token.Semi then None else Some (parse_expr p) in
+      expect p Token.Semi;
+      let step = if cur p = Token.Rparen then None else Some (parse_expr p) in
+      expect p Token.Rparen;
+      { Ast.s = Ast.For (init, cond, step, parse_stmt_as_list p); sloc = loc }
+  | Token.Kw_switch ->
+      advance p;
+      expect p Token.Lparen;
+      let scrut = parse_expr p in
+      expect p Token.Rparen;
+      expect p Token.Lbrace;
+      let cases = ref [] in
+      let default = ref None in
+      while cur p <> Token.Rbrace do
+        (* one group: case/default labels, then statements *)
+        let values = ref [] in
+        let is_default = ref false in
+        let rec labels () =
+          match cur p with
+          | Token.Kw_case ->
+              advance p;
+              let e = parse_expr p in
+              (match const_eval e with
+              | Some v -> values := v :: !values
+              | None -> Srcloc.error e.Ast.eloc "case label must be constant");
+              expect p Token.Colon;
+              labels ()
+          | Token.Kw_default ->
+              advance p;
+              expect p Token.Colon;
+              is_default := true;
+              labels ()
+          | _ -> ()
+        in
+        labels ();
+        if !values = [] && not !is_default then
+          Srcloc.error (cur_loc p) "expected case or default label";
+        if !is_default && !values <> [] then
+          Srcloc.error (cur_loc p) "default may not share a group with case labels";
+        let body = ref [] in
+        while
+          cur p <> Token.Rbrace && cur p <> Token.Kw_case
+          && cur p <> Token.Kw_default
+        do
+          body := parse_stmt p :: !body
+        done;
+        let body = List.rev !body in
+        if !is_default then begin
+          if Option.is_some !default then
+            Srcloc.error (cur_loc p) "duplicate default label";
+          if cur p <> Token.Rbrace then
+            Srcloc.error (cur_loc p) "default must be the last switch group";
+          default := Some body
+        end
+        else
+          cases :=
+            { Ast.case_values = List.rev !values; case_body = body } :: !cases
+      done;
+      expect p Token.Rbrace;
+      { Ast.s = Ast.Switch (scrut, List.rev !cases, !default); sloc = loc }
+  | Token.Kw_return ->
+      advance p;
+      let v = if cur p = Token.Semi then None else Some (parse_expr p) in
+      expect p Token.Semi;
+      { Ast.s = Ast.Return v; sloc = loc }
+  | Token.Kw_break ->
+      advance p;
+      expect p Token.Semi;
+      { Ast.s = Ast.Break; sloc = loc }
+  | Token.Kw_continue ->
+      advance p;
+      expect p Token.Semi;
+      { Ast.s = Ast.Continue; sloc = loc }
+  | t when is_type_start t -> parse_decl_stmt p
+  | _ ->
+      let e = parse_expr p in
+      expect p Token.Semi;
+      { Ast.s = Ast.Expr_stmt e; sloc = loc }
+
+and parse_stmt_as_list p =
+  match parse_stmt p with
+  | { Ast.s = Ast.Block body; _ } -> body
+  | s -> [ s ]
+
+and parse_block_items p =
+  let items = ref [] in
+  while cur p <> Token.Rbrace && cur p <> Token.Eof do
+    items := parse_stmt p :: !items
+  done;
+  List.rev !items
+
+(* declaration statement: possibly several comma-separated declarators *)
+and parse_decl_stmt p : Ast.stmt =
+  let loc = cur_loc p in
+  let base = parse_type_spec p in
+  let one () =
+    let name, ty, vla_len = parse_declarator p base in
+    let init =
+      if cur p = Token.Assign then begin
+        advance p;
+        Some (parse_expr p)
+      end
+      else None
+    in
+    { Ast.s = Ast.Decl { dname = name; dty = ty; vla_len; init }; sloc = loc }
+  in
+  let first = one () in
+  let rest = ref [] in
+  while cur p = Token.Comma do
+    advance p;
+    (* subsequent declarators share the base type, with optional extra
+       stars: [int *a, b, *c;] *)
+    let rec stars t =
+      if cur p = Token.Star then begin
+        advance p;
+        stars (Ctype.Ptr t)
+      end
+      else t
+    in
+    let base' = stars base in
+    let name, ty, vla_len = parse_declarator p base' in
+    let init =
+      if cur p = Token.Assign then begin
+        advance p;
+        Some (parse_expr p)
+      end
+      else None
+    in
+    rest :=
+      { Ast.s = Ast.Decl { dname = name; dty = ty; vla_len; init }; sloc = loc }
+      :: !rest
+  done;
+  expect p Token.Semi;
+  match List.rev !rest with
+  | [] -> first
+  | rest -> { Ast.s = Ast.Seq (first :: rest); sloc = loc }
+
+let parse_params p =
+  expect p Token.Lparen;
+  if cur p = Token.Rparen then begin
+    advance p;
+    []
+  end
+  else if cur p = Token.Kw_void && peek_at p 1 = Token.Rparen then begin
+    advance p;
+    advance p;
+    []
+  end
+  else begin
+    let one () =
+      let base = parse_type_spec p in
+      let name, ty, vla_len = parse_declarator p base in
+      (match vla_len with
+      | Some _ -> Srcloc.error (cur_loc p) "VLA parameters are not supported"
+      | None -> ());
+      (name, Ctype.decay ty)
+    in
+    let params = ref [ one () ] in
+    while cur p = Token.Comma do
+      advance p;
+      params := one () :: !params
+    done;
+    expect p Token.Rparen;
+    List.rev !params
+  end
+
+let parse_top p : Ast.top =
+  let loc = cur_loc p in
+  match cur p with
+  | Token.Kw_struct when peek_at p 2 = Token.Lbrace ->
+      advance p;
+      let sname = expect_ident p in
+      expect p Token.Lbrace;
+      let fields = ref [] in
+      while cur p <> Token.Rbrace do
+        let base = parse_type_spec p in
+        let name, ty, vla_len = parse_declarator p base in
+        (match vla_len with
+        | Some _ -> Srcloc.error (cur_loc p) "VLA struct fields are not supported"
+        | None -> ());
+        expect p Token.Semi;
+        fields := (name, ty) :: !fields
+      done;
+      expect p Token.Rbrace;
+      expect p Token.Semi;
+      Ast.Struct_def { sname; fields = List.rev !fields }
+  | Token.Kw_extern ->
+      advance p;
+      let ret = parse_type_spec p in
+      let ename = expect_ident p in
+      let params = parse_params p in
+      expect p Token.Semi;
+      Ast.Extern_decl { ename; eparams = List.map snd params; eret = ret }
+  | _ ->
+      let gconst = cur p = Token.Kw_const in
+      let base = parse_type_spec p in
+      let name = expect_ident p in
+      if cur p = Token.Lparen then begin
+        (* function definition *)
+        let params = parse_params p in
+        expect p Token.Lbrace;
+        let body = parse_block_items p in
+        expect p Token.Rbrace;
+        Ast.Func_def { fname = name; params; ret = base; body; floc = loc }
+      end
+      else begin
+        (* global variable *)
+        let rec arrays t =
+          if cur p = Token.Lbracket then begin
+            advance p;
+            let e = parse_expr p in
+            expect p Token.Rbracket;
+            match const_eval e with
+            | Some n -> arrays (Ctype.Array (t, Int64.to_int n))
+            | None -> Srcloc.error (cur_loc p) "global array bound must be constant"
+          end
+          else t
+        in
+        let gty = arrays base in
+        let ginit =
+          if cur p = Token.Assign then begin
+            advance p;
+            let e = parse_expr p in
+            match (e.Ast.e, const_eval e) with
+            | Ast.Str_lit s, _ -> Some (Ast.Gi_string s)
+            | _, Some v -> Some (Ast.Gi_int v)
+            | _ ->
+                Srcloc.error loc "global initializer must be a constant or string"
+          end
+          else None
+        in
+        expect p Token.Semi;
+        Ast.Global { gname = name; gty; ginit; gconst }
+      end
+
+let parse_tokens toks =
+  let p = { toks; pos = 0 } in
+  let tops = ref [] in
+  while cur p <> Token.Eof do
+    tops := parse_top p :: !tops
+  done;
+  List.rev !tops
+
+let parse src = parse_tokens (Lexer.tokenize src)

@@ -1,0 +1,16 @@
+(** Random well-formed MiniC programs, for differential testing.
+
+    Every generated program is deterministic (no input), terminating
+    (all loops have constant bounds), memory-safe (array indices are
+    masked into range) and division-safe (divisors are forced
+    non-zero).  The interpreter is therefore a full oracle: the
+    baseline, the [-O1]-optimized build, every defense-applied build
+    and every Smokestack-hardened build of the same program must all
+    print the same output — the property the differential tests
+    check across hundreds of seeds. *)
+
+val generate : seed:int64 -> string
+(** A complete translation unit ending in a [print_int] of an
+    accumulated checksum. *)
+
+val generate_many : seed:int64 -> int -> string list

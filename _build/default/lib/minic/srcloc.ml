@@ -1,0 +1,13 @@
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+let pp fmt { line; col } = Format.fprintf fmt "%d:%d" line col
+
+exception Error of { loc : t; msg : string }
+
+let error loc fmt = Format.kasprintf (fun msg -> raise (Error { loc; msg })) fmt
+
+let to_string = function
+  | Error { loc; msg } ->
+      Some (Format.asprintf "minic error at %a: %s" pp loc msg)
+  | _ -> None

@@ -1,0 +1,31 @@
+(** Lexical tokens of MiniC. *)
+
+type t =
+  | Int_lit of int64
+  | Char_lit of char
+  | Str_lit of string
+  | Ident of string
+  (* keywords *)
+  | Kw_char | Kw_short | Kw_int | Kw_long | Kw_void | Kw_struct
+  | Kw_if | Kw_else | Kw_while | Kw_for | Kw_do
+  | Kw_switch | Kw_case | Kw_default
+  | Kw_return | Kw_break | Kw_continue | Kw_sizeof | Kw_const | Kw_extern
+  (* punctuation *)
+  | Lparen | Rparen | Lbrace | Rbrace | Lbracket | Rbracket
+  | Semi | Comma | Dot | Arrow
+  (* operators *)
+  | Assign | Plus_assign | Minus_assign
+  | Star_assign | Amp_assign | Pipe_assign | Caret_assign
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Pipe | Caret | Tilde | Bang
+  | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And_and | Or_or
+  | Plus_plus | Minus_minus
+  | Question | Colon
+  | Eof
+
+type spanned = { tok : t; loc : Srcloc.t }
+
+val to_string : t -> string
+val keyword_of_string : string -> t option

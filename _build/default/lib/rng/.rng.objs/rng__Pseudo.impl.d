@@ -1,0 +1,1 @@
+lib/rng/pseudo.ml: Int64

@@ -1,0 +1,1 @@
+lib/rng/scheme.ml: Printf String

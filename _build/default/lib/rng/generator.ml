@@ -1,0 +1,45 @@
+type kind =
+  | Kpseudo of { mutable state : int64 }
+  | Kaes of Crypto.Ctr.t
+  | Krdrand of Crypto.Entropy.t
+
+type t = { scheme : Scheme.t; kind : kind; mutable draws : int }
+
+let create ?seed_state ?(rekey_interval = 65536) scheme ~entropy =
+  let kind =
+    match scheme with
+    | Scheme.Pseudo ->
+        let state =
+          match seed_state with Some s -> s | None -> Crypto.Entropy.u64 entropy
+        in
+        Kpseudo { state }
+    | Scheme.Aes_ctr { rounds } ->
+        Kaes
+          (Crypto.Ctr.create ~rounds ~rekey_interval
+             ~entropy:(Crypto.Entropy.bytes entropy) ())
+    | Scheme.Rdrand -> Krdrand entropy
+  in
+  { scheme; kind; draws = 0 }
+
+let scheme t = t.scheme
+
+let next_u64 t =
+  t.draws <- t.draws + 1;
+  match t.kind with
+  | Kpseudo p ->
+      p.state <- Pseudo.step p.state;
+      Pseudo.output p.state
+  | Kaes ctr -> Crypto.Ctr.next_u64 ctr
+  | Krdrand e -> Crypto.Entropy.u64 e
+
+let draws t = t.draws
+
+let pseudo_state t =
+  match t.kind with
+  | Kpseudo p -> p.state
+  | _ -> invalid_arg "Rng.Generator.pseudo_state: not a pseudo generator"
+
+let set_pseudo_state t v =
+  match t.kind with
+  | Kpseudo p -> p.state <- v
+  | _ -> invalid_arg "Rng.Generator.set_pseudo_state: not a pseudo generator"

@@ -1,0 +1,33 @@
+(** Stateful generators for each {!module:Scheme}.
+
+    For [Pseudo] the generator also tracks its state word so the
+    Smokestack runtime can mirror it into VM memory (and accept
+    attacker-tampered values back) — see {!Pseudo}.  [Aes_ctr] keys and
+    nonces come from the supplied entropy source and are periodically
+    refreshed; [Rdrand] draws straight from the entropy source. *)
+
+type t
+
+val create :
+  ?seed_state:int64 ->
+  ?rekey_interval:int ->
+  Scheme.t ->
+  entropy:Crypto.Entropy.t ->
+  t
+(** [seed_state] initializes the pseudo state word (default drawn from
+    [entropy], as a real deployment would seed its PRNG once).
+    [rekey_interval] bounds the AES-CTR blocks between key refreshes
+    (default 65536 — the paper's universal call counter maximum). *)
+
+val scheme : t -> Scheme.t
+val next_u64 : t -> int64
+val draws : t -> int
+
+val pseudo_state : t -> int64
+(** Current state word. Raises [Invalid_argument] for non-[Pseudo]
+    generators. *)
+
+val set_pseudo_state : t -> int64 -> unit
+(** Overwrite the state word (models the attacker, or the runtime
+    reading the word back from VM memory).  Raises [Invalid_argument]
+    for non-[Pseudo] generators. *)

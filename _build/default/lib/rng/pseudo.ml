@@ -1,0 +1,28 @@
+let step s =
+  let s = if Int64.equal s 0L then 0x9E3779B97F4A7C15L else s in
+  let s = Int64.logxor s (Int64.shift_left s 13) in
+  let s = Int64.logxor s (Int64.shift_right_logical s 7) in
+  Int64.logxor s (Int64.shift_left s 17)
+
+let output s = Int64.mul s 0x2545F4914F6CDD1DL
+
+(* Inverting x ^= x << k (resp. >>): xor-folding converges in
+   ceil(64/k) rounds. *)
+let invert_shl y k =
+  let x = ref y in
+  for _ = 1 to (64 / k) + 1 do
+    x := Int64.logxor y (Int64.shift_left !x k)
+  done;
+  !x
+
+let invert_shr y k =
+  let x = ref y in
+  for _ = 1 to (64 / k) + 1 do
+    x := Int64.logxor y (Int64.shift_right_logical !x k)
+  done;
+  !x
+
+let unstep s =
+  let s = invert_shl s 17 in
+  let s = invert_shr s 7 in
+  invert_shl s 13

@@ -1,0 +1,27 @@
+(** The memory-based pseudo-random generator (the paper's "pseudo").
+
+    Its whole state is a single 64-bit word that the Smokestack runtime
+    keeps {e inside VM data memory} — which is precisely why the paper
+    classifies it as unsafe: the threat model's attacker reads (and can
+    even write) that word, then replays {!step} to predict every future
+    permutation index.  The attack framework does exactly that in the
+    pseudo-prediction experiment.
+
+    The function is xorshift64*: fast (Table I: 3.4 cycles) and
+    statistically fine, with zero disclosure resistance. *)
+
+val step : int64 -> int64
+(** Advance the state one step.  State must be non-zero; a zero state
+    is re-seeded to a fixed odd constant first (xorshift fixed point
+    avoidance). *)
+
+val output : int64 -> int64
+(** The value exposed for permutation selection given the
+    (post-{!step}) state: the star-multiplication finalizer. *)
+
+val unstep : int64 -> int64
+(** Inverse of {!step} (xorshift is a bijection): given the state
+    after a draw, recover the state before it.  This is the attacker's
+    tool — one disclosed state word replays every {e past} draw of the
+    process as well as every future one.  [unstep (step s) = s] for all
+    non-zero [s]. *)

@@ -1,0 +1,34 @@
+type t = Pseudo | Aes_ctr of { rounds : int } | Rdrand
+
+let aes1 = Aes_ctr { rounds = 1 }
+let aes10 = Aes_ctr { rounds = 10 }
+let all = [ Pseudo; aes1; aes10; Rdrand ]
+
+let name = function
+  | Pseudo -> "pseudo"
+  | Aes_ctr { rounds } -> Printf.sprintf "AES-%d" rounds
+  | Rdrand -> "RDRAND"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "pseudo" -> Some Pseudo
+  | "rdrand" -> Some Rdrand
+  | s when String.length s > 4 && String.sub s 0 4 = "aes-" -> (
+      match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+      | Some r when r >= 1 && r <= 10 -> Some (Aes_ctr { rounds = r })
+      | _ -> None)
+  | _ -> None
+
+type security = No_security | Low | High
+
+let security = function
+  | Pseudo -> No_security
+  | Aes_ctr { rounds } -> if rounds >= 10 then High else Low
+  | Rdrand -> High
+
+let security_to_string = function
+  | No_security -> "None"
+  | Low -> "Low"
+  | High -> "High"
+
+let memory_resident_state = function Pseudo -> true | Aes_ctr _ | Rdrand -> false

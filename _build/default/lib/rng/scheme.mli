@@ -1,0 +1,34 @@
+(** Random-number generation schemes for permutation selection.
+
+    The four operating points evaluated in the paper (§V, Table I):
+
+    - {b pseudo} — memory-based xorshift64*; no security, 3.4 cyc/draw.
+    - {b AES-1} — AES-CTR truncated to one round; low security,
+      19.2 cyc/draw.
+    - {b AES-10} — full AES-128 CTR (the AES standard); high security,
+      92.8 cyc/draw.
+    - {b RDRAND} — a true-random draw per invocation; high security,
+      265.6 cyc/draw. *)
+
+type t = Pseudo | Aes_ctr of { rounds : int } | Rdrand
+
+val all : t list
+(** The paper's four experiments, in Table I order:
+    [pseudo; AES-1; AES-10; RDRAND]. *)
+
+val aes1 : t
+val aes10 : t
+val name : t -> string
+(** ["pseudo"], ["AES-1"], ["AES-10"], ["RDRAND"]. *)
+
+val of_name : string -> t option
+
+type security = No_security | Low | High
+
+val security : t -> security
+val security_to_string : security -> string
+
+val memory_resident_state : t -> bool
+(** [true] only for {!constructor:Pseudo}: its generator state must live
+    in attacker-readable memory.  The Smokestack runtime uses this to
+    decide whether to mirror state into the VM's data segment. *)

@@ -1,0 +1,1 @@
+lib/sutil/bytecodec.ml: Bytes Char Int32 Int64 Printf

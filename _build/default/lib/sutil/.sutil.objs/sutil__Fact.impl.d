@@ -1,0 +1,1 @@
+lib/sutil/fact.ml: Array Fun Int List Printf

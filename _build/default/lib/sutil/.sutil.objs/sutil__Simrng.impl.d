@@ -1,0 +1,1 @@
+lib/sutil/simrng.ml: Array Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/sutil/stats.mli:

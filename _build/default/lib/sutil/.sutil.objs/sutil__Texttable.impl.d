@@ -1,0 +1,1 @@
+lib/sutil/texttable.ml: Buffer List Printf String

@@ -1,0 +1,43 @@
+let get_u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+let get_u16 b off = Bytes.get_uint16_le b off
+let set_u16 b off v = Bytes.set_uint16_le b off (v land 0xffff)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+
+let set_u32 b off v =
+  Bytes.set_int32_le b off (Int32.of_int (v land 0xffffffff))
+
+let get_i64 b off = Bytes.get_int64_le b off
+let set_i64 b off v = Bytes.set_int64_le b off v
+
+let get b ~width off =
+  match width with
+  | 1 -> Int64.of_int (get_u8 b off)
+  | 2 -> Int64.of_int (get_u16 b off)
+  | 4 -> Int64.of_int (get_u32 b off)
+  | 8 -> get_i64 b off
+  | _ -> invalid_arg (Printf.sprintf "Sutil.Bytecodec.get: bad width %d" width)
+
+let set b ~width off v =
+  match width with
+  | 1 -> set_u8 b off (Int64.to_int v)
+  | 2 -> set_u16 b off (Int64.to_int v)
+  | 4 -> set_u32 b off (Int64.to_int v)
+  | 8 -> set_i64 b off v
+  | _ -> invalid_arg (Printf.sprintf "Sutil.Bytecodec.set: bad width %d" width)
+
+let zext ~width v =
+  match width with
+  | 1 -> Int64.logand v 0xffL
+  | 2 -> Int64.logand v 0xffffL
+  | 4 -> Int64.logand v 0xffffffffL
+  | 8 -> v
+  | _ -> invalid_arg (Printf.sprintf "Sutil.Bytecodec.zext: bad width %d" width)
+
+let sext ~width v =
+  match width with
+  | 1 | 2 | 4 ->
+      let shift = 64 - (8 * width) in
+      Int64.shift_right (Int64.shift_left v shift) shift
+  | 8 -> v
+  | _ -> invalid_arg (Printf.sprintf "Sutil.Bytecodec.sext: bad width %d" width)

@@ -1,0 +1,29 @@
+(** Little-endian integer codecs over [Bytes.t].
+
+    The virtual machine stores all multi-byte values little-endian, as
+    on the x86-64 testbed used in the paper.  Widths are 1, 2, 4 and 8
+    bytes; values are represented as OCaml [int64] for full 64-bit
+    loads/stores and [int] elsewhere. *)
+
+val get_u8 : Bytes.t -> int -> int
+val set_u8 : Bytes.t -> int -> int -> unit
+val get_u16 : Bytes.t -> int -> int
+val set_u16 : Bytes.t -> int -> int -> unit
+val get_u32 : Bytes.t -> int -> int
+val set_u32 : Bytes.t -> int -> int -> unit
+val get_i64 : Bytes.t -> int -> int64
+val set_i64 : Bytes.t -> int -> int64 -> unit
+
+val get : Bytes.t -> width:int -> int -> int64
+(** [get b ~width off] reads a [width]-byte little-endian value
+    (zero-extended). [width] must be 1, 2, 4 or 8. *)
+
+val set : Bytes.t -> width:int -> int -> int64 -> unit
+(** [set b ~width off v] writes the low [width] bytes of [v]
+    little-endian at [off]. *)
+
+val sext : width:int -> int64 -> int64
+(** [sext ~width v] sign-extends the low [width] bytes of [v]. *)
+
+val zext : width:int -> int64 -> int64
+(** [zext ~width v] zero-extends (truncates) [v] to [width] bytes. *)

@@ -1,0 +1,36 @@
+(** Deterministic simulation PRNG (SplitMix64 + xoshiro256 star-star).
+
+    This generator drives everything that must be reproducible across
+    runs of the harness — workload inputs, attack trial seeds, table row
+    shuffles — and is explicitly {e not} a security component.  The
+    security-relevant generators live in {!module:Rng} and are costed by
+    the cycle model; this one is free. *)
+
+type t
+
+val create : seed:int64 -> t
+(** [create ~seed] builds a generator from a 64-bit seed via
+    SplitMix64 state initialization. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same state. *)
+
+val next_u64 : t -> int64
+(** Next 64-bit output of the xoshiro256 star-star generator. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] is a uniform integer in [0, bound). [bound] must be
+    positive. Uses rejection sampling, so the distribution is exact. *)
+
+val bool : t -> bool
+val byte : t -> int
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator and
+    advances [t]; used to give each experiment its own stream. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val bytes : t -> int -> Bytes.t
+(** [bytes t n] is [n] fresh random bytes. *)

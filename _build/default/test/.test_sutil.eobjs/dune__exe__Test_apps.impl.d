@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Attacks Defenses Harness Int64 Lazy List Machine Minic Option Printf Rng Smokestack

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Attacks Int64 Ir List Machine Minic Option QCheck2 QCheck_alcotest Smokestack String

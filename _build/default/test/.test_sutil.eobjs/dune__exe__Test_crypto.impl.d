@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Char Crypto Fun Hashtbl Int64 List Printf QCheck2 QCheck_alcotest Rng String

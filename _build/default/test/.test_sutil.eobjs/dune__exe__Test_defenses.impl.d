@@ -1,0 +1,1 @@
+test/test_defenses.ml: Alcotest Array Attacks Crypto Defenses Hashtbl Int Int64 Ir List Machine Minic Option Printf

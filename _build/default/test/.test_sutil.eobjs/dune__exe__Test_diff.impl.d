@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest Crypto Defenses Int64 List Machine Minic Printf QCheck2 QCheck_alcotest Rng Smokestack

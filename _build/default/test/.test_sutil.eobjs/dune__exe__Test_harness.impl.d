@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Apps Defenses Float Harness Lazy List Printf Rng Smokestack String

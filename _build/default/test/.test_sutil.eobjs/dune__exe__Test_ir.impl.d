@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Format Ir List Machine Minic Option QCheck2 QCheck_alcotest Smokestack String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Crypto Format Ir List Machine Minic Smokestack String

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Ir List Machine Minic Printf String

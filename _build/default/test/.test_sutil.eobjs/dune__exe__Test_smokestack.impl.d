@@ -1,0 +1,1 @@
+test/test_smokestack.ml: Alcotest Array Attacks Crypto Format Hashtbl Int64 Ir List Machine Minic Option Printf QCheck2 QCheck_alcotest Rng Smokestack String Sutil

@@ -1,0 +1,1 @@
+test/test_sutil.ml: Alcotest Array Bytes Fun List Printf QCheck2 QCheck_alcotest String Sutil

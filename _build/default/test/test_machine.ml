@@ -1,0 +1,382 @@
+(* Tests for the segmented memory and the interpreter. *)
+
+let compile = Minic.Driver.compile
+
+let run_prog ?(input = "") ?fuel prog =
+  let st = Machine.Exec.prepare prog in
+  Machine.Exec.set_input st (Machine.Exec.input_string input);
+  Machine.Exec.run ?fuel st
+
+(* ------------------------------------------------------------------ *)
+(* Memory *)
+
+let mk_mem () =
+  Machine.Memory.create
+    [
+      ("ro", 0x1000, 4096, Machine.Memory.Read_only);
+      ("rw", 0x10000, 4096, Machine.Memory.Read_write);
+    ]
+
+let test_memory_rw_roundtrip () =
+  let m = mk_mem () in
+  Machine.Memory.store m ~width:8 0x10010 0x1122334455667788L;
+  Alcotest.(check int64) "u64" 0x1122334455667788L
+    (Machine.Memory.load m ~width:8 0x10010);
+  Alcotest.(check int64) "little-endian low u16" 0x7788L
+    (Machine.Memory.load m ~width:2 0x10010)
+
+let test_memory_write_protection () =
+  let m = mk_mem () in
+  Machine.Memory.write_protected m 0x1000 "secret";
+  Alcotest.(check string) "readable" "secret" (Machine.Memory.read_bytes m 0x1000 6);
+  (match Machine.Memory.store m ~width:1 0x1000 0L with
+  | () -> Alcotest.fail "expected write-protection fault"
+  | exception Machine.Memory.Fault (Machine.Memory.Write_protected _) -> ())
+
+let test_memory_oob_and_null () =
+  let m = mk_mem () in
+  (match Machine.Memory.load m ~width:8 0x999999 with
+  | _ -> Alcotest.fail "expected OOB fault"
+  | exception Machine.Memory.Fault (Machine.Memory.Out_of_bounds _) -> ());
+  (match Machine.Memory.load m ~width:1 0 with
+  | _ -> Alcotest.fail "expected null fault"
+  | exception Machine.Memory.Fault Machine.Memory.Null_dereference -> ());
+  (* straddling the segment end *)
+  match Machine.Memory.load m ~width:8 (0x1000 + 4092) with
+  | _ -> Alcotest.fail "expected straddle fault"
+  | exception Machine.Memory.Fault (Machine.Memory.Out_of_bounds _) -> ()
+
+let test_memory_overlap_rejected () =
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Machine.Memory.create: segments a and b overlap")
+    (fun () ->
+      ignore
+        (Machine.Memory.create
+           [
+             ("a", 0x1000, 4096, Machine.Memory.Read_write);
+             ("b", 0x1800, 4096, Machine.Memory.Read_write);
+           ]))
+
+let test_touched_pages () =
+  let m = mk_mem () in
+  let before = Machine.Memory.touched_bytes m in
+  Machine.Memory.store m ~width:1 0x10000 1L;
+  Machine.Memory.store m ~width:1 0x10001 1L;
+  let after_one_page = Machine.Memory.touched_bytes m in
+  Alcotest.(check int) "one page" Machine.Memory.page_size
+    (after_one_page - before);
+  Machine.Memory.store m ~width:1 (0x10000 + 4096 - 1) 1L;
+  Alcotest.(check int) "same segment page boundary" after_one_page
+    (Machine.Memory.touched_bytes m)
+
+let test_cstring () =
+  let m = mk_mem () in
+  Machine.Memory.write_bytes m 0x10000 "hello\000world";
+  Alcotest.(check string) "stops at NUL" "hello" (Machine.Memory.cstring m 0x10000)
+
+(* ------------------------------------------------------------------ *)
+(* Exec: faults, builtins, accounting *)
+
+let outcome_testable =
+  Alcotest.testable
+    (fun fmt o -> Format.pp_print_string fmt (Machine.Exec.outcome_to_string o))
+    ( = )
+
+let test_exit_code () =
+  let outcome, _ = run_prog (compile "int main() { return 7; }") in
+  Alcotest.(check outcome_testable) "exit 7" (Machine.Exec.Exit 7L) outcome
+
+let test_exit_builtin () =
+  let outcome, _ =
+    run_prog (compile "int main() { exit(3); print_int(1); return 0; }")
+  in
+  Alcotest.(check outcome_testable) "exit 3" (Machine.Exec.Exit 3L) outcome
+
+let test_division_by_zero_faults () =
+  let outcome, _ =
+    run_prog (compile "long g = 0; int main() { return (int)(5 / g); }")
+  in
+  match outcome with
+  | Machine.Exec.Fault { fault = Machine.Memory.Misc m; _ } ->
+      Alcotest.(check string) "reason" "division by zero" m
+  | o -> Alcotest.failf "expected division fault, got %s" (Machine.Exec.outcome_to_string o)
+
+let test_wild_pointer_faults () =
+  let outcome, _ =
+    run_prog (compile "int main() { *(long*)123456789 = 1; return 0; }")
+  in
+  match outcome with
+  | Machine.Exec.Fault { fault = Machine.Memory.Out_of_bounds _; _ } -> ()
+  | o -> Alcotest.failf "expected OOB, got %s" (Machine.Exec.outcome_to_string o)
+
+let test_stack_overflow_faults () =
+  let outcome, _ =
+    run_prog
+      (compile
+         {|
+long deep(long n) {
+  char pad[4096];
+  pad[0] = (char)n;
+  return deep(n + 1) + pad[0];
+}
+int main() { return (int)deep(0); }
+|})
+  in
+  match outcome with
+  | Machine.Exec.Fault { fault = Machine.Memory.Stack_overflow _; _ } -> ()
+  | o -> Alcotest.failf "expected stack overflow, got %s" (Machine.Exec.outcome_to_string o)
+
+let test_fuel_exhaustion () =
+  let outcome, _ =
+    run_prog ~fuel:1000 (compile "int main() { while (1) {} return 0; }")
+  in
+  Alcotest.(check outcome_testable) "fuel" Machine.Exec.Fuel_exhausted outcome
+
+let test_strncpy_size_t_semantics () =
+  (* negative n behaves as a huge unsigned bound: copy until NUL *)
+  let outcome, stats =
+    run_prog
+      (compile
+         {|
+char dst[64];
+int main() {
+  strncpy(dst, "overflowing", 0 - 1);
+  print_str(dst);
+  return 0;
+}
+|})
+  in
+  Alcotest.(check outcome_testable) "ok" (Machine.Exec.Exit 0L) outcome;
+  Alcotest.(check string) "copied fully" "overflowing" stats.output
+
+let test_snprintf_cat_semantics () =
+  let outcome, stats =
+    run_prog
+      (compile
+         {|
+char dst[8];
+int main() {
+  long need = snprintf_cat(dst, 4, "abcdef");
+  print_int(need);
+  print_str(dst);
+  return 0;
+}
+|})
+  in
+  Alcotest.(check outcome_testable) "ok" (Machine.Exec.Exit 0L) outcome;
+  (* returns the WOULD-BE length (6) but writes only 3 bytes + NUL *)
+  Alcotest.(check string) "truncated write, full need" "6abc" stats.output
+
+let test_memcpy_and_memset () =
+  let _, stats =
+    run_prog
+      (compile
+         {|
+char a[8];
+char b[8];
+int main() {
+  memset(a, 65, 7);
+  a[7] = 0;
+  memcpy(b, a, 8);
+  print_str(b);
+  return 0;
+}
+|})
+  in
+  Alcotest.(check string) "AAAAAAA" "AAAAAAA" stats.output
+
+let test_input_byte_eof () =
+  let _, stats =
+    run_prog ~input:"x"
+      (compile
+         {|
+int main() {
+  print_int(input_byte());
+  print_int(input_byte());
+  return 0;
+}
+|})
+  in
+  Alcotest.(check string) "byte then EOF" "120-1" stats.output
+
+let test_frame_adjacency () =
+  (* callee buffers sit directly below caller locals: an overflow from
+     the callee reaches the caller's frame — the property every DOP
+     exploit here depends on *)
+  let _, stats =
+    run_prog
+      (compile
+         {|
+void smash() {
+  char buf[8];
+  long i = 0;
+  while (i < 24) { buf[i] = 66; i += 1; }
+}
+int main() {
+  char cushion[64];
+  long victim = 0;
+  cushion[0] = 0;
+  smash();
+  print_int(victim != 0);
+  return 0;
+}
+|})
+  in
+  Alcotest.(check string) "caller local corrupted" "1" stats.output
+
+let test_stats_accounting () =
+  let _, stats =
+    run_prog
+      (compile
+         {|
+long leaf() { char pad[100]; pad[0] = 1; return pad[0]; }
+long mid() { return leaf(); }
+int main() { return (int)(mid() - 1); }
+|})
+  in
+  Alcotest.(check int) "calls" 3 stats.call_count;
+  Alcotest.(check int) "max depth" 3 stats.max_depth;
+  Alcotest.(check bool) "max frame >= 100" true (stats.max_frame_bytes >= 100);
+  Alcotest.(check bool) "cycles positive" true (stats.cycles > 0.)
+
+let test_intrinsic_unregistered () =
+  let prog = Ir.Prog.create () in
+  let f = Ir.Func.create ~name:"main" ~params:[] ~returns:(Some Ir.Ty.I64) in
+  let b = Ir.Builder.create f in
+  ignore (Ir.Builder.intrinsic b "no.such.intrinsic" []);
+  Ir.Builder.ret b (Some (Ir.Instr.Imm 0L));
+  Ir.Prog.add_func prog f;
+  let st = Machine.Exec.prepare prog in
+  match Machine.Exec.run st with
+  | Machine.Exec.Fault { fault = Machine.Memory.Misc _; _ }, _ -> ()
+  | o, _ -> Alcotest.failf "expected fault, got %s" (Machine.Exec.outcome_to_string o)
+
+let test_detect_exception_classified () =
+  let prog = Ir.Prog.create () in
+  let f = Ir.Func.create ~name:"main" ~params:[] ~returns:(Some Ir.Ty.I64) in
+  let b = Ir.Builder.create f in
+  ignore (Ir.Builder.intrinsic b "boom" []);
+  Ir.Builder.ret b (Some (Ir.Instr.Imm 0L));
+  Ir.Prog.add_func prog f;
+  let st = Machine.Exec.prepare prog in
+  Machine.Exec.register_intrinsic st "boom" (fun _ _ ->
+      raise (Machine.Exec.Detect "tripwire"));
+  match Machine.Exec.run st with
+  | Machine.Exec.Detected { reason = "tripwire"; _ }, _ -> ()
+  | o, _ -> Alcotest.failf "expected detection, got %s" (Machine.Exec.outcome_to_string o)
+
+let test_trace_records_calls () =
+  let prog =
+    compile
+      {|
+long leaf(long n) { long x = n + 1; return x; }
+int main() { return (int)(leaf(41) - 42); }
+|}
+  in
+  let st = Machine.Exec.prepare prog in
+  let t = Machine.Trace.create () in
+  Machine.Trace.attach t st;
+  let outcome, _ = Machine.Exec.run st in
+  Alcotest.(check bool) "ran" true (outcome = Machine.Exec.Exit 0L);
+  let calls =
+    List.filter_map
+      (function Machine.Trace.Ev_call { func; _ } -> Some func | _ -> None)
+      (Machine.Trace.events t)
+  in
+  Alcotest.(check (list string)) "call order" [ "main"; "leaf" ] calls;
+  let rendered = Machine.Trace.render t in
+  Alcotest.(check bool) "renders" true (String.length rendered > 0);
+  Alcotest.(check int) "nothing dropped" 0 (Machine.Trace.dropped t)
+
+let test_trace_ring_bounds () =
+  let prog =
+    compile
+      {|
+long tick(long n) { return n; }
+int main() {
+  long i = 0;
+  while (i < 100) { tick(i); i += 1; }
+  return 0;
+}
+|}
+  in
+  let st = Machine.Exec.prepare prog in
+  let t = Machine.Trace.create ~capacity:16 () in
+  Machine.Trace.attach t st;
+  ignore (Machine.Exec.run st);
+  Alcotest.(check int) "ring holds capacity" 16
+    (List.length (Machine.Trace.events t));
+  Alcotest.(check bool) "drops counted" true (Machine.Trace.dropped t > 0)
+
+let test_trace_captures_detection () =
+  let prog =
+    compile
+      {|
+void smash() {
+  char buf[16];
+  long x = 1;
+  long i = 0;
+  while (i < 200) { buf[i] = 90; i += 1; }
+  x += buf[3];
+}
+int main() {
+  char cushion[512];
+  cushion[0] = 0;
+  smash();
+  return 0;
+}
+|}
+  in
+  let hardened = Smokestack.Harden.harden Smokestack.Config.default prog in
+  let st =
+    Smokestack.Harden.prepare hardened ~entropy:(Crypto.Entropy.create ~seed:2L)
+  in
+  let t = Machine.Trace.create () in
+  Machine.Trace.attach t st;
+  (match Machine.Exec.run st with
+  | Machine.Exec.Detected _, _ -> ()
+  | o, _ -> Alcotest.failf "expected detection, got %s" (Machine.Exec.outcome_to_string o));
+  Alcotest.(check bool) "trace shows the detection" true
+    (List.exists
+       (function Machine.Trace.Ev_detected _ -> true | _ -> false)
+       (Machine.Trace.events t))
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "rw roundtrip" `Quick test_memory_rw_roundtrip;
+          Alcotest.test_case "write protection" `Quick test_memory_write_protection;
+          Alcotest.test_case "oob and null" `Quick test_memory_oob_and_null;
+          Alcotest.test_case "overlap rejected" `Quick test_memory_overlap_rejected;
+          Alcotest.test_case "touched pages" `Quick test_touched_pages;
+          Alcotest.test_case "cstring" `Quick test_cstring;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "exit code" `Quick test_exit_code;
+          Alcotest.test_case "exit builtin" `Quick test_exit_builtin;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero_faults;
+          Alcotest.test_case "wild pointer" `Quick test_wild_pointer_faults;
+          Alcotest.test_case "stack overflow" `Quick test_stack_overflow_faults;
+          Alcotest.test_case "fuel" `Quick test_fuel_exhaustion;
+          Alcotest.test_case "frame adjacency" `Quick test_frame_adjacency;
+          Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+          Alcotest.test_case "unregistered intrinsic" `Quick test_intrinsic_unregistered;
+          Alcotest.test_case "detect classified" `Quick test_detect_exception_classified;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records calls" `Quick test_trace_records_calls;
+          Alcotest.test_case "ring bounds" `Quick test_trace_ring_bounds;
+          Alcotest.test_case "captures detection" `Quick test_trace_captures_detection;
+        ] );
+      ( "builtins",
+        [
+          Alcotest.test_case "strncpy size_t" `Quick test_strncpy_size_t_semantics;
+          Alcotest.test_case "snprintf_cat" `Quick test_snprintf_cat_semantics;
+          Alcotest.test_case "memcpy/memset" `Quick test_memcpy_and_memset;
+          Alcotest.test_case "input_byte EOF" `Quick test_input_byte_eof;
+        ] );
+    ]

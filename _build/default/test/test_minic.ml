@@ -1,0 +1,608 @@
+(* Front-end tests: lexer, parser, and full compile-and-execute
+   semantics checks (the interpreter doubles as the oracle). *)
+
+let run ?(input = "") src =
+  let prog = Minic.Driver.compile src in
+  let st = Machine.Exec.prepare prog in
+  Machine.Exec.set_input st (Machine.Exec.input_string input);
+  Machine.Exec.run st
+
+let expect_output ?input name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let outcome, stats = run ?input src in
+      (match outcome with
+      | Machine.Exec.Exit 0L -> ()
+      | o -> Alcotest.failf "%s: %s" name (Machine.Exec.outcome_to_string o));
+      Alcotest.(check string) name expected stats.output)
+
+let expect_error name src fragment =
+  Alcotest.test_case name `Quick (fun () ->
+      match Minic.Driver.compile_result src with
+      | Ok _ -> Alcotest.failf "%s: expected a compile error" name
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %S mentions %S" name msg fragment)
+            true
+            (let n = String.length fragment in
+             let found = ref false in
+             for i = 0 to String.length msg - n do
+               if String.sub msg i n = fragment then found := true
+             done;
+             !found))
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_tokens () =
+  let toks = Minic.Lexer.tokenize "x += 0x10 >> 2; // comment\n 'a' \"s\\n\"" in
+  let kinds = Array.to_list (Array.map (fun t -> t.Minic.Token.tok) toks) in
+  Alcotest.(check bool) "shape" true
+    (kinds
+    = [
+        Minic.Token.Ident "x"; Minic.Token.Plus_assign; Minic.Token.Int_lit 16L;
+        Minic.Token.Shr; Minic.Token.Int_lit 2L; Minic.Token.Semi;
+        Minic.Token.Char_lit 'a'; Minic.Token.Str_lit "s\n"; Minic.Token.Eof;
+      ])
+
+let test_lexer_positions () =
+  let toks = Minic.Lexer.tokenize "a\n  b" in
+  Alcotest.(check int) "line of b" 2 toks.(1).Minic.Token.loc.line;
+  Alcotest.(check int) "col of b" 3 toks.(1).Minic.Token.loc.col
+
+let test_lexer_errors () =
+  Alcotest.check_raises "unterminated string"
+    (Minic.Srcloc.Error { loc = { line = 1; col = 1 }; msg = "unterminated string literal" })
+    (fun () -> ignore (Minic.Lexer.tokenize "\"abc"));
+  (match Minic.Lexer.tokenize "@" with
+  | _ -> Alcotest.fail "expected lex error"
+  | exception Minic.Srcloc.Error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Execution semantics *)
+
+let semantics =
+  [
+    expect_output "arith precedence"
+      "int main() { print_int(2 + 3 * 4 - 10 / 2); return 0; }" "9";
+    expect_output "modulo and shifts"
+      "int main() { print_int((17 % 5) + (1 << 6) + (256 >> 4)); return 0; }"
+      "82";
+    expect_output "bitwise"
+      "int main() { print_int((12 & 10) + (12 | 3) + (12 ^ 10) + (~0)); return 0; }"
+      "28";
+    expect_output "negative division truncates toward zero"
+      "int main() { print_int(-7 / 2); print_int(-7 % 2); return 0; }" "-3-1";
+    expect_output "comparison chain"
+      "int main() { print_int((3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5) + (3 == 3) + (3 != 3)); return 0; }"
+      "4";
+    expect_output "short-circuit and"
+      {|
+long hits = 0;
+long bump() { hits += 1; return 1; }
+int main() {
+  if (0 && bump()) {}
+  if (1 && bump()) {}
+  print_int(hits);
+  return 0;
+}
+|}
+      "1";
+    expect_output "short-circuit or"
+      {|
+long hits = 0;
+long bump() { hits += 1; return 0; }
+int main() {
+  if (1 || bump()) {}
+  if (0 || bump()) {}
+  print_int(hits);
+  return 0;
+}
+|}
+      "1";
+    expect_output "ternary"
+      "int main() { int x = 5; print_int(x > 3 ? 10 : 20); print_int(x > 9 ? 10 : 20); return 0; }"
+      "1020";
+    expect_output "while break continue"
+      {|
+int main() {
+  long s = 0;
+  long i = 0;
+  while (1) {
+    i += 1;
+    if (i > 10) break;
+    if (i % 2 == 0) continue;
+    s += i;
+  }
+  print_int(s);
+  return 0;
+}
+|}
+      "25";
+    expect_output "for loop"
+      "int main() { long s = 0; for (int i = 0; i < 5; i++) s += i; print_int(s); return 0; }"
+      "10";
+    expect_output "do-while runs once"
+      "int main() { long n = 0; do { n += 1; } while (0); print_int(n); return 0; }"
+      "1";
+    expect_output "recursion (fib)"
+      {|
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { print_int(fib(15)); return 0; }
+|}
+      "610";
+    expect_output "pointers and address-of"
+      {|
+int main() {
+  long x = 5;
+  long *p = &x;
+  *p = 9;
+  print_int(x + *p);
+  return 0;
+}
+|}
+      "18";
+    expect_output "pointer arithmetic scales"
+      {|
+int main() {
+  int a[4];
+  int *p = a;
+  a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+  print_int(*(p + 2));
+  print_int((int)((long)(p + 2) - (long)p));
+  return 0;
+}
+|}
+      "38";
+    expect_output "pointer difference"
+      {|
+int main() {
+  long a[8];
+  long *p = &a[6];
+  long *q = &a[1];
+  print_int(p - q);
+  return 0;
+}
+|}
+      "5";
+    expect_output "arrays of arrays"
+      {|
+long m[3][4];
+int main() {
+  m[1][2] = 42;
+  m[2][3] = 7;
+  print_int(m[1][2] + m[2][3]);
+  return 0;
+}
+|}
+      "49";
+    expect_output "struct members and arrows"
+      {|
+struct point { int x; int y; };
+int main() {
+  struct point p;
+  struct point *q = &p;
+  p.x = 3;
+  q->y = 4;
+  print_int(p.x * q->y);
+  return 0;
+}
+|}
+      "12";
+    expect_output "struct layout with mixed fields"
+      {|
+struct mix { char c; long l; short s; };
+int main() {
+  print_int(sizeof(struct mix));
+  return 0;
+}
+|}
+      "24";
+    expect_output "sizeof"
+      {|
+int main() {
+  int a[10];
+  print_int(sizeof(int));
+  print_int(sizeof(long));
+  print_int(sizeof(char[64]));
+  print_int(sizeof(a));
+  return 0;
+}
+|}
+      "486440";
+    expect_output "char narrowing wraps"
+      {|
+int main() {
+  char c = (char)300;
+  print_int(c);
+  return 0;
+}
+|}
+      "44";
+    expect_output "short sign extension"
+      {|
+int main() {
+  short s = (short)65535;
+  print_int(s);
+  return 0;
+}
+|}
+      "-1";
+    expect_output "compound assignments"
+      {|
+int main() {
+  long x = 10;
+  x += 5; x -= 3; x *= 4; x ^= 1; x |= 2; x &= 51;
+  print_int(x);
+  return 0;
+}
+|}
+      "51";
+    expect_output "pre/post increment"
+      {|
+int main() {
+  long i = 5;
+  print_int(i++);
+  print_int(i);
+  print_int(++i);
+  print_int(i--);
+  print_int(--i);
+  return 0;
+}
+|}
+      "56775";
+    expect_output "globals with initializers"
+      {|
+long g = 40;
+const char msg[8] = "hey";
+int main() {
+  g += 2;
+  print_int(g);
+  print_str(msg);
+  return 0;
+}
+|}
+      "42hey";
+    expect_output "string literals intern"
+      {|
+int main() {
+  print_int(strlen("hello"));
+  print_int(memcmp("abc", "abc", 3));
+  return 0;
+}
+|}
+      "50";
+    expect_output "VLA basic"
+      {|
+int main() {
+  long n = 6;
+  long a[n];
+  long i = 0;
+  long s = 0;
+  for (i = 0; i < n; i++) a[i] = i * i;
+  for (i = 0; i < n; i++) s += a[i];
+  print_int(s);
+  return 0;
+}
+|}
+      "55";
+  ]
+
+let semantics =
+  semantics
+  @ [
+      expect_output "address of function is stable and non-null"
+        {|
+long twice(long x) { return 2 * x; }
+int main() {
+  long f = (long)&twice;
+  long g = (long)&twice;
+  print_int(f == g);
+  print_int(f != 0);
+  return 0;
+}
+|}
+        "11";
+      expect_output ~input:"abcde" "read_input"
+        {|
+int main() {
+  char buf[16];
+  long n = read_input(buf, 15);
+  buf[n] = 0;
+  print_int(n);
+  print_str(buf);
+  return 0;
+}
+|}
+        "5abcde";
+      expect_output "heap malloc"
+        {|
+int main() {
+  long *p = (long*)malloc(16);
+  p[0] = 41;
+  p[1] = 1;
+  print_int(p[0] + p[1]);
+  free(p);
+  return 0;
+}
+|}
+        "42";
+      expect_output "scopes shadow"
+        {|
+int main() {
+  long x = 1;
+  {
+    long x = 2;
+    print_int(x);
+  }
+  print_int(x);
+  return 0;
+}
+|}
+        "21";
+      expect_output "switch dispatch and default"
+        {|
+long classify(long c) {
+  switch (c) {
+  case 0: return 100;
+  case 1:
+  case 2: return 200;
+  case 0 - 3: return 300;
+  default: return 400;
+  }
+}
+int main() {
+  print_int(classify(0));
+  print_int(classify(1));
+  print_int(classify(2));
+  print_int(classify(0 - 3));
+  print_int(classify(9));
+  return 0;
+}
+|}
+        "100200200300400";
+      expect_output "switch fallthrough and break"
+        {|
+int main() {
+  long acc = 0;
+  switch (2) {
+  case 1: acc += 1;
+  case 2: acc += 10;
+  case 3: acc += 100; break;
+  case 4: acc += 1000;
+  default: acc += 10000;
+  }
+  print_int(acc);
+  return 0;
+}
+|}
+        "110";
+      expect_output "switch without default"
+        {|
+int main() {
+  long acc = 7;
+  switch (42) { case 1: acc = 0; }
+  print_int(acc);
+  return 0;
+}
+|}
+        "7";
+      expect_output "continue inside switch binds the loop"
+        {|
+int main() {
+  long s = 0;
+  for (int i = 0; i < 6; i++) {
+    switch (i % 3) {
+    case 0: continue;
+    case 1: s += 10; break;
+    default: s += 1;
+    }
+    s += 100;
+  }
+  print_int(s);
+  return 0;
+}
+|}
+        "422";
+      expect_output "logical ops yield 0/1"
+        {|
+int main() {
+  print_int(5 && 3);
+  print_int(0 || 7);
+  print_int(!9);
+  print_int(!0);
+  return 0;
+}
+|}
+        "1101";
+    ]
+
+let edge_cases =
+  [
+    expect_output "hex literals and escapes"
+      {|
+int main() {
+  print_int(0x10 + 0xFF);
+  print_int('\n');
+  print_int('\x41');
+  print_int('\0');
+  return 0;
+}
+|}
+      "27110650";
+    expect_output "comments everywhere"
+      "int /* c1 */ main( /* c2 */ ) { // line
+  return /* deep */ 0; }"
+      "";
+    expect_output "deeply nested expressions"
+      (Printf.sprintf "int main() { print_int(%s1%s); return 0; }"
+         (String.concat "" (List.init 40 (fun _ -> "(1+")))
+         (String.concat "" (List.init 40 (fun _ -> ")"))))
+      "41";
+    expect_output "comma declarations share the base type"
+      "int main() { long a = 1, b = 2, c = 3; print_int(a + b + c); return 0; }"
+      "6";
+    expect_output "chained assignment is right-associative"
+      "int main() { long a; long b; long c; a = b = c = 9; print_int(a + b + c); return 0; }"
+      "27";
+    expect_output "unary minus precedence"
+      "int main() { print_int(-3 * -4 - -5); return 0; }" "17";
+    expect_output "shift and mask precedence"
+      "int main() { print_int(1 << 2 + 1); print_int((1 << 2) + 1); return 0; }"
+      "85";
+    expect_output "sizeof expression uses static type"
+      {|
+int main() {
+  struct p { long x; long y; };
+  return 0;
+}
+struct q { long x; char c; };
+long f() { struct q v; return sizeof(v); }
+|}
+      "" [@warning "-a"];
+  ]
+
+(* the struct-in-function above is not supported; keep the valid set *)
+let edge_cases =
+  List.filteri (fun i _ -> i < List.length edge_cases - 1) edge_cases
+  @ [
+      expect_output "sizeof an expression"
+        {|
+struct q { long x; char c; };
+long f() { struct q v; v.x = 0; return sizeof(v); }
+int main() { print_int(f()); return 0; }
+|}
+        "16";
+      expect_output "arrays decay in calls"
+        {|
+long first(long *p) { return p[0]; }
+int main() { long a[3]; a[0] = 5; print_int(first(a)); return 0; }
+|}
+        "5";
+      expect_output "address of array element across calls"
+        {|
+void bump(long *cell) { *cell += 1; }
+int main() {
+  long a[4];
+  a[2] = 10;
+  bump(&a[2]);
+  print_int(a[2]);
+  return 0;
+}
+|}
+        "11";
+      expect_output "struct pointer chains"
+        {|
+struct node { long v; struct node *next; };
+int main() {
+  struct node a; struct node b; struct node c;
+  a.v = 1; b.v = 2; c.v = 3;
+  a.next = &b; b.next = &c; c.next = (struct node*)0;
+  print_int(a.next->next->v);
+  return 0;
+}
+|}
+        "3";
+      expect_output "ternary nests"
+        "int main() { long x = 2; print_int(x == 1 ? 10 : x == 2 ? 20 : 30); return 0; }"
+        "20";
+      expect_output "empty statements"
+        "int main() { long i = 0; ; while (i < 3) { i += 1; ; } ; print_int(i); return 0; }"
+        "3";
+      expect_output "empty for pieces"
+        "int main() { long i = 0; for (;;) { i += 1; if (i > 4) break; } print_int(i); return 0; }"
+        "5";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics *)
+
+let diagnostics =
+  [
+    expect_error "unknown variable" "int main() { return x; }" "unknown identifier";
+    expect_error "unknown function" "int main() { zap(); return 0; }" "unknown identifier";
+    expect_error "arity" "long f(long a) { return a; } int main() { return (int)f(1, 2); }" "expects 1 argument";
+    expect_error "void misuse" "void v() {} int main() { long x = 0; x = v(); return 0; }" "result of a void";
+    expect_error "break outside loop" "int main() { break; return 0; }" "break outside";
+    expect_error "aggregate assignment"
+      "struct p { int x; }; int main() { struct p a; struct p b; a = b; return 0; }"
+      "cannot";
+    expect_error "redeclaration" "int main() { long x = 1; long x = 2; return 0; }" "redeclaration";
+    expect_error "return value from void" "void f() { return 3; } int main() { return 0; }" "void function";
+    expect_error "bad member" "struct p { int x; }; int main() { struct p a; a.y = 1; return 0; }" "no member";
+    expect_error "deref non-pointer" "int main() { long x = 1; return (int)*x; }" "non-pointer";
+    expect_error "syntax" "int main() { return 0 }" "expected ;";
+    expect_error "non-constant case"
+      "int main() { long x = 1; switch (x) { case x: return 1; } return 0; }"
+      "constant";
+    expect_error "default not last"
+      "int main() { switch (1) { default: return 1; case 2: return 2; } return 0; }"
+      "last";
+    expect_error "continue in bare switch"
+      "int main() { switch (1) { case 1: continue; } return 0; }"
+      "continue outside";
+  ]
+
+(* void-call-result case: our checker reports this via the verifier
+   rule; make sure the message above matches what Lower emits. *)
+
+let test_builtins_in_sync () =
+  (* every builtin Lower declares must be resolvable by the machine *)
+  let declared = List.map (fun (n, _, _) -> n) Minic.Lower.builtins in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (n ^ " known to machine") true
+        (List.mem n Machine.Exec.builtin_names))
+    declared;
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (n ^ " declared in minic") true (List.mem n declared))
+    Machine.Exec.builtin_names
+
+let test_verified_ir () =
+  (* lowering output always passes the verifier (Lower runs it; make
+     sure a nontrivial program gets through) *)
+  let prog =
+    Minic.Driver.compile
+      {|
+struct node { long v; struct node *next; };
+long sum_list(struct node *n) {
+  long s = 0;
+  while (n != (struct node*)0) {
+    s += n->v;
+    n = n->next;
+  }
+  return s;
+}
+int main() {
+  struct node a;
+  struct node b;
+  a.v = 1; b.v = 2;
+  a.next = &b;
+  b.next = (struct node*)0;
+  print_int(sum_list(&a));
+  return 0;
+}
+|}
+  in
+  Alcotest.(check int) "verifies" 0 (List.length (Ir.Verifier.verify prog))
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ("semantics", semantics);
+      ("edge-cases", edge_cases);
+      ("diagnostics", diagnostics);
+      ( "integration",
+        [
+          Alcotest.test_case "builtins in sync" `Quick test_builtins_in_sync;
+          Alcotest.test_case "verified IR" `Quick test_verified_ir;
+        ] );
+    ]

@@ -1,0 +1,242 @@
+(* Unit and property tests for the utility kit. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Align *)
+
+let test_is_pow2 () =
+  List.iter (fun n -> check_bool (string_of_int n) true (Sutil.Align.is_pow2 n))
+    [ 1; 2; 4; 8; 16; 1024; 1 lsl 30 ];
+  List.iter (fun n -> check_bool (string_of_int n) false (Sutil.Align.is_pow2 n))
+    [ 0; -1; -8; 3; 6; 12; 100 ]
+
+let test_next_pow2 () =
+  check_int "1" 1 (Sutil.Align.next_pow2 1);
+  check_int "2" 2 (Sutil.Align.next_pow2 2);
+  check_int "3" 4 (Sutil.Align.next_pow2 3);
+  check_int "5" 8 (Sutil.Align.next_pow2 5);
+  check_int "720" 1024 (Sutil.Align.next_pow2 720);
+  check_int "1024" 1024 (Sutil.Align.next_pow2 1024);
+  Alcotest.check_raises "non-positive" (Invalid_argument "Sutil.Align.next_pow2: non-positive argument")
+    (fun () -> ignore (Sutil.Align.next_pow2 0))
+
+let test_align_up_cases () =
+  check_int "0/8" 0 (Sutil.Align.align_up 0 ~alignment:8);
+  check_int "1/8" 8 (Sutil.Align.align_up 1 ~alignment:8);
+  check_int "8/8" 8 (Sutil.Align.align_up 8 ~alignment:8);
+  check_int "9/4" 12 (Sutil.Align.align_up 9 ~alignment:4);
+  check_int "neg" (-8) (Sutil.Align.align_up (-9) ~alignment:8);
+  Alcotest.check_raises "bad alignment"
+    (Invalid_argument "Sutil.Align.align_up: alignment 3 is not a positive power of two")
+    (fun () -> ignore (Sutil.Align.align_up 1 ~alignment:3))
+
+let prop_align_up =
+  QCheck2.Test.make ~count:500 ~name:"align_up is aligned, minimal, monotone"
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 12))
+    (fun (off, k) ->
+      let alignment = 1 lsl k in
+      let r = Sutil.Align.align_up off ~alignment in
+      Sutil.Align.is_aligned r ~alignment && r >= off && r - off < alignment)
+
+let prop_align_down =
+  QCheck2.Test.make ~count:500 ~name:"align_down dual of align_up"
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 12))
+    (fun (off, k) ->
+      let alignment = 1 lsl k in
+      let d = Sutil.Align.align_down off ~alignment in
+      Sutil.Align.is_aligned d ~alignment && d <= off && off - d < alignment)
+
+(* ------------------------------------------------------------------ *)
+(* Fact *)
+
+let test_factorial () =
+  check_int "0!" 1 (Sutil.Fact.factorial 0);
+  check_int "1!" 1 (Sutil.Fact.factorial 1);
+  check_int "5!" 120 (Sutil.Fact.factorial 5);
+  check_int "10!" 3628800 (Sutil.Fact.factorial 10);
+  check_int "20!" 2432902008176640000 (Sutil.Fact.factorial 20);
+  Alcotest.check_raises "21!"
+    (Invalid_argument "Sutil.Fact.factorial: 21! overflows a 63-bit integer")
+    (fun () -> ignore (Sutil.Fact.factorial 21))
+
+let test_lehmer_lexical_order () =
+  (* permutations of size 3 in lexical order *)
+  let expected =
+    [ [| 0; 1; 2 |]; [| 0; 2; 1 |]; [| 1; 0; 2 |]; [| 1; 2; 0 |];
+      [| 2; 0; 1 |]; [| 2; 1; 0 |] ]
+  in
+  List.iteri
+    (fun i p ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "perm %d" i)
+        p
+        (Sutil.Fact.lehmer_decode ~n:3 i))
+    expected
+
+let prop_lehmer_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"lehmer encode/decode roundtrip"
+    QCheck2.Gen.(int_range 0 (Sutil.Fact.factorial 7 - 1))
+    (fun idx ->
+      let p = Sutil.Fact.lehmer_decode ~n:7 idx in
+      Sutil.Fact.is_permutation p && Sutil.Fact.lehmer_encode p = idx)
+
+let prop_invert =
+  QCheck2.Test.make ~count:200 ~name:"invert . invert = id"
+    QCheck2.Gen.(int_range 0 (Sutil.Fact.factorial 6 - 1))
+    (fun idx ->
+      let p = Sutil.Fact.lehmer_decode ~n:6 idx in
+      Sutil.Fact.invert (Sutil.Fact.invert p) = p)
+
+let test_apply () =
+  let p = [| 2; 0; 1 |] in
+  Alcotest.(check (array string))
+    "apply" [| "c"; "a"; "b" |]
+    (Sutil.Fact.apply p [| "a"; "b"; "c" |])
+
+(* ------------------------------------------------------------------ *)
+(* Bytecodec *)
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"get/set roundtrip at every width"
+    QCheck2.Gen.(pair (int_range 0 3) int64)
+    (fun (wi, v) ->
+      let width = [| 1; 2; 4; 8 |].(wi) in
+      let b = Bytes.make 16 '\x55' in
+      Sutil.Bytecodec.set b ~width 4 v;
+      let expect = Sutil.Bytecodec.zext ~width v in
+      Sutil.Bytecodec.get b ~width 4 = expect)
+
+let test_sext () =
+  Alcotest.(check int64) "i8 -1" (-1L) (Sutil.Bytecodec.sext ~width:1 0xffL);
+  Alcotest.(check int64) "i8 127" 127L (Sutil.Bytecodec.sext ~width:1 0x7fL);
+  Alcotest.(check int64) "i16 -2" (-2L) (Sutil.Bytecodec.sext ~width:2 0xfffeL);
+  Alcotest.(check int64) "i32 -1" (-1L) (Sutil.Bytecodec.sext ~width:4 0xffffffffL);
+  Alcotest.(check int64) "i32 +1" 1L (Sutil.Bytecodec.sext ~width:4 1L)
+
+let prop_sext_idempotent =
+  QCheck2.Test.make ~count:200 ~name:"sext is idempotent"
+    QCheck2.Gen.(pair (int_range 0 3) int64)
+    (fun (wi, v) ->
+      let width = [| 1; 2; 4; 8 |].(wi) in
+      let s = Sutil.Bytecodec.sext ~width v in
+      Sutil.Bytecodec.sext ~width s = s)
+
+(* ------------------------------------------------------------------ *)
+(* Simrng *)
+
+let test_simrng_deterministic () =
+  let a = Sutil.Simrng.create ~seed:42L in
+  let b = Sutil.Simrng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sutil.Simrng.next_u64 a)
+      (Sutil.Simrng.next_u64 b)
+  done
+
+let test_simrng_copy () =
+  let a = Sutil.Simrng.create ~seed:7L in
+  ignore (Sutil.Simrng.next_u64 a);
+  let b = Sutil.Simrng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Sutil.Simrng.next_u64 a)
+    (Sutil.Simrng.next_u64 b)
+
+let prop_simrng_int_bounds =
+  QCheck2.Test.make ~count:300 ~name:"int ~bound in range"
+    QCheck2.Gen.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Sutil.Simrng.create ~seed in
+      let v = Sutil.Simrng.int rng ~bound in
+      v >= 0 && v < bound)
+
+let prop_shuffle_permutes =
+  QCheck2.Test.make ~count:200 ~name:"shuffle yields a permutation"
+    QCheck2.Gen.(pair int64 (int_range 1 40))
+    (fun (seed, n) ->
+      let rng = Sutil.Simrng.create ~seed in
+      let a = Array.init n Fun.id in
+      Sutil.Simrng.shuffle rng a;
+      Sutil.Fact.is_permutation a)
+
+let test_simrng_distribution () =
+  (* a crude uniformity check: all 8 buckets hit over 8000 draws *)
+  let rng = Sutil.Simrng.create ~seed:1L in
+  let buckets = Array.make 8 0 in
+  for _ = 1 to 8000 do
+    let v = Sutil.Simrng.int rng ~bound:8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c -> check_bool (Printf.sprintf "bucket %d populated" i) true (c > 800))
+    buckets
+
+(* ------------------------------------------------------------------ *)
+(* Stats / Texttable *)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Sutil.Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "median odd" 2. (Sutil.Stats.median [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "median even" 2.5 (Sutil.Stats.median [ 1.; 2.; 3.; 4. ]);
+  Alcotest.(check (float 1e-6)) "geomean" 2. (Sutil.Stats.geomean [ 1.; 4. ]);
+  Alcotest.(check (float 1e-9)) "overhead +50%" 50.
+    (Sutil.Stats.percent_overhead ~baseline:100. ~measured:150.);
+  Alcotest.(check (float 1e-9)) "overhead -10%" (-10.)
+    (Sutil.Stats.percent_overhead ~baseline:100. ~measured:90.)
+
+let test_texttable () =
+  let t =
+    Sutil.Texttable.create
+      ~columns:[ ("a", Sutil.Texttable.Left); ("b", Sutil.Texttable.Right) ]
+  in
+  Sutil.Texttable.add_row t [ "x"; "1" ];
+  Sutil.Texttable.add_row t [ "long"; "22" ];
+  let rendered = Sutil.Texttable.render t in
+  check_bool "contains header" true
+    (String.length rendered > 0 && String.sub rendered 0 1 = "a");
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Sutil.Texttable.add_row: 1 cells for 2 columns")
+    (fun () -> Sutil.Texttable.add_row t [ "only-one" ]);
+  Alcotest.(check string) "bytes" "2.0 KiB" (Sutil.Texttable.fmt_bytes 2048);
+  Alcotest.(check string) "pct" "+10.3%" (Sutil.Texttable.fmt_pct 10.3)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sutil"
+    [
+      ( "align",
+        [
+          Alcotest.test_case "is_pow2" `Quick test_is_pow2;
+          Alcotest.test_case "next_pow2" `Quick test_next_pow2;
+          Alcotest.test_case "align_up cases" `Quick test_align_up_cases;
+          qt prop_align_up;
+          qt prop_align_down;
+        ] );
+      ( "fact",
+        [
+          Alcotest.test_case "factorial" `Quick test_factorial;
+          Alcotest.test_case "lexical order" `Quick test_lehmer_lexical_order;
+          Alcotest.test_case "apply" `Quick test_apply;
+          qt prop_lehmer_roundtrip;
+          qt prop_invert;
+        ] );
+      ( "bytecodec",
+        [
+          Alcotest.test_case "sext" `Quick test_sext;
+          qt prop_codec_roundtrip;
+          qt prop_sext_idempotent;
+        ] );
+      ( "simrng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_simrng_deterministic;
+          Alcotest.test_case "copy" `Quick test_simrng_copy;
+          Alcotest.test_case "distribution" `Quick test_simrng_distribution;
+          qt prop_simrng_int_bounds;
+          qt prop_shuffle_permutes;
+        ] );
+      ( "stats+texttable",
+        [
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "texttable" `Quick test_texttable;
+        ] );
+    ]
