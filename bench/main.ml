@@ -8,7 +8,7 @@
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- fig3      # one experiment
      dune exec bench/main.exe -- table1 fig4 micro
-   Experiments: table1 fig3 fig4 bypass pentest realvuln brute ablation micro *)
+   Experiments: table1 fig3 fig4 bypass pentest realvuln brute ablation micro engine *)
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
@@ -172,6 +172,75 @@ let run_micro () =
   Sutil.Texttable.print tbl
 
 (* ------------------------------------------------------------------ *)
+(* Engine micro-benchmark: reference interpreter vs bytecode engine     *)
+
+let run_engine () =
+  Engine.Backend.install ();
+  let reps = 3 in
+  let time_backend (backend : Machine.Backend.t)
+      (applied : Defenses.Defense.applied) (w : Apps.Spec.workload) =
+    let chunks = Harness.Workbench.chunks_of_input w.input in
+    (* one warm-up run: populates the engine's compiled-program cache so
+       the timed runs measure execution, not compilation *)
+    ignore (Apps.Runner.run_chunks ~backend ~fuel:400_000_000 applied ~seed:1L ~chunks);
+    let t0 = Sys.time () in
+    let instrs = ref 0 in
+    for _ = 1 to reps do
+      let _, stats =
+        Apps.Runner.run_chunks ~backend ~fuel:400_000_000 applied ~seed:1L
+          ~chunks
+      in
+      instrs := stats.Machine.Exec.instr_count
+    done;
+    ((Sys.time () -. t0) /. float_of_int reps, !instrs)
+  in
+  let mips instrs t = float_of_int instrs /. t /. 1e6 in
+  let tbl =
+    Sutil.Texttable.create
+      ~columns:
+        [
+          ("workload", Sutil.Texttable.Left);
+          ("instrs/run", Sutil.Texttable.Right);
+          ("reference", Sutil.Texttable.Right);
+          ("bytecode", Sutil.Texttable.Right);
+          ("speedup", Sutil.Texttable.Right);
+        ]
+  in
+  let speedups =
+    List.map
+      (fun (w : Apps.Spec.workload) ->
+        let applied =
+          Defenses.Defense.apply Defenses.Defense.No_defense
+            (Lazy.force w.program)
+        in
+        let tref, instrs =
+          time_backend Machine.Backend.reference applied w
+        in
+        let tbc, _ = time_backend Engine.Backend.backend applied w in
+        Sutil.Texttable.add_row tbl
+          [
+            w.wname;
+            string_of_int instrs;
+            Printf.sprintf "%.3f s (%.1f Mi/s)" tref (mips instrs tref);
+            Printf.sprintf "%.3f s (%.1f Mi/s)" tbc (mips instrs tbc);
+            Printf.sprintf "%.2fx" (tref /. tbc);
+          ];
+        tref /. tbc)
+      Apps.Spec.spec
+  in
+  Sutil.Texttable.print
+    ~title:
+      "Engine: instruction throughput, reference interpreter vs bytecode \
+       engine (unhardened workloads)"
+    tbl;
+  say "geomean speedup: %.2fx, best: %.2fx (identical observables on every run \
+       — see `dune runtest` and Harness.Diffval)"
+    (exp
+       (List.fold_left (fun a s -> a +. log s) 0. speedups
+       /. float_of_int (List.length speedups)))
+    (List.fold_left Float.max 0. speedups)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -186,6 +255,7 @@ let experiments =
     ("rerand", run_rerand);
     ("ablation", run_ablation);
     ("micro", run_micro);
+    ("engine", run_engine);
   ]
 
 let () =

@@ -66,8 +66,27 @@ let trace_flag =
     value & flag
     & info [ "trace" ] ~doc:"Print a call/intrinsic trace after the run")
 
+let engine_conv =
+  let parse s =
+    match Machine.Backend.kind_of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown engine %S (ref, bytecode)" s))
+  in
+  Arg.conv
+    (parse, fun fmt k -> Format.pp_print_string fmt (Machine.Backend.kind_to_string k))
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Machine.Backend.Reference
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,ref) (tree-walking reference \
+           interpreter) or $(b,bytecode) (compiled dispatch loop; \
+           identical observable behaviour, several times faster)")
+
 let run_cmd =
-  let action file harden scheme seed input no_fid optimize trace =
+  let action file harden scheme seed input no_fid optimize trace engine =
     let prog = compile ~optimize file in
     let st =
       if harden then
@@ -85,7 +104,8 @@ let run_cmd =
       else None
     in
     Machine.Exec.set_input st (Machine.Exec.input_string input);
-    let outcome, stats = Machine.Exec.run st in
+    let backend = Machine.Backend.find engine in
+    let outcome, stats = backend.Machine.Backend.run st in
     Option.iter (fun t -> prerr_string (Machine.Trace.render ~limit:200 t)) tracer;
     print_string stats.output;
     Printf.printf "-- %s | cycles=%.0f instrs=%d calls=%d max-depth=%d max-frame=%dB rss=%s\n"
@@ -98,7 +118,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a MiniC program")
     Term.(
       const action $ file_arg $ harden_flag $ scheme_arg $ seed_arg $ input_arg
-      $ no_fid $ opt_flag $ trace_flag)
+      $ no_fid $ opt_flag $ trace_flag $ engine_arg)
 
 let ir_cmd =
   let action file harden scheme no_fid optimize =
@@ -219,6 +239,8 @@ let entropy_cmd =
     Term.(const action $ file_arg $ scheme_arg)
 
 let () =
+  (* force the engine library to link so --engine=bytecode resolves *)
+  Engine.Backend.install ();
   let info =
     Cmd.info "smokestackc" ~version:"1.0.0"
       ~doc:"MiniC compiler with Smokestack runtime stack-layout randomization"

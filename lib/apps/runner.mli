@@ -4,9 +4,14 @@
     entropy (derived from [seed] so experiments are reproducible), and
     an input source that answers the program's [read_input]/[input_byte]
     calls.  Restart-after-crash is simply another [run_*] call with the
-    next seed. *)
+    next seed.
+
+    [?backend] selects the execution engine ({!Machine.Backend});
+    defaults to {!Machine.Backend.default}, which is the reference
+    interpreter unless an experiment driver switched it. *)
 
 val run_chunks :
+  ?backend:Machine.Backend.t ->
   ?fuel:int ->
   ?heap_size:int ->
   ?stack_size:int ->
@@ -20,6 +25,7 @@ val run_chunks :
     exploit payloads are framed. *)
 
 val run_adaptive :
+  ?backend:Machine.Backend.t ->
   ?fuel:int ->
   ?heap_size:int ->
   ?stack_size:int ->

@@ -1,0 +1,5 @@
+let backend =
+  { Machine.Backend.kind = Machine.Backend.Bytecode; label = "bytecode"; run = Interp.run }
+
+let install () = Machine.Backend.register backend
+let () = install ()

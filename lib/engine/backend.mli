@@ -1,0 +1,10 @@
+(** Registration of the bytecode engine as a {!Machine.Backend}. *)
+
+val backend : Machine.Backend.t
+(** The bytecode backend ({!Interp.run} behind the shared interface). *)
+
+val install : unit -> unit
+(** Registers {!backend} in the {!Machine.Backend} registry.  Linking
+    this module does it once automatically; executables should still
+    call [install] so the library is linked at all (OCaml drops
+    unreferenced modules from executables). *)

@@ -1,0 +1,360 @@
+(* Flat dispatch loop over compiled bytecode.
+
+   Executes against the same Machine.Exec.state the reference
+   interpreter uses, so every intrinsic, defense installation and
+   adaptive-input callback works unchanged.  Observable behaviour must
+   be bit-identical to Machine.Exec.run — same outcomes, same output,
+   same float cycle accumulation (same charges in the same order), same
+   instruction/call counts, same trace events.  test/test_engine.ml
+   enforces this differentially; when editing here, keep every charge
+   and side effect in the reference interpreter's order.
+
+   Cycle accounting uses an unboxed one-element [floatarray]
+   accumulator instead of charging the (boxed) [st.cycles] field per
+   instruction.  Float addition is not associative, so charges are
+   still applied one at a time in reference order — only the storage
+   differs, which keeps the bits identical.  The accumulator is flushed
+   to [st.cycles] around every external closure (builtins, intrinsics,
+   trace hooks) because those may read or charge [st.cycles]
+   themselves, and re-synced afterwards on both the normal and the
+   exception path. *)
+
+open Compile
+module Exec = Machine.Exec
+module Memory = Machine.Memory
+module Cost = Machine.Cost
+
+(* Compiled-program cache, keyed by physical program identity and
+   revalidated against the mutable IR (passes run strictly before
+   execution, so in the steady state — one applied defense, many runs —
+   every run after the first is a cache hit). *)
+let cache : Compile.program list ref = ref []
+let cache_cap = 8
+
+let compiled_for (st : Exec.state) =
+  match List.find_opt (fun p -> Compile.valid p st.prog) !cache with
+  | Some p ->
+      cache := p :: List.filter (fun q -> q != p) !cache;
+      p
+  | None ->
+      let p = Compile.compile st in
+      cache :=
+        p :: (if List.length !cache >= cache_cap then List.filteri (fun i _ -> i < cache_cap - 1) !cache else !cache);
+      p
+
+let raise_trap = function
+  | Unknown_global g ->
+      invalid_arg (Printf.sprintf "Machine.Exec.global_addr: no global %s" g)
+  | Unknown_func_ref fn ->
+      raise
+        (Memory.Fault
+           (Memory.Misc (Printf.sprintf "unknown function reference %s" fn)))
+  | Unknown_callee c ->
+      raise
+        (Memory.Fault
+           (Memory.Misc (Printf.sprintf "call to unknown function %s" c)))
+  | Missing_label -> raise Not_found
+
+let[@inline] get regs = function
+  | Sreg r -> Array.unsafe_get regs r
+  | Simm i -> i
+  | Strap t -> raise_trap t
+
+let run ?(fuel = 200_000_000) ?(entry = "main") ?(args = []) (st : Exec.state) =
+  st.fuel <- fuel;
+  let prog = compiled_for st in
+  (* Intrinsic closures are linked lazily per run: registration happens
+     after prepare (and in principle during execution), and an
+     unregistered intrinsic must only fault when it executes. *)
+  let impls : Exec.intrinsic option array =
+    Array.make (Array.length prog.intrinsic_names) None
+  in
+  let funcs = prog.funcs in
+  let nfuncs = Array.length funcs in
+  let cur = ref entry in
+  let cyc = Float.Array.make 1 st.cycles in
+  let[@inline] charge c =
+    Float.Array.unsafe_set cyc 0 (Float.Array.unsafe_get cyc 0 +. c)
+  in
+  let flush () = st.cycles <- Float.Array.unsafe_get cyc 0 in
+  let resync () = Float.Array.unsafe_set cyc 0 st.cycles in
+  (* trace hooks are arbitrary closures that may inspect the state, so
+     they see an up-to-date [st.cycles] just like under the reference *)
+  let emit_sync emit ev =
+    flush ();
+    match emit ev with
+    | () -> resync ()
+    | exception e ->
+        resync ();
+        raise e
+  in
+  let rec call_fn (bf : bfunc) (argv : int64 array) : int64 =
+    st.call_count <- st.call_count + 1;
+    st.depth <- st.depth + 1;
+    if st.depth > st.max_depth then st.max_depth <- st.depth;
+    charge Cost.call_overhead;
+    let caller = !cur in
+    cur := bf.fname;
+    (match st.on_event with
+    | Some emit ->
+        emit_sync emit
+          (Exec.Ev_call { func = bf.fname; depth = st.depth; sp = st.sp })
+    | None -> ());
+    let entry_sp = st.sp in
+    let regs = Array.make bf.nregs 0L in
+    let nparams = Array.length bf.param_regs in
+    if Array.length argv <> nparams then
+      raise
+        (Memory.Fault
+           (Memory.Misc
+              (Printf.sprintf "call to %s with %d args, expected %d" bf.fname
+                 (Array.length argv) nparams)));
+    for i = 0 to nparams - 1 do
+      regs.(bf.param_regs.(i)) <- argv.(i)
+    done;
+    let code = bf.code in
+    let getv args = Array.map (fun s -> get regs s) args in
+    let rec step pc =
+      match Array.unsafe_get code pc with
+      | Obinop { dst; cost; op; lhs; rhs } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          charge cost;
+          (* reference operand order: rhs, then lhs *)
+          let b = get regs rhs in
+          let a = get regs lhs in
+          regs.(dst) <- Exec.eval_binop op a b;
+          step (pc + 1)
+      | Oicmp { dst; op; lhs; rhs } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          charge Cost.alu;
+          let b = get regs rhs in
+          let a = get regs lhs in
+          regs.(dst) <- Exec.eval_icmp op a b;
+          step (pc + 1)
+      | Oselect { dst; cond; if_true; if_false } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          charge Cost.alu;
+          (* the non-taken arm is never evaluated, as in the reference *)
+          regs.(dst) <-
+            (if Int64.equal (get regs cond) 0L then get regs if_false
+             else get regs if_true);
+          step (pc + 1)
+      | Osext { dst; width; value } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          charge Cost.alu;
+          regs.(dst) <- Sutil.Bytecodec.sext ~width (get regs value);
+          step (pc + 1)
+      | Otrunc { dst; width; value } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          charge Cost.alu;
+          regs.(dst) <- Sutil.Bytecodec.zext ~width (get regs value);
+          step (pc + 1)
+      | Ogep { dst; base; offset; index; scale } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          charge Cost.alu;
+          let idx = Int64.mul (get regs index) (Int64.of_int scale) in
+          regs.(dst) <-
+            Int64.add (Int64.add (get regs base) (Int64.of_int offset)) idx;
+          step (pc + 1)
+      | Oload { dst; width; addr } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          let a = Int64.to_int (get regs addr) in
+          charge
+            (if a >= Exec.rodata_base && a < Exec.data_base then
+               Cost.load_rodata
+             else Cost.load);
+          regs.(dst) <- Memory.load st.mem ~width a;
+          step (pc + 1)
+      | Ostore { width; value; addr } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          charge Cost.store;
+          (* reference operand order: value, then addr *)
+          let v = get regs value in
+          Memory.store st.mem ~width (Int64.to_int (get regs addr)) v;
+          step (pc + 1)
+      | Oalloca { dst; elt; align; count } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          let n =
+            match count with
+            | None -> 1
+            | Some c ->
+                let v = get regs c in
+                if Int64.compare v 0L < 0 || Int64.compare v 0x10000000L > 0
+                then
+                  raise (Memory.Fault (Memory.Misc "VLA length out of range"))
+                else Int64.to_int v
+          in
+          let bytes = elt * n in
+          let new_sp = Sutil.Align.align_down (st.sp - bytes) ~alignment:align in
+          if new_sp < st.stack_limit then
+            raise
+              (Memory.Fault (Memory.Stack_overflow { sp = st.sp; need = bytes }));
+          st.sp <- new_sp;
+          if entry_sp - new_sp > st.max_frame_bytes then
+            st.max_frame_bytes <- entry_sp - new_sp;
+          charge Cost.alloca;
+          regs.(dst) <- Int64.of_int new_sp;
+          step (pc + 1)
+      | Ocall { dst; fidx; args } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          let r = call_fn (Array.unsafe_get funcs fidx) (getv args) in
+          if dst >= 0 then regs.(dst) <- r;
+          step (pc + 1)
+      | Obuiltin { dst; name; args } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          let argv = getv args in
+          flush ();
+          let r =
+            match Exec.run_builtin st name argv with
+            | r ->
+                resync ();
+                r
+            | exception e ->
+                resync ();
+                raise e
+          in
+          if dst >= 0 then
+            regs.(dst) <- (match r with Some v -> v | None -> 0L);
+          step (pc + 1)
+      | Ocall_unknown { name; args } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          ignore (getv args);
+          raise
+            (Memory.Fault
+               (Memory.Misc (Printf.sprintf "call to unknown function %s" name)))
+      | Ocall_ind { dst; callee; args } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          let target = Int64.to_int (get regs callee) in
+          let rel = target - Compile.token_base in
+          if rel >= 0 && rel land 15 = 0 && rel asr 4 < nfuncs then begin
+            let r = call_fn (Array.unsafe_get funcs (rel asr 4)) (getv args) in
+            if dst >= 0 then regs.(dst) <- r;
+            step (pc + 1)
+          end
+          else
+            raise
+              (Memory.Fault
+                 (Memory.Misc
+                    (Printf.sprintf "indirect call to non-function address 0x%x"
+                       target)))
+      | Ointrinsic { dst; slot; name; args } ->
+          st.instr_count <- st.instr_count + 1;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then raise Exec.Out_of_fuel;
+          charge Cost.intrinsic_base;
+          let fn =
+            match Array.unsafe_get impls slot with
+            | Some fn -> fn
+            | None -> (
+                match Hashtbl.find_opt st.intrinsics name with
+                | Some fn ->
+                    impls.(slot) <- Some fn;
+                    fn
+                | None ->
+                    raise
+                      (Memory.Fault
+                         (Memory.Misc
+                            (Printf.sprintf "unregistered intrinsic %s" name))))
+          in
+          let argv = getv args in
+          flush ();
+          let result =
+            match fn st argv with
+            | r ->
+                resync ();
+                r
+            | exception e ->
+                resync ();
+                raise e
+          in
+          (match st.on_event with
+          | Some emit -> emit_sync emit (Exec.Ev_intrinsic { name; result })
+          | None -> ());
+          if dst >= 0 then
+            regs.(dst) <- (match result with Some v -> v | None -> 0L);
+          step (pc + 1)
+      | Ojmp t ->
+          charge Cost.branch;
+          step t
+      | Ocondbr { cond; if_true; if_false } ->
+          charge Cost.cond_branch;
+          step (if Int64.equal (get regs cond) 0L then if_false else if_true)
+      | Oret v ->
+          charge Cost.branch;
+          get regs v
+      | Ounreachable fname ->
+          raise
+            (Memory.Fault (Memory.Misc ("unreachable executed in " ^ fname)))
+      | Otrap -> raise Not_found
+    in
+    match step 0 with
+    | result ->
+        st.sp <- entry_sp;
+        st.depth <- st.depth - 1;
+        (match st.on_event with
+        | Some emit ->
+            emit_sync emit (Exec.Ev_return { func = bf.fname; depth = st.depth })
+        | None -> ());
+        cur := caller;
+        result
+    | exception e ->
+        (* unwind bookkeeping but propagate, as the reference does *)
+        st.depth <- st.depth - 1;
+        raise e
+  in
+  let outcome =
+    match Hashtbl.find_opt prog.index entry with
+    | None ->
+        Exec.Fault { fault = Memory.Misc ("no entry function " ^ entry); func = "-" }
+    | Some fidx -> (
+        match call_fn funcs.(fidx) (Array.of_list args) with
+        | v ->
+            flush ();
+            Exec.Exit v
+        | exception Exec.Exit_program code ->
+            flush ();
+            Exec.Exit code
+        | exception Memory.Fault fault ->
+            flush ();
+            (match st.on_event with
+            | Some emit ->
+                emit (Exec.Ev_fault { detail = Memory.fault_to_string fault })
+            | None -> ());
+            Exec.Fault { fault; func = !cur }
+        | exception Exec.Detect reason ->
+            flush ();
+            (match st.on_event with
+            | Some emit -> emit (Exec.Ev_detected { reason })
+            | None -> ());
+            Exec.Detected { reason; func = !cur }
+        | exception Exec.Out_of_fuel ->
+            flush ();
+            Exec.Fuel_exhausted)
+  in
+  (outcome, Exec.stats_of_state st)

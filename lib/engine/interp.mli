@@ -1,0 +1,19 @@
+(** Bytecode dispatch loop.
+
+    Runs a prepared {!Machine.Exec.state} by compiling its program to
+    bytecode (cached per program) and executing a flat dispatch loop
+    over mutable [int64] register frames.  Preserves the reference
+    interpreter's full observable contract — identical outcomes, program
+    output, cycle/instruction/call accounting, memory faults, detection
+    events and trace emission — which [test/test_engine.ml] checks
+    differentially against {!Machine.Exec.run} on fuzzed programs and
+    every application workload. *)
+
+val run :
+  ?fuel:int ->
+  ?entry:string ->
+  ?args:int64 list ->
+  Machine.Exec.state ->
+  Machine.Exec.outcome * Machine.Exec.stats
+(** Drop-in replacement for {!Machine.Exec.run} (same defaults).  The
+    state is consumed: run each prepared state once. *)

@@ -1,0 +1,40 @@
+(** Differential validation of execution engines.
+
+    Runs identical prepared programs under the reference interpreter
+    ({!Machine.Exec.run}) and the bytecode engine ({!Engine.Interp.run})
+    and checks every observable for bit-identity: outcome, program
+    output, and each {!Machine.Exec.stats} field — including the float
+    cycle count, whose additions are order-sensitive, so a reassociated
+    or dropped charge cannot hide.  [test/test_engine.ml] runs these
+    checks as tier-1 tests. *)
+
+type mismatch = {
+  case : string;  (** e.g. ["gobmk/smokestack"] or ["progen seed 17"] *)
+  field : string;  (** first observable that diverged *)
+  expected : string;  (** reference interpreter's value *)
+  actual : string;  (** bytecode engine's value *)
+}
+
+type report = { cases : int; mismatches : mismatch list }
+
+val ok : report -> bool
+val mismatch_to_string : mismatch -> string
+val report_to_string : report -> string
+
+val check_applied :
+  case:string ->
+  ?fuel:int ->
+  seed:int64 ->
+  chunks:string list ->
+  Defenses.Defense.applied ->
+  mismatch list
+(** One defense-applied program, both backends, fresh state each
+    (entropy derived from [seed], so both runs see identical draws). *)
+
+val check_apps : ?fuel:int -> unit -> report
+(** Every {!Apps.Spec.all} workload under both [No_defense] and the
+    default Smokestack configuration. *)
+
+val check_progen : ?fuel:int -> seed:int64 -> int -> report
+(** [check_progen ~seed n] validates [n] Progen-generated programs with
+    seeds [seed, seed+1, ...] (deterministic, input-free). *)

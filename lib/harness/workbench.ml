@@ -9,10 +9,11 @@ let chunks_of_input input =
   in
   if String.equal input "" then [] else split input
 
-let run ?(fuel = 400_000_000) (applied : Defenses.Defense.applied) ~seed
-    (w : Apps.Spec.workload) =
+let run ?backend ?(fuel = 400_000_000) (applied : Defenses.Defense.applied)
+    ~seed (w : Apps.Spec.workload) =
   let outcome, stats =
-    Apps.Runner.run_chunks ~fuel applied ~seed ~chunks:(chunks_of_input w.input)
+    Apps.Runner.run_chunks ?backend ~fuel applied ~seed
+      ~chunks:(chunks_of_input w.input)
   in
   (match outcome with
   | Machine.Exec.Exit 0L -> ()
@@ -25,23 +26,28 @@ let run ?(fuel = 400_000_000) (applied : Defenses.Defense.applied) ~seed
 
 let baseline_cache : (string, Machine.Exec.stats) Hashtbl.t = Hashtbl.create 16
 
-let baseline ?(seed = 1L) (w : Apps.Spec.workload) =
-  let key = Printf.sprintf "%s@%Ld" w.wname seed in
+let baseline ?backend ?(seed = 1L) (w : Apps.Spec.workload) =
+  let label =
+    match backend with
+    | Some b -> b.Machine.Backend.label
+    | None -> (Machine.Backend.default ()).Machine.Backend.label
+  in
+  let key = Printf.sprintf "%s@%Ld@%s" w.wname seed label in
   match Hashtbl.find_opt baseline_cache key with
   | Some stats -> stats
   | None ->
       let applied =
         Defenses.Defense.apply Defenses.Defense.No_defense (Lazy.force w.program)
       in
-      let _, stats = run applied ~seed w in
+      let _, stats = run ?backend applied ~seed w in
       Hashtbl.replace baseline_cache key stats;
       stats
 
-let smokestack_stats ?(seed = 1L) config (w : Apps.Spec.workload) =
+let smokestack_stats ?backend ?(seed = 1L) config (w : Apps.Spec.workload) =
   let applied =
     Defenses.Defense.apply ~seed:3L
       (Defenses.Defense.Smokestack config)
       (Lazy.force w.program)
   in
-  let _, stats = run applied ~seed w in
+  let _, stats = run ?backend applied ~seed w in
   (stats, applied.pbox_bytes)

@@ -4,7 +4,12 @@
 val chunk_size : int
 (** 48 bytes per [read_input] answer. *)
 
+val chunks_of_input : string -> string list
+(** Splits a workload's input string into [chunk_size]-byte messages
+    (empty input means no messages). *)
+
 val run :
+  ?backend:Machine.Backend.t ->
   ?fuel:int ->
   Defenses.Defense.applied ->
   seed:int64 ->
@@ -12,13 +17,19 @@ val run :
   Machine.Exec.outcome * Machine.Exec.stats
 (** One process run of the workload.  Raises [Failure] if the program
     did not exit cleanly — a workload crash means the harness itself is
-    broken, and the experiment must not silently absorb that. *)
+    broken, and the experiment must not silently absorb that.
+    [?backend] selects the execution engine (defaults to
+    {!Machine.Backend.default}). *)
 
 val baseline :
-  ?seed:int64 -> Apps.Spec.workload -> Machine.Exec.stats
-(** No-defense run (memoized per workload). *)
+  ?backend:Machine.Backend.t ->
+  ?seed:int64 ->
+  Apps.Spec.workload ->
+  Machine.Exec.stats
+(** No-defense run (memoized per workload, seed and backend). *)
 
 val smokestack_stats :
+  ?backend:Machine.Backend.t ->
   ?seed:int64 ->
   Smokestack.Config.t ->
   Apps.Spec.workload ->

@@ -1,0 +1,43 @@
+type kind = Reference | Bytecode
+
+type run_fn =
+  ?fuel:int -> ?entry:string -> ?args:int64 list -> Exec.state -> Exec.outcome * Exec.stats
+
+type t = { kind : kind; label : string; run : run_fn }
+
+let kind_to_string = function Reference -> "ref" | Bytecode -> "bytecode"
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "ref" | "reference" | "interp" -> Some Reference
+  | "bytecode" | "bc" | "engine" -> Some Bytecode
+  | _ -> None
+
+let all_kinds = [ Reference; Bytecode ]
+
+let reference = { kind = Reference; label = "reference"; run = Exec.run }
+
+(* Backends register themselves at link time (the bytecode engine lives
+   in a separate library that depends on this one); the reference
+   interpreter is always available. *)
+let registry : (kind, t) Hashtbl.t = Hashtbl.create 4
+let () = Hashtbl.replace registry Reference reference
+let register b = Hashtbl.replace registry b.kind b
+let find_opt kind = Hashtbl.find_opt registry kind
+
+let find kind =
+  match find_opt kind with
+  | Some b -> b
+  | None ->
+      failwith
+        (Printf.sprintf
+           "Machine.Backend.find: backend %S is not linked into this executable"
+           (kind_to_string kind))
+
+let default_kind = ref Reference
+
+let set_default kind =
+  ignore (find kind);
+  default_kind := kind
+
+let default () = find !default_kind

@@ -528,6 +528,17 @@ let rec call_function (st : state) (f : Ir.Func.t) (args : int64 list) :
       st.depth <- st.depth - 1;
       raise e
 
+let stats_of_state (st : state) =
+  {
+    cycles = st.cycles;
+    instr_count = st.instr_count;
+    call_count = st.call_count;
+    max_depth = st.max_depth;
+    max_frame_bytes = st.max_frame_bytes;
+    rss_bytes = Memory.touched_bytes st.mem;
+    output = Buffer.contents st.output;
+  }
+
 let run ?(fuel = 200_000_000) ?(entry = "main") ?(args = []) st =
   st.fuel <- fuel;
   current_func := entry;
@@ -552,15 +563,4 @@ let run ?(fuel = 200_000_000) ?(entry = "main") ?(args = []) st =
             Detected { reason; func = !current_func }
         | Out_of_fuel -> Fuel_exhausted)
   in
-  let stats =
-    {
-      cycles = st.cycles;
-      instr_count = st.instr_count;
-      call_count = st.call_count;
-      max_depth = st.max_depth;
-      max_frame_bytes = st.max_frame_bytes;
-      rss_bytes = Memory.touched_bytes st.mem;
-      output = Buffer.contents st.output;
-    }
-  in
-  (outcome, stats)
+  (outcome, stats_of_state st)

@@ -72,12 +72,32 @@ val outcome_to_string : outcome -> string
 exception Detect of string
 (** Raised by defense intrinsics to signal detection. *)
 
+exception Exit_program of int64
+(** Raised by the [exit] builtin; execution engines turn it into
+    {!constructor:Exit}. *)
+
+exception Out_of_fuel
+(** Raised when the instruction budget runs out; execution engines turn
+    it into {!constructor:Fuel_exhausted}. *)
+
 val default_stack_top : int
 (** Initial stack pointer of every prepared state (no ASLR in the
     baseline VM — the determinism DOP attacks rely on). *)
 
 val default_heap_base : int
 (** First address the bump allocator hands out. *)
+
+(** {1 Address-space constants} — shared with alternative execution
+    backends (see {!module:Backend}), which must charge the same
+    segment-dependent load costs and resolve the same function
+    tokens. *)
+
+val func_token_base : int
+(** Address of the first function token; function [i] of the program
+    gets token [func_token_base + 16 * i]. *)
+
+val rodata_base : int
+val data_base : int
 
 val prepare : ?heap_size:int -> ?stack_size:int -> Ir.Prog.t -> state
 (** Loads globals into rodata/data segments and builds a fresh state.
@@ -100,6 +120,24 @@ val run : ?fuel:int -> ?entry:string -> ?args:int64 list -> state -> outcome * s
 (** Executes [entry] (default ["main"]). [fuel] bounds executed
     instructions (default 200 million). The state is consumed: run each
     prepared state once. *)
+
+(** {1 Shared execution services} — the pieces of the reference
+    interpreter an alternative backend must reuse verbatim so that both
+    backends produce bit-identical outcomes, cycle counts and output
+    (see [test/test_engine.ml] for the differential contract). *)
+
+val run_builtin : state -> string -> int64 array -> int64 option
+(** Executes one builtin against the state (charging its cost model).
+    Raises {!exception:Exit_program} for [exit] and
+    {!Memory.Fault} for [abort] or unknown names. *)
+
+val eval_binop : Ir.Instr.binop -> int64 -> int64 -> int64
+(** Shared arithmetic, including the division-by-zero fault. *)
+
+val eval_icmp : Ir.Instr.icmp -> int64 -> int64 -> int64
+
+val stats_of_state : state -> stats
+(** Snapshot of the accounting fields, as {!run} returns them. *)
 
 val builtin_names : string list
 (** Externs the machine resolves: C-library models and VM services

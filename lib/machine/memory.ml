@@ -31,7 +31,10 @@ type segment = {
   touched : Bytes.t;
 }
 
-type t = { segs : segment array }
+type t = {
+  segs : segment array;  (* sorted by base; disjoint *)
+  mutable last : int;  (* index of the last segment hit, for locality *)
+}
 
 let create specs =
   let segs =
@@ -60,7 +63,7 @@ let create specs =
                prev.name s.name)
       end)
     segs;
-  { segs }
+  { segs; last = 0 }
 
 let segments t = Array.to_list t.segs
 
@@ -74,16 +77,38 @@ let find t addr =
     (fun s -> addr >= s.base && addr < s.base + Bytes.length s.bytes)
     t.segs
 
+(* Hot path for every load/store: no closures, no [option] allocation,
+   and a one-element cache of the last segment hit (accesses cluster on
+   the stack or one data segment, so the cache almost always hits and
+   skips the linear scan). *)
 let locate t ~op addr size =
   if addr = 0 then raise (Fault Null_dereference);
-  match find t addr with
-  | Some s when addr + size <= s.base + Bytes.length s.bytes -> s
-  | _ -> raise (Fault (Out_of_bounds { addr; size; op }))
+  let segs = t.segs in
+  let s = Array.unsafe_get segs t.last in
+  if addr >= s.base && addr + size <= s.base + Bytes.length s.bytes then s
+  else begin
+    let n = Array.length segs in
+    let rec scan i =
+      if i >= n then raise (Fault (Out_of_bounds { addr; size; op }))
+      else
+        let s = Array.unsafe_get segs i in
+        (* segments are disjoint, so containment of [addr] identifies
+           the unique candidate; an access that starts inside a segment
+           but overruns it is out of bounds, exactly as before *)
+        if addr >= s.base && addr + size <= s.base + Bytes.length s.bytes
+        then begin
+          t.last <- i;
+          s
+        end
+        else scan (i + 1)
+    in
+    scan 0
+  end
 
 let touch s off size =
   let first = off / page_size and last = (off + size - 1) / page_size in
   for p = first to last do
-    Bytes.set s.touched p '\001'
+    Bytes.unsafe_set s.touched p '\001'
   done
 
 let load t ~width addr =

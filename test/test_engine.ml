@@ -1,0 +1,432 @@
+(* Tier-1 tests for the bytecode execution engine (lib/engine) and the
+   cycle cost model it must reproduce exactly.
+
+   The engine's contract is bit-identity with Machine.Exec.run on every
+   observable — outcome, output, float cycle count (order-sensitive
+   additions!), instruction/call counts, depth/frame/RSS accounting and
+   trace events.  These tests check the contract three ways: direct
+   cost arithmetic on hand-built IR, targeted parity cases for every
+   divergence-prone path (faults, traps, fuel, detection, laziness),
+   and seeded differential fuzzing plus the full application matrix via
+   Harness.Diffval. *)
+
+let ref_backend = Machine.Backend.reference
+let bc_backend = Engine.Backend.backend
+let both = [ ("reference", ref_backend); ("bytecode", bc_backend) ]
+
+let compile = Minic.Driver.compile
+
+let run_both ?fuel ?(input = "") src =
+  let prog = compile src in
+  List.map
+    (fun (label, (b : Machine.Backend.t)) ->
+      let st = Machine.Exec.prepare prog in
+      Machine.Exec.set_input st (Machine.Exec.input_string input);
+      (label, b.run ?fuel st))
+    both
+
+let check_identical what results =
+  match results with
+  | (_, r1) :: rest ->
+      List.iter
+        (fun (label, r) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s matches reference" what label)
+            true (r = r1))
+        rest
+  | [] -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cost model invariants *)
+
+let test_cost_rng_aes_endpoints () =
+  Alcotest.(check (float 0.))
+    "AES-1 matches Table I" 19.2
+    (Machine.Cost.rng_aes ~rounds:1);
+  Alcotest.(check (float 0.))
+    "AES-10 matches Table I" 92.8
+    (Machine.Cost.rng_aes ~rounds:10);
+  Alcotest.(check (float 0.)) "rng_aes1 endpoint" Machine.Cost.rng_aes1
+    (Machine.Cost.rng_aes ~rounds:1);
+  Alcotest.(check (float 0.)) "rng_aes10 endpoint" Machine.Cost.rng_aes10
+    (Machine.Cost.rng_aes ~rounds:10)
+
+let test_cost_rng_aes_bounds () =
+  List.iter
+    (fun rounds ->
+      match Machine.Cost.rng_aes ~rounds with
+      | _ -> Alcotest.failf "rounds=%d should be rejected" rounds
+      | exception Invalid_argument _ -> ())
+    [ 0; 11; -1 ]
+
+let test_cost_rng_monotonic () =
+  for rounds = 2 to 10 do
+    Alcotest.(check bool)
+      (Printf.sprintf "rng_aes %d > rng_aes %d" rounds (rounds - 1))
+      true
+      (Machine.Cost.rng_aes ~rounds > Machine.Cost.rng_aes ~rounds:(rounds - 1))
+  done;
+  Alcotest.(check bool)
+    "pseudo < AES-1 < AES-10 < RDRAND" true
+    (Machine.Cost.rng_pseudo < Machine.Cost.rng_aes1
+    && Machine.Cost.rng_aes1 < Machine.Cost.rng_aes10
+    && Machine.Cost.rng_aes10 < Machine.Cost.rng_rdrand)
+
+let test_cost_structure () =
+  let open Machine.Cost in
+  List.iter
+    (fun (name, c) ->
+      Alcotest.(check bool) (name ^ " positive") true (c > 0.))
+    [
+      ("alu", alu); ("div", div); ("load", load); ("load_rodata", load_rodata);
+      ("store", store); ("alloca", alloca); ("branch", branch);
+      ("cond_branch", cond_branch); ("call_overhead", call_overhead);
+      ("intrinsic_base", intrinsic_base); ("syscall", syscall);
+    ];
+  Alcotest.(check bool) "div dominates alu (P-BOX pow2 payoff)" true (div > alu);
+  Alcotest.(check bool) "rodata loads are cache-friendly" true
+    (load_rodata < load)
+
+(* Exact per-instruction charges, on hand-built IR so no compiler pass
+   can change the instruction mix under the test.  Both engines must
+   produce the same hand-computed total. *)
+let straightline_prog () =
+  let prog = Ir.Prog.create () in
+  let f = Ir.Func.create ~name:"main" ~params:[] ~returns:(Some Ir.Ty.I64) in
+  let b = Ir.Builder.create f in
+  let x = Ir.Builder.binop b Ir.Instr.Add (Ir.Instr.Imm 40L) (Ir.Instr.Imm 2L) in
+  let q =
+    Ir.Builder.binop b Ir.Instr.Sdiv (Ir.Instr.Reg x) (Ir.Instr.Imm 7L)
+  in
+  let c =
+    Ir.Builder.icmp b Ir.Instr.Sgt (Ir.Instr.Reg q) (Ir.Instr.Imm 0L)
+  in
+  let s =
+    Ir.Builder.select b (Ir.Instr.Reg c) (Ir.Instr.Reg q) (Ir.Instr.Imm 0L)
+  in
+  let a = Ir.Builder.alloca b Ir.Ty.I64 in
+  Ir.Builder.store b Ir.Ty.I64 ~value:(Ir.Instr.Reg s) ~addr:(Ir.Instr.Reg a);
+  let l = Ir.Builder.load b Ir.Ty.I64 (Ir.Instr.Reg a) in
+  let g = Ir.Builder.gep b (Ir.Instr.Reg a) ~offset:0 in
+  let _ = Ir.Builder.sext b ~width:4 (Ir.Instr.Reg l) in
+  let _ = Ir.Builder.trunc b ~width:4 (Ir.Instr.Reg g) in
+  Ir.Builder.ret b (Some (Ir.Instr.Imm 0L));
+  Ir.Prog.add_func prog f;
+  prog
+
+let straightline_cycles =
+  let open Machine.Cost in
+  call_overhead +. alu +. div +. alu +. alu +. alloca +. store +. load +. alu
+  +. alu +. alu +. branch
+
+let test_cost_per_instruction_charges () =
+  let prog = straightline_prog () in
+  List.iter
+    (fun (label, (b : Machine.Backend.t)) ->
+      let st = Machine.Exec.prepare prog in
+      let outcome, stats = b.run st in
+      Alcotest.(check bool) (label ^ ": exits") true
+        (outcome = Machine.Exec.Exit 0L);
+      Alcotest.(check (float 0.))
+        (label ^ ": hand-computed cycle total")
+        straightline_cycles stats.cycles;
+      Alcotest.(check int) (label ^ ": instr count") 10 stats.instr_count)
+    both
+
+(* ------------------------------------------------------------------ *)
+(* Targeted engine parity: every divergence-prone path *)
+
+let test_parity_outputs_and_stats () =
+  check_identical "fib+output"
+    (run_both
+       {|
+int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+int main() { print_int(fib(18)); return 0; }
+|})
+
+let test_parity_fuel_exhaustion () =
+  let results =
+    run_both ~fuel:500 {| int main() { while (1) { } return 0; } |}
+  in
+  List.iter
+    (fun (label, (o, _)) ->
+      Alcotest.(check bool) (label ^ ": fuel exhausted") true
+        (o = Machine.Exec.Fuel_exhausted))
+    results;
+  check_identical "fuel exhaustion" results
+
+let test_parity_memory_fault () =
+  let results =
+    run_both {| int main() { int *p; p = 0; return *p; } |}
+  in
+  List.iter
+    (fun (label, (o, _)) ->
+      match o with
+      | Machine.Exec.Fault { fault = Machine.Memory.Null_dereference; _ } -> ()
+      | o ->
+          Alcotest.failf "%s: expected null-deref fault, got %s" label
+            (Machine.Exec.outcome_to_string o))
+    results;
+  check_identical "null deref" results
+
+let test_parity_stack_overflow () =
+  check_identical "stack overflow"
+    (run_both
+       {|
+int deep(int n) { int pad[64]; pad[0] = n; return deep(n + pad[0] - n + 1); }
+int main() { return deep(0); }
+|})
+
+let test_parity_vla_out_of_range () =
+  check_identical "VLA out of range"
+    (run_both
+       {|
+int main() { int n; int buf[n]; n = 0 - 5; buf[0] = n; return buf[0]; }
+|})
+
+(* An unknown direct callee must fault only when the call executes, and
+   with the reference's message. *)
+let unknown_callee_prog () =
+  let prog = Ir.Prog.create () in
+  let f = Ir.Func.create ~name:"main" ~params:[] ~returns:(Some Ir.Ty.I64) in
+  let b = Ir.Builder.create f in
+  let c = Ir.Builder.icmp b Ir.Instr.Eq (Ir.Instr.Imm 1L) (Ir.Instr.Imm 1L) in
+  Ir.Builder.cond_br b (Ir.Instr.Reg c) ~if_true:"good" ~if_false:"bad";
+  let _ = Ir.Builder.start_block b "good" in
+  Ir.Builder.ret b (Some (Ir.Instr.Imm 0L));
+  let _ = Ir.Builder.start_block b "bad" in
+  let _ = Ir.Builder.call b "no_such_function" [] in
+  Ir.Builder.ret b (Some (Ir.Instr.Imm 1L));
+  Ir.Prog.add_func prog f;
+  prog
+
+let test_parity_unknown_callee_lazy () =
+  (* not executed: both engines must succeed *)
+  let prog = unknown_callee_prog () in
+  List.iter
+    (fun (label, (b : Machine.Backend.t)) ->
+      let st = Machine.Exec.prepare prog in
+      let outcome, _ = b.run st in
+      Alcotest.(check bool)
+        (label ^ ": dead unknown callee is harmless")
+        true
+        (outcome = Machine.Exec.Exit 0L))
+    both
+
+let test_parity_indirect_call_garbage () =
+  let prog = Ir.Prog.create () in
+  let f = Ir.Func.create ~name:"main" ~params:[] ~returns:(Some Ir.Ty.I64) in
+  let b = Ir.Builder.create f in
+  let _ = Ir.Builder.call_ind b (Ir.Instr.Imm 12345L) [ Ir.Instr.Imm 1L ] in
+  Ir.Builder.ret b (Some (Ir.Instr.Imm 0L));
+  Ir.Prog.add_func prog f;
+  let results =
+    List.map
+      (fun (label, (bk : Machine.Backend.t)) ->
+        (label, bk.run (Machine.Exec.prepare prog)))
+      both
+  in
+  List.iter
+    (fun (label, (o, _)) ->
+      match o with
+      | Machine.Exec.Fault { fault = Machine.Memory.Misc m; _ } ->
+          Alcotest.(check string)
+            (label ^ ": non-function target message")
+            "indirect call to non-function address 0x3039" m
+      | o ->
+          Alcotest.failf "%s: expected fault, got %s" label
+            (Machine.Exec.outcome_to_string o))
+    results;
+  check_identical "indirect call to non-function" results
+
+let test_parity_unregistered_intrinsic () =
+  let prog = Ir.Prog.create () in
+  let f = Ir.Func.create ~name:"main" ~params:[] ~returns:(Some Ir.Ty.I64) in
+  let b = Ir.Builder.create f in
+  let _ = Ir.Builder.intrinsic b "ss_missing" [] in
+  Ir.Builder.ret b (Some (Ir.Instr.Imm 0L));
+  Ir.Prog.add_func prog f;
+  let results =
+    List.map
+      (fun (label, (bk : Machine.Backend.t)) ->
+        (label, bk.run (Machine.Exec.prepare prog)))
+      both
+  in
+  List.iter
+    (fun (label, (o, _)) ->
+      match o with
+      | Machine.Exec.Fault { fault = Machine.Memory.Misc m; _ } ->
+          Alcotest.(check string)
+            (label ^ ": unregistered intrinsic message")
+            "unregistered intrinsic ss_missing" m
+      | o ->
+          Alcotest.failf "%s: expected fault, got %s" label
+            (Machine.Exec.outcome_to_string o))
+    results;
+  check_identical "unregistered intrinsic" results
+
+let test_parity_detection () =
+  let prog = Ir.Prog.create () in
+  let f = Ir.Func.create ~name:"main" ~params:[] ~returns:(Some Ir.Ty.I64) in
+  let b = Ir.Builder.create f in
+  let _ = Ir.Builder.intrinsic b "ss_tripwire" [] in
+  Ir.Builder.ret b (Some (Ir.Instr.Imm 0L));
+  Ir.Prog.add_func prog f;
+  let results =
+    List.map
+      (fun (label, (bk : Machine.Backend.t)) ->
+        let st = Machine.Exec.prepare prog in
+        Machine.Exec.register_intrinsic st "ss_tripwire" (fun _ _ ->
+            raise (Machine.Exec.Detect "fid mismatch"));
+        (label, bk.run st))
+      both
+  in
+  List.iter
+    (fun (label, (o, _)) ->
+      match o with
+      | Machine.Exec.Detected { reason = "fid mismatch"; func = "main" } -> ()
+      | o ->
+          Alcotest.failf "%s: expected detection, got %s" label
+            (Machine.Exec.outcome_to_string o))
+    results;
+  check_identical "detection" results
+
+(* The reference evaluates only the taken select arm; an unresolvable
+   operand in the dead arm must stay dormant on both engines. *)
+let select_lazy_prog ~take_bad =
+  let prog = Ir.Prog.create () in
+  let f = Ir.Func.create ~name:"main" ~params:[] ~returns:(Some Ir.Ty.I64) in
+  let b = Ir.Builder.create f in
+  let cond = if take_bad then 0L else 1L in
+  let s =
+    Ir.Builder.select b (Ir.Instr.Imm cond) (Ir.Instr.Imm 0L)
+      (Ir.Instr.Global "no_such_global")
+  in
+  Ir.Builder.ret b (Some (Ir.Instr.Reg s));
+  Ir.Prog.add_func prog f;
+  prog
+
+let test_parity_select_lazy_arms () =
+  List.iter
+    (fun (label, (bk : Machine.Backend.t)) ->
+      let outcome, _ = bk.run (Machine.Exec.prepare (select_lazy_prog ~take_bad:false)) in
+      Alcotest.(check bool)
+        (label ^ ": dead bad arm never evaluated")
+        true
+        (outcome = Machine.Exec.Exit 0L))
+    both;
+  (* taken bad arm: the reference raises Invalid_argument out of run *)
+  List.iter
+    (fun (label, (bk : Machine.Backend.t)) ->
+      match bk.run (Machine.Exec.prepare (select_lazy_prog ~take_bad:true)) with
+      | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+      | exception Invalid_argument m ->
+          Alcotest.(check string)
+            (label ^ ": unknown-global message")
+            "Machine.Exec.global_addr: no global no_such_global" m)
+    both
+
+let test_parity_trace_events () =
+  let prog =
+    compile
+      {|
+int helper(int x) { return x * 3; }
+int main() { print_int(helper(2) + helper(5)); return 0; }
+|}
+  in
+  let traces =
+    List.map
+      (fun (label, (bk : Machine.Backend.t)) ->
+        let st = Machine.Exec.prepare prog in
+        let t = Machine.Trace.create () in
+        Machine.Trace.attach t st;
+        let _ = bk.run st in
+        (label, Machine.Trace.events t))
+      both
+  in
+  check_identical "trace events" traces
+
+(* ------------------------------------------------------------------ *)
+(* Backend registry *)
+
+let test_backend_registry () =
+  Alcotest.(check bool) "reference always registered" true
+    (Option.is_some (Machine.Backend.find_opt Machine.Backend.Reference));
+  Engine.Backend.install ();
+  Alcotest.(check bool) "bytecode registered after install" true
+    (Option.is_some (Machine.Backend.find_opt Machine.Backend.Bytecode));
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Machine.Backend.kind_to_string kind ^ " name round-trips")
+        true
+        (Machine.Backend.kind_of_string (Machine.Backend.kind_to_string kind)
+        = Some kind))
+    Machine.Backend.all_kinds;
+  Alcotest.(check bool) "aliases resolve" true
+    (Machine.Backend.kind_of_string "bc" = Some Machine.Backend.Bytecode
+    && Machine.Backend.kind_of_string "interp" = Some Machine.Backend.Reference
+    && Machine.Backend.kind_of_string "nonsense" = None);
+  let saved = (Machine.Backend.default ()).kind in
+  Machine.Backend.set_default Machine.Backend.Bytecode;
+  Alcotest.(check string) "set_default switches" "bytecode"
+    (Machine.Backend.default ()).label;
+  Machine.Backend.set_default saved
+
+(* ------------------------------------------------------------------ *)
+(* Differential validation: fuzzed programs + the application matrix *)
+
+let test_diffval_progen () =
+  let report = Harness.Diffval.check_progen ~seed:1000L 50 in
+  if not (Harness.Diffval.ok report) then
+    Alcotest.fail (Harness.Diffval.report_to_string report);
+  Alcotest.(check int) "all seeds ran" 50 report.cases
+
+let test_diffval_apps () =
+  let report = Harness.Diffval.check_apps () in
+  if not (Harness.Diffval.ok report) then
+    Alcotest.fail (Harness.Diffval.report_to_string report)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "rng_aes endpoints" `Quick
+            test_cost_rng_aes_endpoints;
+          Alcotest.test_case "rng_aes bounds" `Quick test_cost_rng_aes_bounds;
+          Alcotest.test_case "rng monotonicity" `Quick test_cost_rng_monotonic;
+          Alcotest.test_case "charge structure" `Quick test_cost_structure;
+          Alcotest.test_case "per-instruction charges" `Quick
+            test_cost_per_instruction_charges;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "outputs and stats" `Quick
+            test_parity_outputs_and_stats;
+          Alcotest.test_case "fuel exhaustion" `Quick test_parity_fuel_exhaustion;
+          Alcotest.test_case "memory fault" `Quick test_parity_memory_fault;
+          Alcotest.test_case "stack overflow" `Quick test_parity_stack_overflow;
+          Alcotest.test_case "VLA out of range" `Quick
+            test_parity_vla_out_of_range;
+          Alcotest.test_case "unknown callee is lazy" `Quick
+            test_parity_unknown_callee_lazy;
+          Alcotest.test_case "indirect call garbage" `Quick
+            test_parity_indirect_call_garbage;
+          Alcotest.test_case "unregistered intrinsic" `Quick
+            test_parity_unregistered_intrinsic;
+          Alcotest.test_case "detection" `Quick test_parity_detection;
+          Alcotest.test_case "select arms stay lazy" `Quick
+            test_parity_select_lazy_arms;
+          Alcotest.test_case "trace events" `Quick test_parity_trace_events;
+        ] );
+      ( "backend",
+        [ Alcotest.test_case "registry" `Quick test_backend_registry ] );
+      ( "diffval",
+        [
+          Alcotest.test_case "50 progen programs" `Slow test_diffval_progen;
+          Alcotest.test_case "application matrix" `Slow test_diffval_apps;
+        ] );
+    ]
