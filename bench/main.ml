@@ -8,64 +8,70 @@
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- fig3      # one experiment
      dune exec bench/main.exe -- table1 fig4 micro
-   Experiments: table1 fig3 fig4 bypass pentest realvuln brute ablation micro engine *)
+     dune exec bench/main.exe -- --jobs=8 fig3
+   Experiments: table1 fig3 fig4 bypass pentest realvuln brute ablation micro engine
+
+   --jobs=N runs each paper-table experiment's cells on N domains;
+   tables are identical for every N.  The wall-clock benchmarks (micro,
+   engine) always run sequentially — parallel neighbours would perturb
+   their timings. *)
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
 (* ------------------------------------------------------------------ *)
 (* Paper-style tables                                                  *)
 
-let run_table1 () =
-  let t = Harness.Randrate.run () in
+let run_table1 pool =
+  let t = Harness.Randrate.run ~pool () in
   Sutil.Texttable.print
     ~title:"Table I: source of randomness (cycles per 64-bit draw)"
     (Harness.Randrate.table t)
 
-let run_fig3 () =
-  let t = Harness.Overhead.run () in
+let run_fig3 pool =
+  let t = Harness.Overhead.run ~pool () in
   Sutil.Texttable.print
     ~title:"Figure 3: % runtime overhead (SPEC-like + I/O workloads)"
     (Harness.Overhead.table t);
   say "worst I/O-bound overhead: %s (paper: 6%% worst case)"
     (Sutil.Texttable.fmt_pct t.io_worst)
 
-let run_fig4 () =
-  let t = Harness.Memov.run () in
+let run_fig4 pool =
+  let t = Harness.Memov.run ~pool () in
   Sutil.Texttable.print ~title:"Figure 4: % memory overhead (max-RSS proxy)"
     (Harness.Memov.table t)
 
-let run_bypass () =
-  let t = Harness.Security.bypass_prior () in
+let run_bypass pool =
+  let t = Harness.Security.bypass_prior ~pool () in
   Sutil.Texttable.print ~title:t.title (Harness.Security.table t)
 
-let run_pentest () =
-  let t = Harness.Security.pentest () in
+let run_pentest pool =
+  let t = Harness.Security.pentest ~pool () in
   Sutil.Texttable.print ~title:t.title (Harness.Security.table t)
 
-let run_realvuln () =
-  let t = Harness.Security.realvuln () in
+let run_realvuln pool =
+  let t = Harness.Security.realvuln ~pool () in
   Sutil.Texttable.print ~title:t.title (Harness.Security.table t)
 
-let run_brute () =
-  let rows = Harness.Security.brute () in
+let run_brute pool =
+  let rows = Harness.Security.brute ~pool () in
   Sutil.Texttable.print
     ~title:"E8: brute-force attempts until the librelp exploit lands"
     (Harness.Security.brute_table rows)
 
-let run_rngsec () =
-  let t = Harness.Security.rng_security () in
+let run_rngsec pool =
+  let t = Harness.Security.rng_security ~pool () in
   Sutil.Texttable.print ~title:t.title (Harness.Security.table t)
 
-let run_rerand () =
-  let rows = Harness.Security.rerandomization () in
+let run_rerand pool =
+  let rows = Harness.Security.rerandomization ~pool () in
   Sutil.Texttable.print
     ~title:
       "E11: same-run probe-then-exploit vs re-randomization interval \
        (per-invocation is the design point)"
     (Harness.Security.rerand_table rows)
 
-let run_ablation () =
-  let t = Harness.Ablation.run () in
+let run_ablation pool =
+  let t = Harness.Ablation.run ~pool () in
   Sutil.Texttable.print ~title:"E7: P-BOX optimization ablation"
     (Harness.Ablation.table t)
 
@@ -254,22 +260,42 @@ let experiments =
     ("rngsec", run_rngsec);
     ("rerand", run_rerand);
     ("ablation", run_ablation);
-    ("micro", run_micro);
-    ("engine", run_engine);
+    (* wall-clock benchmarks: always sequential, the pool is unused *)
+    ("micro", fun (_ : Sched.Pool.t) -> run_micro ());
+    ("engine", fun (_ : Sched.Pool.t) -> run_engine ());
   ]
 
+let jobs_prefix = "--jobs="
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  let args = List.tl (Array.to_list Sys.argv) in
+  let jobs_args, names =
+    List.partition (String.starts_with ~prefix:jobs_prefix) args
   in
+  let jobs =
+    match jobs_args with
+    | [] -> None
+    | spec :: _ -> (
+        let v =
+          String.sub spec (String.length jobs_prefix)
+            (String.length spec - String.length jobs_prefix)
+        in
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> Some n
+        | _ ->
+            say "bad --jobs value %S (want a positive integer)" spec;
+            exit 2)
+  in
+  let requested =
+    match names with [] -> List.map fst experiments | names -> names
+  in
+  Sched.Pool.with_pool ?jobs @@ fun pool ->
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f ->
           say "== %s ==" name;
-          f ();
+          f pool;
           say ""
       | None ->
           say "unknown experiment %S; available: %s" name

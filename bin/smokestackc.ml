@@ -85,40 +85,95 @@ let engine_arg =
            interpreter) or $(b,bytecode) (compiled dispatch loop; \
            identical observable behaviour, several times faster)")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for multi-seed runs (default: the host's \
+           recommended domain count).  Output order is seed order \
+           regardless of N.")
+
+let seeds_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:
+          "Run N times with consecutive seeds (seed, seed+1, ...); \
+           combined with $(b,--jobs) the runs execute in parallel.  \
+           N=1 (the default) is the plain single run.")
+
 let run_cmd =
-  let action file harden scheme seed input no_fid optimize trace engine =
+  let action file harden scheme seed input no_fid optimize trace engine jobs
+      seeds =
+    if seeds < 1 then begin
+      prerr_endline "smokestackc run: --seeds must be >= 1";
+      exit 2
+    end;
     let prog = compile ~optimize file in
-    let st =
-      if harden then
-        let hardened = Smokestack.Harden.harden (config_of scheme no_fid) prog in
-        Smokestack.Harden.prepare hardened
-          ~entropy:(Crypto.Entropy.create ~seed)
-      else Machine.Exec.prepare prog
+    (* One self-contained run; returns everything to print so that
+       multi-seed runs can execute as pool jobs and still emit output in
+       seed order. *)
+    let run_one ~seed =
+      let st =
+        if harden then
+          let hardened =
+            Smokestack.Harden.harden (config_of scheme no_fid) prog
+          in
+          Smokestack.Harden.prepare hardened
+            ~entropy:(Crypto.Entropy.create ~seed)
+        else Machine.Exec.prepare prog
+      in
+      let tracer =
+        if trace then begin
+          let t = Machine.Trace.create () in
+          Machine.Trace.attach t st;
+          Some t
+        end
+        else None
+      in
+      Machine.Exec.set_input st (Machine.Exec.input_string input);
+      let backend = Machine.Backend.find engine in
+      let outcome, stats = backend.Machine.Backend.run st in
+      (outcome, stats, Option.map (Machine.Trace.render ~limit:200) tracer)
     in
-    let tracer =
-      if trace then begin
-        let t = Machine.Trace.create () in
-        Machine.Trace.attach t st;
-        Some t
-      end
-      else None
+    let print_result ?seed (outcome, (stats : Machine.Exec.stats), trace_str) =
+      Option.iter prerr_string trace_str;
+      Option.iter (Printf.printf "== seed %Ld ==\n") seed;
+      print_string stats.output;
+      Printf.printf
+        "-- %s | cycles=%.0f instrs=%d calls=%d max-depth=%d max-frame=%dB rss=%s\n"
+        (Machine.Exec.outcome_to_string outcome)
+        stats.cycles stats.instr_count stats.call_count stats.max_depth
+        stats.max_frame_bytes
+        (Sutil.Texttable.fmt_bytes stats.rss_bytes);
+      match outcome with Machine.Exec.Exit 0L -> true | _ -> false
     in
-    Machine.Exec.set_input st (Machine.Exec.input_string input);
-    let backend = Machine.Backend.find engine in
-    let outcome, stats = backend.Machine.Backend.run st in
-    Option.iter (fun t -> prerr_string (Machine.Trace.render ~limit:200 t)) tracer;
-    print_string stats.output;
-    Printf.printf "-- %s | cycles=%.0f instrs=%d calls=%d max-depth=%d max-frame=%dB rss=%s\n"
-      (Machine.Exec.outcome_to_string outcome)
-      stats.cycles stats.instr_count stats.call_count stats.max_depth
-      stats.max_frame_bytes
-      (Sutil.Texttable.fmt_bytes stats.rss_bytes);
-    match outcome with Machine.Exec.Exit 0L -> () | _ -> exit 1
+    if seeds = 1 then begin
+      if not (print_result (run_one ~seed)) then exit 1
+    end
+    else begin
+      let results =
+        Sched.Pool.with_pool ?jobs @@ fun pool ->
+        Sched.Pool.run_all pool
+          (List.init seeds (fun i ->
+               let seed = Int64.add seed (Int64.of_int i) in
+               Sched.Job.v ~id:(Printf.sprintf "run/seed-%Ld" seed) ~seed
+                 (fun () -> (seed, run_one ~seed))))
+      in
+      let ok =
+        List.fold_left
+          (fun acc (seed, result) -> print_result ~seed result && acc)
+          true results
+      in
+      if not ok then exit 1
+    end
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a MiniC program")
     Term.(
       const action $ file_arg $ harden_flag $ scheme_arg $ seed_arg $ input_arg
-      $ no_fid $ opt_flag $ trace_flag $ engine_arg)
+      $ no_fid $ opt_flag $ trace_flag $ engine_arg $ jobs_arg $ seeds_arg)
 
 let ir_cmd =
   let action file harden scheme no_fid optimize =

@@ -16,21 +16,22 @@ let gmul a b =
 
 (* The S-box is derived rather than transcribed: multiplicative inverse
    in GF(2^8) followed by the FIPS-197 affine transformation.  The
-   known-answer tests pin it against published vectors. *)
+   known-answer tests pin it against published vectors.  Computed
+   eagerly at module init — a module-level [lazy] would be a concurrent
+   Lazy.force hazard once pool jobs run AES on several domains. *)
 let sbox_table =
-  lazy
-    (let inv = Array.make 256 0 in
-     for a = 1 to 255 do
-       for b = 1 to 255 do
-         if gmul a b = 1 then inv.(a) <- b
-       done
-     done;
-     Array.init 256 (fun x ->
-         let b = inv.(x) in
-         let rotl8 v k = ((v lsl k) lor (v lsr (8 - k))) land 0xff in
-         b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63))
+  let inv = Array.make 256 0 in
+  for a = 1 to 255 do
+    for b = 1 to 255 do
+      if gmul a b = 1 then inv.(a) <- b
+    done
+  done;
+  Array.init 256 (fun x ->
+      let b = inv.(x) in
+      let rotl8 v k = ((v lsl k) lor (v lsr (8 - k))) land 0xff in
+      b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63)
 
-let sbox x = (Lazy.force sbox_table).(x land 0xff)
+let sbox x = sbox_table.(x land 0xff)
 
 type key = { round_keys : int array array (* 11 round keys x 16 bytes *) }
 

@@ -27,11 +27,18 @@ module Cost = Machine.Cost
 (* Compiled-program cache, keyed by physical program identity and
    revalidated against the mutable IR (passes run strictly before
    execution, so in the steady state — one applied defense, many runs —
-   every run after the first is a cache hit). *)
-let cache : Compile.program list ref = ref []
+   every run after the first is a cache hit).  The MRU list is
+   domain-local: each domain compiles and caches independently, so
+   concurrent jobs on a Sched.Pool never contend or observe each
+   other's evictions, and the single-domain path costs one extra array
+   read per run (Domain.DLS.get). *)
+let cache_key : Compile.program list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
 let cache_cap = 8
 
 let compiled_for (st : Exec.state) =
+  let cache = Domain.DLS.get cache_key in
   match List.find_opt (fun p -> Compile.valid p st.prog) !cache with
   | Some p ->
       cache := p :: List.filter (fun q -> q != p) !cache;

@@ -1,8 +1,10 @@
 (** Bytecode dispatch loop.
 
     Runs a prepared {!Machine.Exec.state} by compiling its program to
-    bytecode (cached per program) and executing a flat dispatch loop
-    over mutable [int64] register frames.  Preserves the reference
+    bytecode (cached per program, {e per domain} — the MRU cache lives
+    in domain-local storage, so concurrent {!Sched.Pool} jobs never
+    share or invalidate each other's compiled images) and executing a
+    flat dispatch loop over mutable [int64] register frames.  Preserves the reference
     interpreter's full observable contract — identical outcomes, program
     output, cycle/instruction/call accounting, memory faults, detection
     events and trace emission — which [test/test_engine.ml] checks

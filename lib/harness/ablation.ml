@@ -20,27 +20,31 @@ let configs =
     ("no VLA padding", { base with vla_padding = false });
   ]
 
-let run ?(seed = 1L) () =
+let run ?(pool = Sched.Pool.sequential) ?(seed = 1L) () =
   let probe =
     match Apps.Spec.find "gobmk" with
     | Some w -> w
     | None -> failwith "Harness.Ablation: gobmk workload missing"
   in
+  Workbench.force_programs Apps.Spec.all;
   let rows =
-    List.map
-      (fun (label, config) ->
-        let total_pbox_bytes =
-          List.fold_left
-            (fun acc (w : Apps.Spec.workload) ->
-              let hardened =
-                Smokestack.Harden.harden ~seed:3L config (Lazy.force w.program)
-              in
-              acc + Smokestack.Harden.pbox_bytes hardened)
-            0 Apps.Spec.all
-        in
-        let stats, _ = Workbench.smokestack_stats ~seed config probe in
-        { label; config; total_pbox_bytes; gobmk_cycles = stats.cycles })
-      configs
+    Sched.Pool.run_all pool
+      (List.map
+         (fun (label, config) ->
+           Sched.Job.v ~id:("e7/" ^ label) ~seed (fun () ->
+               let total_pbox_bytes =
+                 List.fold_left
+                   (fun acc (w : Apps.Spec.workload) ->
+                     let hardened =
+                       Smokestack.Harden.harden ~seed:3L config
+                         (Lazy.force w.program)
+                     in
+                     acc + Smokestack.Harden.pbox_bytes hardened)
+                   0 Apps.Spec.all
+               in
+               let stats, _ = Workbench.smokestack_stats ~seed config probe in
+               { label; config; total_pbox_bytes; gobmk_cycles = stats.cycles }))
+         configs)
   in
   { rows }
 

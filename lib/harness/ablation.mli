@@ -23,6 +23,8 @@ type row = {
 
 type t = { rows : row list }
 
-val run : ?seed:int64 -> unit -> t
+val run : ?pool:Sched.Pool.t -> ?seed:int64 -> unit -> t
+(** One job per ablation configuration when [?pool] is parallel. *)
+
 val table : t -> Sutil.Texttable.t
 val to_markdown : t -> string

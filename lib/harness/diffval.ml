@@ -65,37 +65,47 @@ let defenses_under_test =
   [ Defenses.Defense.No_defense;
     Defenses.Defense.Smokestack Smokestack.Config.default ]
 
-let check_apps ?fuel () =
+let check_apps ?(pool = Sched.Pool.sequential) ?fuel () =
+  Workbench.force_programs Apps.Spec.all;
   let mismatches =
-    List.concat_map
-      (fun (w : Apps.Spec.workload) ->
-        List.concat_map
-          (fun d ->
-            let case =
-              Printf.sprintf "%s/%s" w.wname (Defenses.Defense.name d)
-            in
-            let applied = Defenses.Defense.apply ~seed:3L d (Lazy.force w.program) in
-            check_applied ~case ?fuel ~seed:1L
-              ~chunks:(Workbench.chunks_of_input w.input)
-              applied)
-          defenses_under_test)
-      Apps.Spec.all
+    List.concat
+      (Sched.Pool.run_all pool
+         (List.concat_map
+            (fun (w : Apps.Spec.workload) ->
+              List.map
+                (fun d ->
+                  let case =
+                    Printf.sprintf "%s/%s" w.wname (Defenses.Defense.name d)
+                  in
+                  Sched.Job.v ~id:("diffval/" ^ case) ~seed:1L (fun () ->
+                      let applied =
+                        Defenses.Defense.apply ~seed:3L d (Lazy.force w.program)
+                      in
+                      check_applied ~case ?fuel ~seed:1L
+                        ~chunks:(Workbench.chunks_of_input w.input)
+                        applied))
+                defenses_under_test)
+            Apps.Spec.all))
   in
   { cases = List.length Apps.Spec.all * List.length defenses_under_test;
     mismatches }
 
-let check_progen ?(fuel = 2_000_000) ~seed count =
+let check_progen ?(pool = Sched.Pool.sequential) ?(fuel = 2_000_000) ~seed count =
   let reference, bytecode = backends () in
-  let mismatches = ref [] in
-  for i = 0 to count - 1 do
-    let pseed = Int64.add seed (Int64.of_int i) in
-    let case = Printf.sprintf "progen seed %Ld" pseed in
-    let prog = Minic.Driver.compile (Minic.Progen.generate ~seed:pseed) in
-    let run (backend : Machine.Backend.t) =
-      let st = Machine.Exec.prepare prog in
-      backend.run ~fuel st
-    in
-    mismatches :=
-      !mismatches @ compare_observables ~case (run reference) (run bytecode)
-  done;
-  { cases = count; mismatches = !mismatches }
+  let mismatches =
+    List.concat
+      (Sched.Pool.run_all pool
+         (List.init count (fun i ->
+              let pseed = Int64.add seed (Int64.of_int i) in
+              let case = Printf.sprintf "progen seed %Ld" pseed in
+              Sched.Job.v ~id:("diffval/" ^ case) ~seed:pseed (fun () ->
+                  let prog =
+                    Minic.Driver.compile (Minic.Progen.generate ~seed:pseed)
+                  in
+                  let run (backend : Machine.Backend.t) =
+                    let st = Machine.Exec.prepare prog in
+                    backend.run ~fuel st
+                  in
+                  compare_observables ~case (run reference) (run bytecode)))))
+  in
+  { cases = count; mismatches }

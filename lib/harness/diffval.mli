@@ -31,10 +31,12 @@ val check_applied :
 (** One defense-applied program, both backends, fresh state each
     (entropy derived from [seed], so both runs see identical draws). *)
 
-val check_apps : ?fuel:int -> unit -> report
+val check_apps : ?pool:Sched.Pool.t -> ?fuel:int -> unit -> report
 (** Every {!Apps.Spec.all} workload under both [No_defense] and the
-    default Smokestack configuration. *)
+    default Smokestack configuration.  One job per (workload, defense)
+    pair; mismatches are concatenated in submission order. *)
 
-val check_progen : ?fuel:int -> seed:int64 -> int -> report
+val check_progen : ?pool:Sched.Pool.t -> ?fuel:int -> seed:int64 -> int -> report
 (** [check_progen ~seed n] validates [n] Progen-generated programs with
-    seeds [seed, seed+1, ...] (deterministic, input-free). *)
+    seeds [seed, seed+1, ...] (deterministic, input-free).  One job per
+    seed. *)

@@ -15,10 +15,14 @@ type t = { rows : row list; mean_pct : float }
    putting the percentages on a real process's scale. *)
 let process_floor_bytes = 1 lsl 20
 
-let run ?(workloads = Apps.Spec.spec) ?(seed = 1L) () =
+let run ?(pool = Sched.Pool.sequential) ?(workloads = Apps.Spec.spec)
+    ?(seed = 1L) () =
+  Workbench.force_programs workloads;
   let rows =
-    List.map
+    Sched.Pool.run_all pool
+    @@ List.map
       (fun (w : Apps.Spec.workload) ->
+        Sched.Job.v ~id:("fig4/" ^ w.wname) ~seed @@ fun () ->
         let base = Workbench.baseline ~seed w in
         let stats, pbox_bytes =
           Workbench.smokestack_stats ~seed Smokestack.Config.default w

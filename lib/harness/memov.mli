@@ -22,8 +22,14 @@ val process_floor_bytes : int
     added to both sides so percentages sit on a real process's scale
     while the numerator stays exactly the P-BOX pages. *)
 
-val run : ?workloads:Apps.Spec.workload list -> ?seed:int64 -> unit -> t
-(** Uses the AES-10 configuration (the scheme does not affect memory). *)
+val run :
+  ?pool:Sched.Pool.t ->
+  ?workloads:Apps.Spec.workload list ->
+  ?seed:int64 ->
+  unit ->
+  t
+(** Uses the AES-10 configuration (the scheme does not affect memory).
+    One job per workload when [?pool] is parallel. *)
 
 val table : t -> Sutil.Texttable.t
 val to_markdown : t -> string

@@ -11,32 +11,65 @@ type t = {
   io_worst : float;
 }
 
-let run ?(workloads = Apps.Spec.all) ?(seed = 1L) () =
+(* Two job waves: one baseline job per workload, then one hardened run
+   per (workload, scheme) cell.  Rows are reassembled from the cell
+   list by submission order, so the parallel report is byte-identical
+   to the sequential one. *)
+let run ?(pool = Sched.Pool.sequential) ?(workloads = Apps.Spec.all)
+    ?(seed = 1L) () =
+  Workbench.force_programs workloads;
+  let baselines =
+    Sched.Pool.run_all pool
+      (List.map
+         (fun (w : Apps.Spec.workload) ->
+           Sched.Job.v ~id:("fig3/baseline/" ^ w.wname) ~seed (fun () ->
+               Workbench.baseline ~seed w))
+         workloads)
+  in
+  let cell_jobs =
+    List.concat_map
+      (fun ((w : Apps.Spec.workload), (base : Machine.Exec.stats)) ->
+        List.map
+          (fun scheme ->
+            Sched.Job.v
+              ~id:(Printf.sprintf "fig3/%s/%s" w.wname (Rng.Scheme.name scheme))
+              ~seed
+              (fun () ->
+                let config =
+                  Smokestack.Config.with_scheme scheme Smokestack.Config.default
+                in
+                let stats, _ = Workbench.smokestack_stats ~seed config w in
+                let measured =
+                  Sutil.Stats.percent_overhead ~baseline:base.cycles
+                    ~measured:stats.cycles
+                in
+                (scheme, measured +. w.sched_bias_pct)))
+          Rng.Scheme.all)
+      (List.combine workloads baselines)
+  in
+  let cells = ref (Sched.Pool.run_all pool cell_jobs) in
+  let next_cells n =
+    let rec take n acc rest =
+      if n = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> invalid_arg "Harness.Overhead: cell underflow"
+        | c :: rest -> take (n - 1) (c :: acc) rest
+    in
+    let got, rest = take n [] !cells in
+    cells := rest;
+    got
+  in
   let rows =
     List.map
-      (fun (w : Apps.Spec.workload) ->
-        let base = Workbench.baseline ~seed w in
-        let by_scheme =
-          List.map
-            (fun scheme ->
-              let config =
-                Smokestack.Config.with_scheme scheme Smokestack.Config.default
-              in
-              let stats, _ = Workbench.smokestack_stats ~seed config w in
-              let measured =
-                Sutil.Stats.percent_overhead ~baseline:base.cycles
-                  ~measured:stats.cycles
-              in
-              (scheme, measured +. w.sched_bias_pct))
-            Rng.Scheme.all
-        in
+      (fun ((w : Apps.Spec.workload), (base : Machine.Exec.stats)) ->
         {
           workload = w.wname;
           kind = w.kind;
           baseline_cycles = base.cycles;
-          by_scheme;
+          by_scheme = next_cells (List.length Rng.Scheme.all);
         })
-      workloads
+      (List.combine workloads baselines)
   in
   let spec_rows = List.filter (fun r -> r.kind = `Spec) rows in
   let io_rows = List.filter (fun r -> r.kind = `Io) rows in

@@ -14,10 +14,17 @@ type t = {
   io_worst : float;  (** worst I/O overhead under AES-10 (paper: 6%) *)
 }
 
-val run : ?workloads:Apps.Spec.workload list -> ?seed:int64 -> unit -> t
+val run :
+  ?pool:Sched.Pool.t ->
+  ?workloads:Apps.Spec.workload list ->
+  ?seed:int64 ->
+  unit ->
+  t
 (** Measures every workload baseline vs hardened under each of the four
     schemes.  The reported percentage is measured overhead plus the
-    workload's modeled scheduling bias (see {!Apps.Spec}). *)
+    workload's modeled scheduling bias (see {!Apps.Spec}).  With
+    [?pool] the per-(workload, scheme) runs execute as parallel jobs;
+    results are identical to the sequential default. *)
 
 val table : t -> Sutil.Texttable.t
 val to_markdown : t -> string

@@ -59,17 +59,20 @@ let measure ~draws ~seed scheme =
   in
   ((cycles -. pseudo_cycles) /. float_of_int draws) +. Machine.Cost.rng_pseudo
 
-let run ?(draws = 100_000) ?(seed = 7L) () =
+let run ?(pool = Sched.Pool.sequential) ?(draws = 100_000) ?(seed = 7L) () =
   let rows =
-    List.map
-      (fun scheme ->
-        {
-          scheme;
-          security = Rng.Scheme.security scheme;
-          cycles_per_draw = measure ~draws ~seed scheme;
-          draws_measured = draws;
-        })
-      Rng.Scheme.all
+    Sched.Pool.run_all pool
+      (List.map
+         (fun scheme ->
+           Sched.Job.v ~id:("table1/" ^ Rng.Scheme.name scheme) ~seed
+             (fun () ->
+               {
+                 scheme;
+                 security = Rng.Scheme.security scheme;
+                 cycles_per_draw = measure ~draws ~seed scheme;
+                 draws_measured = draws;
+               }))
+         Rng.Scheme.all)
   in
   { rows }
 

@@ -11,8 +11,9 @@ type row = {
 
 type t = { rows : row list }
 
-val run : ?draws:int -> ?seed:int64 -> unit -> t
-(** [draws] defaults to 100_000 per scheme. *)
+val run : ?pool:Sched.Pool.t -> ?draws:int -> ?seed:int64 -> unit -> t
+(** [draws] defaults to 100_000 per scheme; one job per scheme when
+    [?pool] is parallel (each job compiles its own probe program). *)
 
 val paper_values : (string * float) list
 (** The paper's Table I numbers, for the EXPERIMENTS.md comparison:

@@ -7,8 +7,12 @@ type cell = {
 
 type t = { title : string; cells : cell list }
 
-let trials attack applied ~n ~seed0 =
-  List.init n (fun i -> attack applied ~seed:(Int64.of_int (seed0 + (1000 * i))))
+let trials ?(pool = Sched.Pool.sequential) attack applied ~n ~seed0 =
+  Sched.Pool.run_all pool
+    (List.init n (fun i ->
+         let seed = Int64.of_int (seed0 + (1000 * i)) in
+         Sched.Job.v ~id:(Printf.sprintf "trial/%d" i) ~seed (fun () ->
+             attack applied ~seed)))
 
 let mk_cell attack_name defense verdicts =
   {
@@ -20,22 +24,34 @@ let mk_cell attack_name defense verdicts =
 
 let defenses () = Defenses.Defense.all ()
 
-let pentest ?(trials_per_cell = 12) ?(build_seed = 3L) () =
+(* One job per (attack, defense) cell: the job builds its own applied
+   program (a fresh Ir.Prog copy) and runs its trials, so nothing is
+   shared between jobs but the read-only source program, pre-forced in
+   the submitting domain. *)
+let pentest ?(pool = Sched.Pool.sequential) ?(trials_per_cell = 12)
+    ?(build_seed = 3L) () =
   let cells =
-    List.concat_map
-      (fun (v : Apps.Synth.variant) ->
-        let prog = Lazy.force v.program in
-        List.map
-          (fun d ->
-            let applied = Defenses.Defense.apply ~seed:build_seed d prog in
-            mk_cell v.vname d
-              (trials v.attack applied ~n:trials_per_cell ~seed0:17))
-          (defenses ()))
-      Apps.Synth.variants
+    Sched.Pool.run_all pool
+      (List.concat_map
+         (fun (v : Apps.Synth.variant) ->
+           let prog = Lazy.force v.program in
+           List.map
+             (fun d ->
+               Sched.Job.v
+                 ~id:
+                   (Printf.sprintf "e5/%s/%s" v.vname (Defenses.Defense.name d))
+                 ~seed:build_seed
+                 (fun () ->
+                   let applied = Defenses.Defense.apply ~seed:build_seed d prog in
+                   mk_cell v.vname d
+                     (trials v.attack applied ~n:trials_per_cell ~seed0:17)))
+             (defenses ()))
+         Apps.Synth.variants)
   in
   { title = "E5: synthetic DOP penetration tests (success rate per attempt)"; cells }
 
-let bypass_prior ?(trials_per_cell = 12) ?(builds = 12) () =
+let bypass_prior ?(pool = Sched.Pool.sequential) ?(trials_per_cell = 12)
+    ?(builds = 12) () =
   let prog = Lazy.force Apps.Librelp.program in
   let strategies =
     [
@@ -44,35 +60,48 @@ let bypass_prior ?(trials_per_cell = 12) ?(builds = 12) () =
     ]
   in
   let cells =
-    List.concat_map
-      (fun (name, attack) ->
-        List.map
-          (fun d ->
-            (* per-build randomization: every trial gets a fresh build,
-               so the rate reads "fraction of builds exploitable" *)
-            let per_build =
-              match d with
-              | Defenses.Defense.Forrest_pad | Defenses.Defense.Static_perm -> true
-              | _ -> false
-            in
-            let verdicts =
-              if per_build then
-                List.init builds (fun b ->
-                    let applied =
-                      Defenses.Defense.apply ~seed:(Int64.of_int (100 + b)) d prog
-                    in
-                    attack applied ~seed:(Int64.of_int (17 + (1000 * b))))
-              else
-                let applied = Defenses.Defense.apply ~seed:3L d prog in
-                trials attack applied ~n:trials_per_cell ~seed0:17
-            in
-            mk_cell name d verdicts)
-          (defenses ()))
-      strategies
+    Sched.Pool.run_all pool
+      (List.concat_map
+         (fun (name, attack) ->
+           List.map
+             (fun d ->
+               Sched.Job.v
+                 ~id:(Printf.sprintf "e4/%s/%s" name (Defenses.Defense.name d))
+                 ~seed:3L
+                 (fun () ->
+                   (* per-build randomization: every trial gets a fresh
+                      build, so the rate reads "fraction of builds
+                      exploitable" *)
+                   let per_build =
+                     match d with
+                     | Defenses.Defense.Forrest_pad | Defenses.Defense.Static_perm
+                       ->
+                         true
+                     | _ -> false
+                   in
+                   let verdicts =
+                     if per_build then
+                       List.init builds (fun b ->
+                           let applied =
+                             Defenses.Defense.apply
+                               ~seed:(Int64.of_int (100 + b))
+                               d prog
+                           in
+                           attack applied ~seed:(Int64.of_int (17 + (1000 * b))))
+                     else
+                       let applied = Defenses.Defense.apply ~seed:3L d prog in
+                       trials attack applied ~n:trials_per_cell ~seed0:17
+                   in
+                   mk_cell name d verdicts))
+             (defenses ()))
+         strategies)
   in
   { title = "E4: librelp CVE-2018-1000140 vs prior stack randomizations"; cells }
 
-let realvuln ?(trials_per_cell = 12) ?(build_seed = 3L) () =
+let realvuln ?(pool = Sched.Pool.sequential) ?(trials_per_cell = 12)
+    ?(build_seed = 3L) () =
+  (* Programs are forced here, in the submitting domain, so the jobs
+     only ever read them. *)
   let attacks =
     [
       ( "librelp/key-leak",
@@ -89,34 +118,44 @@ let realvuln ?(trials_per_cell = 12) ?(build_seed = 3L) () =
     ]
   in
   let cells =
-    List.concat_map
-      (fun (name, prog, attack) ->
-        List.map
-          (fun d ->
-            let applied = Defenses.Defense.apply ~seed:build_seed d prog in
-            mk_cell name d (trials attack applied ~n:trials_per_cell ~seed0:29))
-          [
-            Defenses.Defense.No_defense;
-            Defenses.Defense.Smokestack Smokestack.Config.default;
-          ])
-      attacks
+    Sched.Pool.run_all pool
+      (List.concat_map
+         (fun (name, prog, attack) ->
+           List.map
+             (fun d ->
+               Sched.Job.v
+                 ~id:(Printf.sprintf "e6/%s/%s" name (Defenses.Defense.name d))
+                 ~seed:build_seed
+                 (fun () ->
+                   let applied = Defenses.Defense.apply ~seed:build_seed d prog in
+                   mk_cell name d
+                     (trials attack applied ~n:trials_per_cell ~seed0:29)))
+             [
+               Defenses.Defense.No_defense;
+               Defenses.Defense.Smokestack Smokestack.Config.default;
+             ])
+         attacks)
   in
   { title = "E6: real-vulnerability DOP exploits, undefended vs Smokestack"; cells }
 
-let rng_security ?(trials_per_cell = 12) ?(build_seed = 3L) () =
+let rng_security ?(pool = Sched.Pool.sequential) ?(trials_per_cell = 12)
+    ?(build_seed = 3L) () =
   let prog = Lazy.force Apps.Librelp.program in
   let cells =
-    List.map
-      (fun scheme ->
-        let config =
-          Smokestack.Config.with_scheme scheme Smokestack.Config.default
-        in
-        let d = Defenses.Defense.Smokestack config in
-        let applied = Defenses.Defense.apply ~seed:build_seed d prog in
-        mk_cell "librelp/state-disclosure" d
-          (trials Apps.Librelp.attack_pseudo_state applied ~n:trials_per_cell
-             ~seed0:61))
-      Rng.Scheme.all
+    Sched.Pool.run_all pool
+      (List.map
+         (fun scheme ->
+           Sched.Job.v ~id:("e10/" ^ Rng.Scheme.name scheme) ~seed:build_seed
+             (fun () ->
+               let config =
+                 Smokestack.Config.with_scheme scheme Smokestack.Config.default
+               in
+               let d = Defenses.Defense.Smokestack config in
+               let applied = Defenses.Defense.apply ~seed:build_seed d prog in
+               mk_cell "librelp/state-disclosure" d
+                 (trials Apps.Librelp.attack_pseudo_state applied
+                    ~n:trials_per_cell ~seed0:61)))
+         Rng.Scheme.all)
   in
   {
     title =
@@ -127,20 +166,28 @@ let rng_security ?(trials_per_cell = 12) ?(build_seed = 3L) () =
 
 type rerand_row = { interval : int; rr_success_rate : float }
 
-let rerandomization ?(trials_per_cell = 12) ?(intervals = [ 1; 8; 64 ]) () =
+let rerandomization ?(pool = Sched.Pool.sequential) ?(trials_per_cell = 12)
+    ?(intervals = [ 1; 8; 64 ]) () =
   let prog = Lazy.force Apps.Librelp.program in
-  List.map
-    (fun interval ->
-      let config = { Smokestack.Config.default with redraw_interval = interval } in
-      let applied =
-        Defenses.Defense.apply ~seed:3L (Defenses.Defense.Smokestack config) prog
-      in
-      let verdicts =
-        trials Apps.Librelp.attack_probe_then_exploit applied ~n:trials_per_cell
-          ~seed0:83
-      in
-      { interval; rr_success_rate = Attacks.Verdict.success_rate verdicts })
-    intervals
+  Sched.Pool.run_all pool
+    (List.map
+       (fun interval ->
+         Sched.Job.v ~id:(Printf.sprintf "e11/interval-%d" interval) ~seed:3L
+           (fun () ->
+             let config =
+               { Smokestack.Config.default with redraw_interval = interval }
+             in
+             let applied =
+               Defenses.Defense.apply ~seed:3L
+                 (Defenses.Defense.Smokestack config)
+                 prog
+             in
+             let verdicts =
+               trials Apps.Librelp.attack_probe_then_exploit applied
+                 ~n:trials_per_cell ~seed0:83
+             in
+             { interval; rr_success_rate = Attacks.Verdict.success_rate verdicts }))
+       intervals)
 
 let rerand_table rows =
   let tbl =
@@ -180,26 +227,32 @@ type brute_row = {
   detected_along_the_way : int;
 }
 
-let brute ?(max_attempts = 400) ?(build_seed = 3L) () =
+let brute ?(pool = Sched.Pool.sequential) ?(max_attempts = 400)
+    ?(build_seed = 3L) () =
   let prog = Lazy.force Apps.Librelp.program in
-  List.map
-    (fun d ->
-      let applied = Defenses.Defense.apply ~seed:build_seed d prog in
-      let result =
-        Attacks.Bruteforce.run ~max_attempts (fun i ->
-            Apps.Librelp.attack_static applied ~seed:(Int64.of_int (5000 + i)))
-      in
-      {
-        bdefense = d;
-        attempts_to_success = (if result.succeeded then Some result.attempts else None);
-        budget = max_attempts;
-        detected_along_the_way =
-          List.length
-            (List.filter
-               (function Attacks.Verdict.Detected _ -> true | _ -> false)
-               result.verdicts);
-      })
-    (defenses ())
+  Sched.Pool.run_all pool
+    (List.map
+       (fun d ->
+         Sched.Job.v ~id:("e9/" ^ Defenses.Defense.name d) ~seed:build_seed
+           (fun () ->
+             let applied = Defenses.Defense.apply ~seed:build_seed d prog in
+             let result =
+               Attacks.Bruteforce.run ~max_attempts (fun i ->
+                   Apps.Librelp.attack_static applied
+                     ~seed:(Int64.of_int (5000 + i)))
+             in
+             {
+               bdefense = d;
+               attempts_to_success =
+                 (if result.succeeded then Some result.attempts else None);
+               budget = max_attempts;
+               detected_along_the_way =
+                 List.length
+                   (List.filter
+                      (function Attacks.Verdict.Detected _ -> true | _ -> false)
+                      result.verdicts);
+             }))
+       (defenses ()))
 
 let table t =
   let names = List.sort_uniq compare (List.map (fun c -> c.attack_name) t.cells) in

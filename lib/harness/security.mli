@@ -16,27 +16,35 @@ type cell = {
 type t = { title : string; cells : cell list }
 
 val trials :
+  ?pool:Sched.Pool.t ->
   (Defenses.Defense.applied -> seed:int64 -> Attacks.Verdict.t) ->
   Defenses.Defense.applied ->
   n:int ->
   seed0:int ->
   Attacks.Verdict.t list
+(** [n] independent attempts with seeds [seed0 + 1000*i], collected in
+    trial order.  [?pool] parallelizes the attempts; the experiment
+    drivers below instead parallelize at cell granularity and call this
+    sequentially from inside their jobs (never nest [Sched.Pool.run_all]
+    on the same pool). *)
 
-val pentest : ?trials_per_cell:int -> ?build_seed:int64 -> unit -> t
+val pentest : ?pool:Sched.Pool.t -> ?trials_per_cell:int -> ?build_seed:int64 -> unit -> t
 (** E5 — the synthetic {direct,indirect} x {stack,data,heap} matrix
-    against all six defenses. *)
+    against all six defenses.  One job per (attack, defense) cell. *)
 
-val bypass_prior : ?trials_per_cell:int -> ?builds:int -> unit -> t
+val bypass_prior : ?pool:Sched.Pool.t -> ?trials_per_cell:int -> ?builds:int -> unit -> t
 (** E4 — the librelp PoC against the prior stack randomizations, via
     both attacker strategies (binary analysis; probe-then-exploit
     disclosure).  For the per-build defenses each trial uses a fresh
-    build, so the rate reads "fraction of builds exploitable". *)
+    build, so the rate reads "fraction of builds exploitable".
+    One job per (strategy, defense) cell. *)
 
-val realvuln : ?trials_per_cell:int -> ?build_seed:int64 -> unit -> t
+val realvuln : ?pool:Sched.Pool.t -> ?trials_per_cell:int -> ?build_seed:int64 -> unit -> t
 (** E6 — librelp key leak, Wireshark CVE-2014-2299, and the three
-    ProFTPD CVE-2006-5815 exploits: undefended vs Smokestack (AES-10). *)
+    ProFTPD CVE-2006-5815 exploits: undefended vs Smokestack (AES-10).
+    One job per (exploit, defense) cell. *)
 
-val rng_security : ?trials_per_cell:int -> ?build_seed:int64 -> unit -> t
+val rng_security : ?pool:Sched.Pool.t -> ?trials_per_cell:int -> ?build_seed:int64 -> unit -> t
 (** E10 (extension) — why the randomness source matters: the
     state-disclosure prediction attack (read the pseudo generator's
     in-memory word, invert xorshift, replicate the public layout
@@ -47,7 +55,11 @@ val rng_security : ?trials_per_cell:int -> ?build_seed:int64 -> unit -> t
 type rerand_row = { interval : int; rr_success_rate : float }
 
 val rerandomization :
-  ?trials_per_cell:int -> ?intervals:int list -> unit -> rerand_row list
+  ?pool:Sched.Pool.t ->
+  ?trials_per_cell:int ->
+  ?intervals:int list ->
+  unit ->
+  rerand_row list
 (** E11 (extension) — why {e per-invocation} matters: the same-run
     probe-then-exploit attack against Smokestack variants that redraw
     the permutation index every [n]-th request.  Windows smaller than
@@ -64,9 +76,16 @@ type brute_row = {
   detected_along_the_way : int;
 }
 
-val brute : ?max_attempts:int -> ?build_seed:int64 -> unit -> brute_row list
+val brute :
+  ?pool:Sched.Pool.t ->
+  ?max_attempts:int ->
+  ?build_seed:int64 ->
+  unit ->
+  brute_row list
 (** E8 — brute-force the librelp exploit against each defense with a
-    restart-after-crash service model. *)
+    restart-after-crash service model.  One job per defense; the
+    attempt sequence within a defense stays sequential because each
+    attempt's outcome gates the next. *)
 
 val table : t -> Sutil.Texttable.t
 val to_markdown : t -> string

@@ -24,23 +24,46 @@ let run ?backend ?(fuel = 400_000_000) (applied : Defenses.Defense.applied)
            (Machine.Exec.outcome_to_string o)));
   (outcome, stats)
 
+let force_programs workloads =
+  List.iter
+    (fun (w : Apps.Spec.workload) -> ignore (Lazy.force w.program))
+    workloads
+
+(* Baseline stats memo.  The key includes the engine *kind* (the
+   registry identity, not the display label): without it a
+   reference-engine baseline could be served to a bytecode-engine
+   comparison.  Access is mutex-guarded so parallel Sched jobs can
+   share the memo; the guarded sections are lookups and inserts only —
+   the run itself happens unlocked, and since stats are deterministic
+   per key, two jobs racing on a miss waste one run but can never
+   produce a wrong or order-dependent answer. *)
 let baseline_cache : (string, Machine.Exec.stats) Hashtbl.t = Hashtbl.create 16
+let baseline_mutex = Mutex.create ()
 
 let baseline ?backend ?(seed = 1L) (w : Apps.Spec.workload) =
-  let label =
-    match backend with
-    | Some b -> b.Machine.Backend.label
-    | None -> (Machine.Backend.default ()).Machine.Backend.label
+  let backend =
+    match backend with Some b -> b | None -> Machine.Backend.default ()
   in
-  let key = Printf.sprintf "%s@%Ld@%s" w.wname seed label in
-  match Hashtbl.find_opt baseline_cache key with
+  let key =
+    Printf.sprintf "%s@%Ld@%s" w.wname seed
+      (Machine.Backend.kind_to_string backend.Machine.Backend.kind)
+  in
+  let cached =
+    Mutex.lock baseline_mutex;
+    let r = Hashtbl.find_opt baseline_cache key in
+    Mutex.unlock baseline_mutex;
+    r
+  in
+  match cached with
   | Some stats -> stats
   | None ->
       let applied =
         Defenses.Defense.apply Defenses.Defense.No_defense (Lazy.force w.program)
       in
-      let _, stats = run ?backend applied ~seed w in
+      let _, stats = run ~backend applied ~seed w in
+      Mutex.lock baseline_mutex;
       Hashtbl.replace baseline_cache key stats;
+      Mutex.unlock baseline_mutex;
       stats
 
 let smokestack_stats ?backend ?(seed = 1L) config (w : Apps.Spec.workload) =

@@ -21,12 +21,22 @@ val run :
     [?backend] selects the execution engine (defaults to
     {!Machine.Backend.default}). *)
 
+val force_programs : Apps.Spec.workload list -> unit
+(** Compile every workload's lazy program now, in the calling domain.
+    Experiment job builders call this before submitting to a
+    {!Sched.Pool}: forcing the same lazy concurrently from two domains
+    is undefined in OCaml 5, so the force must happen sequentially. *)
+
 val baseline :
   ?backend:Machine.Backend.t ->
   ?seed:int64 ->
   Apps.Spec.workload ->
   Machine.Exec.stats
-(** No-defense run (memoized per workload, seed and backend). *)
+(** No-defense run, memoized per (workload, seed, engine kind) — the
+    engine is part of the key so a reference baseline is never served
+    to a bytecode comparison.  The memo is mutex-guarded and safe to
+    call from parallel jobs; values are deterministic per key, so
+    parallel and sequential runs observe identical stats. *)
 
 val smokestack_stats :
   ?backend:Machine.Backend.t ->

@@ -18,6 +18,9 @@ val run : ?verify:bool -> t list -> Prog.t -> unit
 
 val timings : unit -> (string * float) list
 (** Cumulative wall-clock seconds per pass name since startup, most
-    recent first; for the compile-time reporting in the harness. *)
+    recent first; for the compile-time reporting in the harness.  The
+    accumulator is process-wide and mutex-guarded (passes may run from
+    several domains at once); it is diagnostic only and never feeds
+    experiment results. *)
 
 val reset_timings : unit -> unit

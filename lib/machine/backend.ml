@@ -34,10 +34,10 @@ let find kind =
            "Machine.Backend.find: backend %S is not linked into this executable"
            (kind_to_string kind))
 
-let default_kind = ref Reference
+let default_kind = Atomic.make Reference
 
 let set_default kind =
   ignore (find kind);
-  default_kind := kind
+  Atomic.set default_kind kind
 
-let default () = find !default_kind
+let default () = find (Atomic.get default_kind)

@@ -6,7 +6,13 @@
     harness, the benchmarks and the CLIs via [--engine].  Every backend
     consumes a prepared {!Exec.state} and must preserve the full
     observable contract: identical outcomes, program output, cycle
-    accounting, fault and detection events, and trace emission. *)
+    accounting, fault and detection events, and trace emission.
+
+    Domain-safety: the registry is mutated only by library
+    initializers at link time and {!set_default} is an atomic switch
+    meant for CLI startup — both strictly before any {!Sched.Pool}
+    worker domains exist.  After startup every operation here is a
+    read, safe from any domain. *)
 
 type kind = Reference | Bytecode
 

@@ -27,6 +27,7 @@ type state = {
   intrinsics : (string, intrinsic) Hashtbl.t;
   mutable input : state -> int -> string;
   mutable on_event : (trace_event -> unit) option;
+  mutable cur_func : string;
 }
 
 and intrinsic = state -> int64 array -> int64 option
@@ -142,6 +143,7 @@ let prepare ?(heap_size = 8 * 1024 * 1024) ?(stack_size = 1024 * 1024)
     intrinsics = Hashtbl.create 16;
     input = (fun _ _ -> "");
     on_event = None;
+    cur_func = "?";
   }
 
 let register_intrinsic st name fn = Hashtbl.replace st.intrinsics name fn
@@ -353,16 +355,14 @@ let eval_icmp op a b =
   in
   if r then 1L else 0L
 
-let current_func = ref "?"
-
 let rec call_function (st : state) (f : Ir.Func.t) (args : int64 list) :
     int64 option =
   st.call_count <- st.call_count + 1;
   st.depth <- st.depth + 1;
   st.max_depth <- max st.max_depth st.depth;
   charge st Cost.call_overhead;
-  let caller = !current_func in
-  current_func := f.name;
+  let caller = st.cur_func in
+  st.cur_func <- f.name;
   (match st.on_event with
   | Some emit -> emit (Ev_call { func = f.name; depth = st.depth; sp = st.sp })
   | None -> ());
@@ -520,11 +520,11 @@ let rec call_function (st : state) (f : Ir.Func.t) (args : int64 list) :
       (match st.on_event with
       | Some emit -> emit (Ev_return { func = f.name; depth = st.depth })
       | None -> ());
-      current_func := caller;
+      st.cur_func <- caller;
       result
   | exception e ->
       (* unwind bookkeeping but propagate: the run is over, and
-         [current_func] keeps the innermost function for the report *)
+         [cur_func] keeps the innermost function for the report *)
       st.depth <- st.depth - 1;
       raise e
 
@@ -541,7 +541,7 @@ let stats_of_state (st : state) =
 
 let run ?(fuel = 200_000_000) ?(entry = "main") ?(args = []) st =
   st.fuel <- fuel;
-  current_func := entry;
+  st.cur_func <- entry;
   let outcome =
     match Ir.Prog.find_func st.prog entry with
     | None -> Fault { fault = Memory.Misc ("no entry function " ^ entry); func = "-" }
@@ -555,12 +555,12 @@ let run ?(fuel = 200_000_000) ?(entry = "main") ?(args = []) st =
             (match st.on_event with
             | Some emit -> emit (Ev_fault { detail = Memory.fault_to_string fault })
             | None -> ());
-            Fault { fault; func = !current_func }
+            Fault { fault; func = st.cur_func }
         | Detect reason ->
             (match st.on_event with
             | Some emit -> emit (Ev_detected { reason })
             | None -> ());
-            Detected { reason; func = !current_func }
+            Detected { reason; func = st.cur_func }
         | Out_of_fuel -> Fuel_exhausted)
   in
   (outcome, stats_of_state st)

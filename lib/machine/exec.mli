@@ -45,6 +45,10 @@ type state = {
       (** invoked by the [read_input] builtin; receives the live state,
           so an adaptive adversary can inspect memory before answering *)
   mutable on_event : (trace_event -> unit) option;
+  mutable cur_func : string;
+      (** innermost function currently executing — per-state (not
+          module-level) so concurrent runs in different domains
+          attribute faults and detections to their own call chain *)
 }
 
 and intrinsic = state -> int64 array -> int64 option

@@ -7,7 +7,10 @@
     mapped.  All accesses are bounds- and permission-checked; a
     violation raises {!exception:Fault}, which the interpreter turns
     into a crash outcome (the paper's "service restarts after a
-    crash"). *)
+    crash").
+
+    Domain-safety: no module-level state; a memory belongs to one
+    prepared {!Exec.state} and therefore to one job at a time. *)
 
 type perm = Read_only | Read_write
 

@@ -4,7 +4,12 @@
     Smokestack runtime can mirror it into VM memory (and accept
     attacker-tampered values back) — see {!Pseudo}.  [Aes_ctr] keys and
     nonces come from the supplied entropy source and are periodically
-    refreshed; [Rdrand] draws straight from the entropy source. *)
+    refreshed; [Rdrand] draws straight from the entropy source.
+
+    Domain-safety: this module holds no module-level mutable state —
+    all state (pseudo word, AES key schedule, draw counter) lives in
+    the [t] instance.  A generator belongs to the job that created it;
+    parallel jobs each create their own from an explicit seed. *)
 
 type t
 

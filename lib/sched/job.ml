@@ -1,0 +1,11 @@
+type 'a t = { id : string; seed : int64; run : unit -> 'a }
+
+let v ~id ?(seed = 0L) run = { id; seed; run }
+
+let seeded ~root ~id f =
+  let seed = Sutil.Simrng.split_seed ~root ~id in
+  { id; seed; run = (fun () -> f ~seed) }
+
+let id t = t.id
+let seed t = t.seed
+let run t = t.run ()

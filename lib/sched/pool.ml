@@ -1,0 +1,146 @@
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  batch_done : Condition.t;
+  mutable workers : unit Domain.t list;
+  mutable closed : bool;
+}
+
+let max_jobs = 128
+
+let clamp jobs = max 1 (min max_jobs jobs)
+
+let worker_loop t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec next () =
+      match Queue.take_opt t.queue with
+      | Some task -> Some task
+      | None ->
+          if t.closed then None
+          else begin
+            Condition.wait t.work_ready t.mutex;
+            next ()
+          end
+    in
+    let task = next () in
+    Mutex.unlock t.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+        task ();
+        loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let size =
+    clamp (match jobs with Some n -> n | None -> Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      workers = [];
+      closed = false;
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let jobs t = t.size
+
+let sequential =
+  {
+    size = 1;
+    queue = Queue.create ();
+    mutex = Mutex.create ();
+    work_ready = Condition.create ();
+    batch_done = Condition.create ();
+    workers = [];
+    closed = false;
+  }
+
+let run_all (type a) t (batch : a Job.t list) : a list =
+  match (t.workers, batch) with
+  | [], _ | _, ([] | [ _ ]) ->
+      (* the exact sequential path: in submission order, exceptions
+         propagate eagerly from the failing job *)
+      List.map Job.run batch
+  | _ :: _, _ ->
+      let arr = Array.of_list batch in
+      let n = Array.length arr in
+      let slots :
+          (a, exn * Printexc.raw_backtrace) result option array =
+        Array.make n None
+      in
+      let remaining = Atomic.make n in
+      let task i () =
+        let r =
+          match Job.run arr.(i) with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        slots.(i) <- Some r;
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock t.mutex;
+          Condition.broadcast t.batch_done;
+          Mutex.unlock t.mutex
+        end
+      in
+      Mutex.lock t.mutex;
+      for i = 0 to n - 1 do
+        Queue.add (task i) t.queue
+      done;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex;
+      (* the submitting domain participates until the batch drains *)
+      let rec help () =
+        if Atomic.get remaining > 0 then begin
+          Mutex.lock t.mutex;
+          let task = Queue.take_opt t.queue in
+          (match task with
+          | Some _ -> Mutex.unlock t.mutex
+          | None ->
+              if Atomic.get remaining > 0 then
+                Condition.wait t.batch_done t.mutex;
+              Mutex.unlock t.mutex);
+          (match task with Some task -> task () | None -> ());
+          help ()
+        end
+      in
+      help ();
+      (* merge by submission order; the first failure in that order
+         wins, regardless of which domain hit it first *)
+      Array.iter
+        (function
+          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+          | Some (Ok _) | None -> ())
+        slots;
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error _) | None -> assert false)
+           slots)
+
+let close t =
+  let workers =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.work_ready;
+    let w = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.mutex;
+    w
+  in
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,46 @@
+(** Domain-based worker pool with deterministic result collection.
+
+    A pool owns [jobs - 1] worker domains plus the submitting domain,
+    all draining one work queue.  {!run_all} submits a batch of
+    {!Job.t}s and returns their results {e in submission order} — never
+    in completion order — so a report rendered from pooled results is
+    byte-identical to the sequential run.  With [~jobs:1] no domains
+    are spawned and {!run_all} degenerates to [List.map Job.run], the
+    exact sequential path (including eager exception propagation).
+
+    Restrictions: a pool must only be driven from the domain that
+    created it, and jobs must not call {!run_all} on the pool running
+    them (the queue has no nesting support; doing so can deadlock). *)
+
+type t
+
+val max_jobs : int
+(** Hard upper clamp on pool width (128). *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains.  [jobs]
+    defaults to [Domain.recommended_domain_count ()] and is clamped to
+    [\[1, max_jobs\]]. *)
+
+val jobs : t -> int
+(** Total parallelism, including the submitting domain. *)
+
+val sequential : t
+(** The width-1 pool: no worker domains, [run_all = List.map Job.run].
+    The default everywhere a pool is optional. *)
+
+val run_all : t -> 'a Job.t list -> 'a list
+(** Run every job, return results in submission order.  If jobs raised,
+    the remaining jobs still run to completion, then the exception of
+    the {e first failed job in submission order} is re-raised (with its
+    original backtrace) — completion order can not leak into which
+    error the caller sees. *)
+
+val close : t -> unit
+(** Drain and join the worker domains.  Idempotent; a closed pool (and
+    {!sequential}, which owns no domains) still accepts {!run_all},
+    which then runs sequentially. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] is [f (create ~jobs ())] with a guaranteed
+    {!close} on any exit. *)

@@ -45,6 +45,18 @@ let bool t = Int64.logand (next_u64 t) 1L = 1L
 let byte t = Int64.to_int (Int64.logand (next_u64 t) 0xffL)
 let split t = create ~seed:(next_u64 t)
 
+let split_seed ~root ~id =
+  (* SplitMix64 over (root, id): absorb each byte of the id as one
+     golden-gamma step, so distinct ids give decorrelated streams and
+     the result depends only on the pair, never on call order. *)
+  let state = ref root in
+  String.iter
+    (fun c -> state := Int64.logxor (splitmix_next state) (Int64.of_int (Char.code c)))
+    id;
+  splitmix_next state
+
+let stream ~root ~id = create ~seed:(split_seed ~root ~id)
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t ~bound:(i + 1) in

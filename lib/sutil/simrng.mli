@@ -4,7 +4,11 @@
     runs of the harness — workload inputs, attack trial seeds, table row
     shuffles — and is explicitly {e not} a security component.  The
     security-relevant generators live in {!module:Rng} and are costed by
-    the cycle model; this one is free. *)
+    the cycle model; this one is free.
+
+    Domain-safety: no module-level state; every stream lives in its
+    [t].  Parallel jobs must not share a [t] — derive one per job with
+    {!split_seed}/{!stream} instead. *)
 
 type t
 
@@ -28,6 +32,16 @@ val byte : t -> int
 val split : t -> t
 (** [split t] derives a new, statistically independent generator and
     advances [t]; used to give each experiment its own stream. *)
+
+val split_seed : root:int64 -> id:string -> int64
+(** [split_seed ~root ~id] is a SplitMix64-style keyed derivation: a
+    64-bit seed that depends only on the [(root, id)] pair.  Unlike
+    {!split} it consumes no shared stream, so parallel jobs (see
+    {!Sched.Job.seeded}) can derive independent deterministic streams
+    in any execution order. *)
+
+val stream : root:int64 -> id:string -> t
+(** [stream ~root ~id] is [create ~seed:(split_seed ~root ~id)]. *)
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,181 @@
+(* Tests for the job/pool scheduler: ordering, error propagation, the
+   jobs=1 degenerate path, seed derivation, and the property the whole
+   design exists for — parallel experiment output byte-identical to
+   sequential. *)
+
+(* ------------------------------------------------------------------ *)
+(* Ordering *)
+
+let test_results_in_submission_order () =
+  Sched.Pool.with_pool ~jobs:4 @@ fun pool ->
+  (* skew the work so completion order almost certainly differs from
+     submission order *)
+  let spin n =
+    let acc = ref 0 in
+    for i = 1 to n do
+      acc := (!acc * 7) + i
+    done;
+    !acc
+  in
+  let jobs =
+    List.init 40 (fun i ->
+        Sched.Job.v ~id:(Printf.sprintf "job-%d" i) (fun () ->
+            ignore (spin (if i mod 2 = 0 then 200_000 else 50));
+            i))
+  in
+  Alcotest.(check (list int))
+    "results merge in submission order" (List.init 40 Fun.id)
+    (Sched.Pool.run_all pool jobs)
+
+let test_pool_reusable_across_batches () =
+  Sched.Pool.with_pool ~jobs:3 @@ fun pool ->
+  List.iter
+    (fun batch ->
+      Alcotest.(check (list int))
+        "batch result"
+        (List.init batch (fun i -> i * i))
+        (Sched.Pool.run_all pool
+           (List.init batch (fun i ->
+                Sched.Job.v ~id:(string_of_int i) (fun () -> i * i)))))
+    [ 5; 0; 1; 17 ]
+
+(* ------------------------------------------------------------------ *)
+(* Exceptions *)
+
+exception Boom of string
+
+let test_first_failure_by_submission_order_wins () =
+  Sched.Pool.with_pool ~jobs:4 @@ fun pool ->
+  let jobs =
+    List.init 8 (fun i ->
+        Sched.Job.v ~id:(string_of_int i) (fun () ->
+            if i = 2 then raise (Boom "first")
+            else if i = 6 then raise (Boom "second")
+            else i))
+  in
+  Alcotest.check_raises "earliest submitted failure propagates"
+    (Boom "first") (fun () -> ignore (Sched.Pool.run_all pool jobs))
+
+let test_pool_survives_a_failing_batch () =
+  Sched.Pool.with_pool ~jobs:2 @@ fun pool ->
+  (try
+     ignore
+       (Sched.Pool.run_all pool
+          [ Sched.Job.v ~id:"boom" (fun () -> raise (Boom "x")) ])
+   with Boom _ -> ());
+  Alcotest.(check (list int))
+    "next batch still runs" [ 1; 2 ]
+    (Sched.Pool.run_all pool
+       [
+         Sched.Job.v ~id:"a" (fun () -> 1); Sched.Job.v ~id:"b" (fun () -> 2);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* jobs=1 degenerate path *)
+
+let test_sequential_runs_in_calling_domain () =
+  let self = Domain.self () in
+  let trace = ref [] in
+  let results =
+    Sched.Pool.run_all Sched.Pool.sequential
+      (List.init 5 (fun i ->
+           Sched.Job.v ~id:(string_of_int i) (fun () ->
+               Alcotest.(check bool)
+                 "job ran in the submitting domain" true
+                 (Domain.self () = self);
+               trace := i :: !trace;
+               i)))
+  in
+  Alcotest.(check (list int)) "results" [ 0; 1; 2; 3; 4 ] results;
+  Alcotest.(check (list int))
+    "side effects in submission order" [ 0; 1; 2; 3; 4 ] (List.rev !trace)
+
+let test_with_pool_jobs1_spawns_no_domains () =
+  Sched.Pool.with_pool ~jobs:1 @@ fun pool ->
+  let self = Domain.self () in
+  Alcotest.(check (list bool))
+    "every job in the submitting domain" [ true; true; true ]
+    (Sched.Pool.run_all pool
+       (List.init 3 (fun i ->
+            Sched.Job.v ~id:(string_of_int i) (fun () ->
+                Domain.self () = self))))
+
+(* ------------------------------------------------------------------ *)
+(* Seed derivation *)
+
+let test_split_seed_deterministic_and_keyed () =
+  let a = Sutil.Simrng.split_seed ~root:42L ~id:"fig3/gobmk" in
+  let b = Sutil.Simrng.split_seed ~root:42L ~id:"fig3/gobmk" in
+  let c = Sutil.Simrng.split_seed ~root:42L ~id:"fig3/mcf" in
+  let d = Sutil.Simrng.split_seed ~root:43L ~id:"fig3/gobmk" in
+  Alcotest.(check int64) "same (root, id) -> same seed" a b;
+  Alcotest.(check bool) "different id -> different stream" true (a <> c);
+  Alcotest.(check bool) "different root -> different stream" true (a <> d)
+
+let test_seeded_job_carries_derived_seed () =
+  let job = Sched.Job.seeded ~root:42L ~id:"cell" (fun ~seed -> seed) in
+  Alcotest.(check int64) "job seed is the split seed"
+    (Sutil.Simrng.split_seed ~root:42L ~id:"cell")
+    (Sched.Job.seed job);
+  Alcotest.(check int64) "run sees the same seed" (Sched.Job.seed job)
+    (Sched.Job.run job)
+
+(* ------------------------------------------------------------------ *)
+(* The end-to-end property: parallel == sequential, byte for byte *)
+
+let test_experiment_output_identical_parallel_vs_sequential () =
+  let render pool =
+    Harness.Security.to_markdown
+      (Harness.Security.rng_security ?pool ~trials_per_cell:2 ())
+  in
+  let seq = render None in
+  let par = Sched.Pool.with_pool ~jobs:4 (fun pool -> render (Some pool)) in
+  Alcotest.(check string) "rendered table identical under --jobs 4" seq par
+
+let test_diffval_identical_parallel_vs_sequential () =
+  let report pool =
+    Harness.Diffval.report_to_string
+      (Harness.Diffval.check_progen ?pool ~seed:5L 6)
+  in
+  let seq = report None in
+  let par = Sched.Pool.with_pool ~jobs:4 (fun pool -> report (Some pool)) in
+  Alcotest.(check string) "diffval report identical under --jobs 4" seq par
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "ordering",
+        [
+          Alcotest.test_case "submission order" `Quick
+            test_results_in_submission_order;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reusable_across_batches;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "first failure wins" `Quick
+            test_first_failure_by_submission_order_wins;
+          Alcotest.test_case "pool survives failure" `Quick
+            test_pool_survives_a_failing_batch;
+        ] );
+      ( "sequential",
+        [
+          Alcotest.test_case "calling domain" `Quick
+            test_sequential_runs_in_calling_domain;
+          Alcotest.test_case "jobs=1 no domains" `Quick
+            test_with_pool_jobs1_spawns_no_domains;
+        ] );
+      ( "seeds",
+        [
+          Alcotest.test_case "split_seed" `Quick
+            test_split_seed_deterministic_and_keyed;
+          Alcotest.test_case "seeded job" `Quick
+            test_seeded_job_carries_derived_seed;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "rng_security table" `Quick
+            test_experiment_output_identical_parallel_vs_sequential;
+          Alcotest.test_case "diffval report" `Quick
+            test_diffval_identical_parallel_vs_sequential;
+        ] );
+    ]
