@@ -18,18 +18,36 @@
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
+(* --json DIR: besides printing, dump every table as BENCH_<name>.json
+   (one file per table, Texttable.to_json form) for machine
+   consumption — CI diffs, plotting scripts. *)
+let json_dir : string option ref = ref None
+
+let emit ?title ~name tbl =
+  Sutil.Texttable.print ?title tbl;
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
+      let oc = open_out path in
+      output_string oc
+        (Sutil.Json.to_string ~indent:true (Sutil.Texttable.to_json ?title tbl));
+      output_char oc '\n';
+      close_out oc;
+      say "wrote %s" path
+
 (* ------------------------------------------------------------------ *)
 (* Paper-style tables                                                  *)
 
 let run_table1 pool =
   let t = Harness.Randrate.run ~pool () in
-  Sutil.Texttable.print
+  emit ~name:"table1"
     ~title:"Table I: source of randomness (cycles per 64-bit draw)"
     (Harness.Randrate.table t)
 
 let run_fig3 pool =
   let t = Harness.Overhead.run ~pool () in
-  Sutil.Texttable.print
+  emit ~name:"fig3"
     ~title:"Figure 3: % runtime overhead (SPEC-like + I/O workloads)"
     (Harness.Overhead.table t);
   say "worst I/O-bound overhead: %s (paper: 6%% worst case)"
@@ -37,34 +55,34 @@ let run_fig3 pool =
 
 let run_fig4 pool =
   let t = Harness.Memov.run ~pool () in
-  Sutil.Texttable.print ~title:"Figure 4: % memory overhead (max-RSS proxy)"
+  emit ~name:"fig4" ~title:"Figure 4: % memory overhead (max-RSS proxy)"
     (Harness.Memov.table t)
 
 let run_bypass pool =
   let t = Harness.Security.bypass_prior ~pool () in
-  Sutil.Texttable.print ~title:t.title (Harness.Security.table t)
+  emit ~name:"bypass" ~title:t.title (Harness.Security.table t)
 
 let run_pentest pool =
   let t = Harness.Security.pentest ~pool () in
-  Sutil.Texttable.print ~title:t.title (Harness.Security.table t)
+  emit ~name:"pentest" ~title:t.title (Harness.Security.table t)
 
 let run_realvuln pool =
   let t = Harness.Security.realvuln ~pool () in
-  Sutil.Texttable.print ~title:t.title (Harness.Security.table t)
+  emit ~name:"realvuln" ~title:t.title (Harness.Security.table t)
 
 let run_brute pool =
   let rows = Harness.Security.brute ~pool () in
-  Sutil.Texttable.print
+  emit ~name:"brute"
     ~title:"E8: brute-force attempts until the librelp exploit lands"
     (Harness.Security.brute_table rows)
 
 let run_rngsec pool =
   let t = Harness.Security.rng_security ~pool () in
-  Sutil.Texttable.print ~title:t.title (Harness.Security.table t)
+  emit ~name:"rngsec" ~title:t.title (Harness.Security.table t)
 
 let run_rerand pool =
   let rows = Harness.Security.rerandomization ~pool () in
-  Sutil.Texttable.print
+  emit ~name:"rerand"
     ~title:
       "E11: same-run probe-then-exploit vs re-randomization interval \
        (per-invocation is the design point)"
@@ -72,8 +90,21 @@ let run_rerand pool =
 
 let run_ablation pool =
   let t = Harness.Ablation.run ~pool () in
-  Sutil.Texttable.print ~title:"E7: P-BOX optimization ablation"
+  emit ~name:"ablation" ~title:"E7: P-BOX optimization ablation"
     (Harness.Ablation.table t)
+
+let run_analysis pool =
+  let t = Harness.Surface.run ~pool () in
+  emit ~name:"analysis"
+    ~title:"E12: static DOP attack surface (expected attempts, easiest pair)"
+    (Harness.Surface.table t);
+  let cv = Harness.Crossval.run ~pool () in
+  emit ~name:"crossval"
+    ~title:"E12b: differential validation (dynamic attack => static DOP pair)"
+    (Harness.Crossval.table cv);
+  say "differential validation: %s"
+    (if cv.all_validated then "every dynamic success has a static DOP pair"
+     else "FAILED - a dynamic success has no static pair")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
@@ -175,7 +206,7 @@ let run_micro () =
       in
       Sutil.Texttable.add_row tbl [ name; cell ])
     (List.sort compare rows);
-  Sutil.Texttable.print tbl
+  emit ~name:"micro" tbl
 
 (* ------------------------------------------------------------------ *)
 (* Engine micro-benchmark: reference interpreter vs bytecode engine     *)
@@ -234,7 +265,7 @@ let run_engine () =
         tref /. tbc)
       Apps.Spec.spec
   in
-  Sutil.Texttable.print
+  emit ~name:"engine"
     ~title:
       "Engine: instruction throughput, reference interpreter vs bytecode \
        engine (unhardened workloads)"
@@ -260,32 +291,52 @@ let experiments =
     ("rngsec", run_rngsec);
     ("rerand", run_rerand);
     ("ablation", run_ablation);
+    ("analysis", run_analysis);
     (* wall-clock benchmarks: always sequential, the pool is unused *)
     ("micro", fun (_ : Sched.Pool.t) -> run_micro ());
     ("engine", fun (_ : Sched.Pool.t) -> run_engine ());
   ]
 
 let jobs_prefix = "--jobs="
+let json_prefix = "--json="
+
+(* Pull --jobs=N and --json DIR (or --json=DIR) out of the argument
+   list; what remains are experiment names. *)
+let rec parse_args = function
+  | [] -> (None, [])
+  | "--json" :: dir :: rest ->
+      json_dir := Some dir;
+      parse_args rest
+  | "--json" :: [] ->
+      say "--json needs a directory argument";
+      exit 2
+  | a :: rest when String.starts_with ~prefix:json_prefix a ->
+      json_dir :=
+        Some
+          (String.sub a (String.length json_prefix)
+             (String.length a - String.length json_prefix));
+      parse_args rest
+  | a :: rest when String.starts_with ~prefix:jobs_prefix a -> (
+      let v =
+        String.sub a (String.length jobs_prefix)
+          (String.length a - String.length jobs_prefix)
+      in
+      match int_of_string_opt v with
+      | Some n when n >= 1 ->
+          let _, names = parse_args rest in
+          (Some n, names)
+      | _ ->
+          say "bad --jobs value %S (want a positive integer)" a;
+          exit 2)
+  | a :: rest ->
+      let jobs, names = parse_args rest in
+      (jobs, a :: names)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let jobs_args, names =
-    List.partition (String.starts_with ~prefix:jobs_prefix) args
-  in
-  let jobs =
-    match jobs_args with
-    | [] -> None
-    | spec :: _ -> (
-        let v =
-          String.sub spec (String.length jobs_prefix)
-            (String.length spec - String.length jobs_prefix)
-        in
-        match int_of_string_opt v with
-        | Some n when n >= 1 -> Some n
-        | _ ->
-            say "bad --jobs value %S (want a positive integer)" spec;
-            exit 2)
-  in
+  let jobs, names = parse_args (List.tl (Array.to_list Sys.argv)) in
+  (match !json_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
   let requested =
     match names with [] -> List.map fst experiments | names -> names
   in

@@ -293,6 +293,86 @@ let entropy_cmd =
              brute-force attacker faces)")
     Term.(const action $ file_arg $ scheme_arg)
 
+let analyze_cmd =
+  let action file workload json_path no_score optimize =
+    let name, prog =
+      match (workload, file) with
+      | Some w, _ -> (
+          match w with
+          | "librelp" -> (w, Lazy.force Apps.Librelp.program)
+          | "wireshark" -> (w, Lazy.force Apps.Wireshark.program)
+          | "proftpd" -> (w, Lazy.force Apps.Proftpd.program)
+          | _ -> (
+              match Apps.Spec.find w with
+              | Some wl -> (wl.Apps.Spec.wname, Lazy.force wl.Apps.Spec.program)
+              | None -> (
+                  match Apps.Synth.find w with
+                  | Some v ->
+                      ( v.Apps.Synth.vname,
+                        Minic.Driver.compile v.Apps.Synth.source )
+                  | None ->
+                      Printf.eprintf
+                        "unknown workload %S (an apps name like gobmk, a \
+                         real-vuln program: librelp, wireshark, proftpd, or \
+                         a synth variant like stack-direct)\n"
+                        w;
+                      exit 2)))
+      | None, Some f -> (Filename.basename f, compile ~optimize f)
+      | None, None ->
+          prerr_endline "smokestackc analyze: need a FILE or --workload NAME";
+          exit 2
+    in
+    let report = Analysis.Report.analyze_prog ~name ~score:(not no_score) prog in
+    (match json_path with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc
+              (Sutil.Json.to_string ~indent:true (Analysis.Report.to_json report));
+            output_char oc '\n')
+    | None -> ());
+    print_string (Analysis.Report.to_text report)
+  in
+  let file_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Analyze a built-in workload (an application kernel like \
+             $(b,gobmk) or $(b,proftpd-io), or a synthetic pentest variant \
+             like $(b,stack-direct)) instead of a file")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the full report as JSON to $(docv)")
+  in
+  let no_score_arg =
+    Arg.(
+      value & flag
+      & info [ "no-score" ]
+          ~doc:
+            "Skip the per-defense expected-attempts scoring (classification \
+             and pair enumeration only; much faster)")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static DOP attack-surface analysis: classify stack slots as \
+          overflow-capable or safe, enumerate (buffer, victim) DOP pairs, \
+          and score expected brute-force attempts per defense")
+    Term.(
+      const action $ file_opt $ workload_arg $ json_arg $ no_score_arg
+      $ opt_flag)
+
 let () =
   (* force the engine library to link so --engine=bytecode resolves *)
   Engine.Backend.install ();
@@ -302,4 +382,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; ir_cmd; pbox_cmd; layouts_cmd; entropy_cmd ]))
+       (Cmd.group info
+          [ run_cmd; ir_cmd; pbox_cmd; layouts_cmd; entropy_cmd; analyze_cmd ]))

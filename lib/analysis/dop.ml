@@ -1,0 +1,217 @@
+type kind = Same_frame | Cross_frame | Wild_write
+
+type pair = {
+  kind : kind;
+  buf_func : string;
+  buf_slot : string;
+  victim_func : string;
+  victim_slot : string;
+  static_distance : int option;
+  path : string list;
+  victim_roles : Funcan.role list;
+  reasons : Funcan.reason list;
+}
+
+let kind_to_string = function
+  | Same_frame -> "same-frame"
+  | Cross_frame -> "cross-frame"
+  | Wild_write -> "wild-write"
+
+(* functions whose address is taken anywhere in the program: the
+   conservative indirect-call target set *)
+let address_taken (prog : Ir.Prog.t) =
+  let taken = Hashtbl.create 8 in
+  let op = function
+    | Ir.Instr.Func_ref f ->
+        if Ir.Prog.find_func prog f <> None then Hashtbl.replace taken f ()
+    | _ -> ()
+  in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      Ir.Func.iter_instrs f (fun i -> List.iter op (Ir.Instr.operands i));
+      List.iter
+        (fun (b : Ir.Func.block) ->
+          List.iter op (Ir.Instr.terminator_operands b.term))
+        f.blocks)
+    prog.funcs;
+  taken
+
+let enumerate (prog : Ir.Prog.t) (ans : Funcan.t list) =
+  let an_of = Hashtbl.create 16 in
+  List.iter (fun (a : Funcan.t) -> Hashtbl.replace an_of a.fname a) ans;
+  let addr_taken = address_taken prog in
+  let ind_targets =
+    Hashtbl.fold (fun f () acc -> f :: acc) addr_taken [] |> List.sort compare
+  in
+  let callees_of (a : Funcan.t) =
+    if a.has_call_ind then
+      List.sort_uniq compare (a.callees @ ind_targets)
+    else a.callees
+  in
+  (* BFS from [src], returning a caller-first path [src; ...; dst] *)
+  let path_to src dst =
+    let parent = Hashtbl.create 16 in
+    let q = Queue.create () in
+    Queue.add src q;
+    Hashtbl.replace parent src src;
+    let found = ref (src = dst) in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      match Hashtbl.find_opt an_of u with
+      | None -> ()
+      | Some a ->
+          List.iter
+            (fun v ->
+              if not (Hashtbl.mem parent v) then begin
+                Hashtbl.replace parent v u;
+                if v = dst then found := true else Queue.add v q
+              end)
+            (callees_of a)
+    done;
+    if not !found then None
+    else
+      let rec build acc v =
+        if v = src then src :: acc else build (v :: acc) (Hashtbl.find parent v)
+      in
+      Some (build [] dst)
+  in
+  let victims (a : Funcan.t) =
+    List.filter (fun (s : Funcan.slot) -> s.roles <> []) a.slots
+  in
+  let out = ref [] in
+  let seen = Hashtbl.create 64 in
+  let push p =
+    let key = (p.kind, p.buf_func, p.buf_slot, p.victim_func, p.victim_slot) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      out := p :: !out
+    end
+  in
+  List.iter
+    (fun (a : Funcan.t) ->
+      (* ---- same-frame pairs ---- *)
+      List.iter
+        (fun (b : Funcan.slot) ->
+          if b.overflow <> [] then
+            List.iter
+              (fun (v : Funcan.slot) ->
+                (* overflows write upward: victim above the buffer *)
+                if v.reg <> b.reg && v.offset > b.offset then
+                  push
+                    {
+                      kind = Same_frame;
+                      buf_func = a.fname;
+                      buf_slot = b.name;
+                      victim_func = a.fname;
+                      victim_slot = v.name;
+                      static_distance = Some (v.offset - b.offset);
+                      path = [];
+                      victim_roles = v.roles;
+                      reasons = b.overflow;
+                    })
+              (victims a))
+        a.slots)
+    ans;
+  (* ---- ancestor map: g -> functions reachable from g ---- *)
+  let ancestors_of =
+    (* for each f, the list of g (g <> f) with f reachable from g *)
+    let reach = Hashtbl.create 16 in
+    List.iter
+      (fun (g : Funcan.t) ->
+        let seen = Hashtbl.create 16 in
+        let q = Queue.create () in
+        Queue.add g.fname q;
+        Hashtbl.replace seen g.fname ();
+        while not (Queue.is_empty q) do
+          let u = Queue.pop q in
+          match Hashtbl.find_opt an_of u with
+          | None -> ()
+          | Some a ->
+              List.iter
+                (fun v ->
+                  if not (Hashtbl.mem seen v) then begin
+                    Hashtbl.replace seen v ();
+                    Queue.add v q
+                  end)
+                (callees_of a)
+        done;
+        Hashtbl.remove seen g.fname;
+        Hashtbl.iter
+          (fun f () ->
+            Hashtbl.replace reach f
+              (g.fname :: Option.value ~default:[] (Hashtbl.find_opt reach f)))
+          seen)
+      ans;
+    fun f ->
+      List.sort compare (Option.value ~default:[] (Hashtbl.find_opt reach f))
+  in
+  (* ---- cross-frame pairs ---- *)
+  List.iter
+    (fun (a : Funcan.t) ->
+      let bufs = List.filter (fun (s : Funcan.slot) -> s.overflow <> []) a.slots in
+      if bufs <> [] then
+        List.iter
+          (fun g ->
+            match Hashtbl.find_opt an_of g with
+            | None -> ()
+            | Some ga ->
+                let vs = victims ga in
+                if vs <> [] then
+                  match path_to g a.fname with
+                  | None -> ()
+                  | Some path ->
+                      let rows = Attacks.Layout.chain prog path in
+                      List.iter
+                        (fun (b : Funcan.slot) ->
+                          List.iter
+                            (fun (v : Funcan.slot) ->
+                              match
+                                Attacks.Layout.distance rows
+                                  ~from_:(a.fname, b.name) ~to_:(g, v.name)
+                              with
+                              | Some d when d > 0 ->
+                                  push
+                                    {
+                                      kind = Cross_frame;
+                                      buf_func = a.fname;
+                                      buf_slot = b.name;
+                                      victim_func = g;
+                                      victim_slot = v.name;
+                                      static_distance = Some d;
+                                      path;
+                                      victim_roles = v.roles;
+                                      reasons = b.overflow;
+                                    }
+                              | _ -> ())
+                            vs)
+                        bufs)
+          (ancestors_of a.fname))
+    ans;
+  (* ---- wild-write pairs ---- *)
+  List.iter
+    (fun (a : Funcan.t) ->
+      if a.wild_stores > 0 then begin
+        let wild_pair (g : string) (v : Funcan.slot) =
+          push
+            {
+              kind = Wild_write;
+              buf_func = a.fname;
+              buf_slot = "*";
+              victim_func = g;
+              victim_slot = v.name;
+              static_distance = None;
+              path = [];
+              victim_roles = v.roles;
+              reasons = [];
+            }
+        in
+        List.iter (wild_pair a.fname) (victims a);
+        List.iter
+          (fun g ->
+            match Hashtbl.find_opt an_of g with
+            | None -> ()
+            | Some ga -> List.iter (wild_pair g) (victims ga))
+          (ancestors_of a.fname)
+      end)
+    ans;
+  List.rev !out

@@ -1,0 +1,890 @@
+module Imap = Map.Make (Int)
+
+type reason =
+  | Out_of_extent of string
+  | Unbounded_intrinsic of string
+  | Escape of string
+
+type role = Branch_feed | Call_target | Mem_addr | Call_arg | Wild_data
+
+type slot = {
+  index : int;
+  name : string;
+  reg : Ir.Instr.reg;
+  ty : Ir.Ty.t;
+  size : int;
+  offset : int;
+  overflow : reason list;
+  roles : role list;
+}
+
+type t = {
+  fname : string;
+  slots : slot list;
+  wild_stores : int;
+  heap_stores : int;
+  global_overflows : string list;
+  callees : string list;
+  has_call_ind : bool;
+}
+
+let reason_to_string = function
+  | Out_of_extent site -> "out-of-extent store (" ^ site ^ ")"
+  | Unbounded_intrinsic name -> "unbounded " ^ name ^ " write"
+  | Escape how -> "address escapes (" ^ how ^ ")"
+
+let role_to_string = function
+  | Branch_feed -> "branch"
+  | Call_target -> "call-target"
+  | Mem_addr -> "mem-addr"
+  | Call_arg -> "call-arg"
+  | Wild_data -> "wild-data"
+
+(* ------------------------------------------------------------------ *)
+(* Address provenance                                                  *)
+
+type aroot = Rslot of int | Rglobal of string | Rheap | Rparam | Runknown
+type ainfo = { root : aroot; aoff : Interval.t }
+
+let unknown_addr = { root = Runknown; aoff = Interval.top }
+
+type env = {
+  regs : Interval.t Imap.t;
+  addrs : ainfo Imap.t;
+  slots : Interval.t Imap.t;  (** tracked slot reg -> abstract contents *)
+  slotval : int Imap.t;  (** slot reg -> reg holding its freshest value *)
+  cmps : (Ir.Instr.icmp * Ir.Instr.operand * Ir.Instr.operand) Imap.t;
+}
+
+type event =
+  | Ev_overflow of Ir.Instr.reg * reason
+  | Ev_global_overflow of string
+  | Ev_wild_store of Ir.Instr.reg option  (** value reg, for taint *)
+  | Ev_heap_store
+  | Ev_load of Ir.Instr.reg * Ir.Instr.reg  (** slot reg -> load dst *)
+  | Ev_store_edge of Ir.Instr.reg * Ir.Instr.reg  (** value reg -> slot *)
+
+(* builtins the VM executes via Call-to-extern; everything else that is
+   extern is an unknown callee *)
+let writer_builtins =
+  [ "memcpy"; "memset"; "strncpy"; "strcpy"; "snprintf_cat"; "read_input" ]
+
+let readonly_builtins =
+  [
+    "memcmp"; "strlen"; "print_int"; "print_char"; "print_str";
+    "print_newline"; "input_byte"; "exit"; "abort"; "free";
+  ]
+
+let env_equal a b =
+  Imap.equal Interval.equal a.regs b.regs
+  && Imap.equal
+       (fun x y -> x.root = y.root && Interval.equal x.aoff y.aoff)
+       a.addrs b.addrs
+  && Imap.equal Interval.equal a.slots b.slots
+  && Imap.equal Int.equal a.slotval b.slotval
+  && Imap.equal ( = ) a.cmps b.cmps
+
+let swap_icmp : Ir.Instr.icmp -> Ir.Instr.icmp option = function
+  | Eq -> Some Eq
+  | Ne -> Some Ne
+  | Slt -> Some Sgt
+  | Sle -> Some Sge
+  | Sgt -> Some Slt
+  | Sge -> Some Sle
+  | Ult | Ule -> None
+
+let binop_itv (op : Ir.Instr.binop) a b =
+  match op with
+  | Add -> Interval.add a b
+  | Sub -> Interval.sub a b
+  | Mul -> Interval.mul a b
+  | Sdiv -> Interval.sdiv a b
+  | Udiv -> Interval.udiv a b
+  | Srem -> Interval.srem a b
+  | Urem -> Interval.urem a b
+  | And -> Interval.logand a b
+  | Or -> Interval.logor a b
+  | Xor -> Interval.logxor a b
+  | Shl -> Interval.shl a b
+  | Lshr -> Interval.lshr a b
+  | Ashr -> Interval.ashr a b
+
+let analyze_func (prog : Ir.Prog.t) (f : Ir.Func.t) =
+  let cfg = Ir.Cfg.of_func f in
+  let frame = Attacks.Layout.frame_of_func f in
+  (* static slots: entry-block fixed-size allocas, program order (the
+     index doubles as the P-BOX column index) *)
+  let static_slots =
+    match f.blocks with
+    | [] -> []
+    | entry :: _ ->
+        List.filter_map
+          (function
+            | Ir.Instr.Alloca { dst; ty; count = None; name } ->
+                Some (dst, ty, name)
+            | _ -> None)
+          entry.instrs
+  in
+  let slot_size =
+    let h = Hashtbl.create 8 in
+    List.iter
+      (fun (r, ty, _) -> Hashtbl.replace h r (Ir.Ty.size ty))
+      static_slots;
+    fun r -> Hashtbl.find_opt h r
+  in
+  let is_slot r = slot_size r <> None in
+  (* ---------------- trackability prescan ---------------- *)
+  (* a slot is interval-tracked iff it is scalar and its address is only
+     ever used directly as a load/store address *)
+  let tracked = Hashtbl.create 8 in
+  List.iter
+    (fun (r, ty, _) ->
+      if Ir.Ty.is_scalar ty && ty <> Ir.Ty.Ptr then Hashtbl.replace tracked r ())
+    static_slots;
+  let untrack op =
+    match op with
+    | Ir.Instr.Reg r -> Hashtbl.remove tracked r
+    | _ -> ()
+  in
+  let prescan_instr (i : Ir.Instr.t) =
+    match i with
+    | Load { addr = Reg _; _ } -> ()
+    | Load { addr = _; _ } -> ()
+    | Store { value; addr = _; _ } -> untrack value
+    | _ -> List.iter untrack (Ir.Instr.operands i)
+  in
+  List.iter
+    (fun (b : Ir.Func.block) ->
+      List.iter prescan_instr b.instrs;
+      List.iter untrack (Ir.Instr.terminator_operands b.term))
+    f.blocks;
+  let width_of_tracked r =
+    match slot_size r with Some s -> s | None -> 0
+  in
+  (* ---------------- abstract evaluation ---------------- *)
+  let eval env = function
+    | Ir.Instr.Imm i -> Interval.const i
+    | Ir.Instr.Reg r -> (
+        match Imap.find_opt r env.regs with Some v -> v | None -> Interval.top)
+    | Ir.Instr.Global _ | Ir.Instr.Func_ref _ -> Interval.top
+  in
+  let aeval env = function
+    | Ir.Instr.Reg r -> (
+        match Imap.find_opt r env.addrs with
+        | Some a -> a
+        | None -> unknown_addr)
+    | Ir.Instr.Global g -> { root = Rglobal g; aoff = Interval.const 0L }
+    | Ir.Instr.Imm _ | Ir.Instr.Func_ref _ -> unknown_addr
+  in
+  let set_reg env r itv ai =
+    {
+      env with
+      regs = Imap.add r itv env.regs;
+      addrs =
+        (if ai.root = Runknown && Interval.is_top ai.aoff then
+           Imap.remove r env.addrs
+         else Imap.add r ai env.addrs);
+      slotval = Imap.filter (fun _ v -> v <> r) env.slotval;
+      cmps = Imap.remove r env.cmps;
+    }
+  in
+  let havoc env =
+    {
+      env with
+      slots = Imap.map (fun _ -> Interval.top) env.slots;
+      slotval = Imap.empty;
+    }
+  in
+  let global_size g =
+    match Ir.Prog.find_global prog g with
+    | Some gl -> Some (Ir.Ty.size gl.gty)
+    | None -> None
+  in
+  (* escape of a slot-rooted operand at a provenance-losing position *)
+  let escape_of emit env ~how op =
+    match aeval env op with
+    | { root = Rslot s; _ } when is_slot s -> emit (Ev_overflow (s, Escape how))
+    | _ -> ()
+  in
+  let site_of blabel = "block " ^ blabel in
+  (* a bulk write of [len] bytes starting at [a] *)
+  let check_bulk_write emit ~builtin a len =
+    let len =
+      match (len : Interval.t).lo with
+      | Some l when Int64.compare l 0L >= 0 -> len
+      | _ -> Interval.top (* size_t: possibly-negative length is huge *)
+    in
+    let fits extent =
+      match (a.aoff.lo, a.aoff.hi, len.hi) with
+      | Some ol, Some oh, Some lh ->
+          Int64.compare ol 0L >= 0
+          && Int64.compare (Int64.add oh lh) (Int64.of_int extent) <= 0
+      | _ -> false
+    in
+    match a.root with
+    | Rslot s when is_slot s ->
+        let extent = Option.get (slot_size s) in
+        if not (fits extent) then begin
+          emit (Ev_overflow (s, Unbounded_intrinsic builtin));
+          true (* havoc *)
+        end
+        else false
+    | Rslot _ -> false (* VLA-rooted: handled as wild below via aeval *)
+    | Rglobal g ->
+        (match global_size g with
+        | Some extent when fits extent -> ()
+        | _ -> emit (Ev_global_overflow g));
+        false
+    | Rheap ->
+        emit Ev_heap_store;
+        false
+    | Rparam | Runknown ->
+        emit (Ev_wild_store None);
+        true
+  in
+  (* ---------------- transfer function ---------------- *)
+  let transfer_instr emit blabel env (i : Ir.Instr.t) =
+    match i with
+    | Alloca { dst; count; _ } ->
+        let ai =
+          match count with
+          | None when is_slot dst -> { root = Rslot dst; aoff = Interval.const 0L }
+          | _ -> unknown_addr (* VLAs: writes through them count as wild *)
+        in
+        let env = set_reg env dst Interval.top ai in
+        if count = None && Hashtbl.mem tracked dst then
+          { env with slots = Imap.add dst Interval.top env.slots }
+        else env
+    | Load { dst; ty; addr } ->
+        let a = aeval env addr in
+        let width = Ir.Ty.size ty in
+        let itv, fresh_of =
+          match a.root with
+          | Rslot s
+            when Hashtbl.mem tracked s
+                 && Interval.equal a.aoff (Interval.const 0L)
+                 && width = width_of_tracked s ->
+              let v =
+                match Imap.find_opt s env.slots with
+                | Some v -> v
+                | None -> Interval.top
+              in
+              (v, Some s)
+          | _ -> (Interval.of_load ~width, None)
+        in
+        (match a.root with
+        | Rslot s when is_slot s -> emit (Ev_load (s, dst))
+        | _ -> ());
+        let env = set_reg env dst itv unknown_addr in
+        (match fresh_of with
+        | Some s -> { env with slotval = Imap.add s dst env.slotval }
+        | None -> env)
+    | Store { ty; value; addr } ->
+        let width = Ir.Ty.size ty in
+        let a = aeval env addr in
+        let v_itv = eval env value in
+        (* storing a local's address to memory is an escape *)
+        escape_of emit env ~how:"address stored to memory" value;
+        (match value with
+        | Reg v -> (
+            match a.root with
+            | Rslot s when is_slot s -> emit (Ev_store_edge (v, s))
+            | _ -> ())
+        | _ -> ());
+        let in_extent extent =
+          Interval.contains a.aoff ~lo:0L ~hi:(Int64.of_int (extent - width))
+        in
+        (match a.root with
+        | Rslot s when is_slot s ->
+            let extent = Option.get (slot_size s) in
+            if extent >= width && in_extent extent then
+              if not (Hashtbl.mem tracked s) then env
+              else if
+                Interval.equal a.aoff (Interval.const 0L)
+                && width = width_of_tracked s
+              then
+                let env =
+                  {
+                    env with
+                    slots =
+                      Imap.add s (Interval.store_narrow ~width v_itv) env.slots;
+                  }
+                in
+                (match value with
+                | Reg v when width = 8 ->
+                    { env with slotval = Imap.add s v env.slotval }
+                | _ -> { env with slotval = Imap.remove s env.slotval })
+              else
+                {
+                  env with
+                  slots = Imap.add s Interval.top env.slots;
+                  slotval = Imap.remove s env.slotval;
+                }
+            else begin
+              emit (Ev_overflow (s, Out_of_extent (site_of blabel)));
+              havoc env
+            end
+        | Rslot _ ->
+            (* store through a VLA base *)
+            emit (Ev_wild_store (match value with Reg v -> Some v | _ -> None));
+            havoc env
+        | Rglobal g ->
+            (match global_size g with
+            | Some extent when extent >= width && in_extent extent -> ()
+            | _ -> emit (Ev_global_overflow g));
+            env
+        | Rheap ->
+            emit Ev_heap_store;
+            env
+        | Rparam | Runknown ->
+            emit (Ev_wild_store (match value with Reg v -> Some v | _ -> None));
+            havoc env)
+    | Gep { dst; base; offset; index } ->
+        let ab = aeval env base in
+        let off =
+          let o = Interval.add ab.aoff (Interval.const (Int64.of_int offset)) in
+          match index with
+          | None -> o
+          | Some (idx, scale) ->
+              Interval.add o
+                (Interval.mul (eval env idx) (Interval.const (Int64.of_int scale)))
+        in
+        set_reg env dst Interval.top { root = ab.root; aoff = off }
+    | Binop { dst; op; lhs; rhs } ->
+        let itv = binop_itv op (eval env lhs) (eval env rhs) in
+        let la = aeval env lhs and ra = aeval env rhs in
+        let rooted a = a.root <> Runknown in
+        let ai =
+          match op with
+          | Add -> (
+              match (rooted la, rooted ra) with
+              | true, false ->
+                  { root = la.root; aoff = Interval.add la.aoff (eval env rhs) }
+              | false, true ->
+                  { root = ra.root; aoff = Interval.add ra.aoff (eval env lhs) }
+              | true, true ->
+                  escape_of emit env ~how:"pointer arithmetic" lhs;
+                  escape_of emit env ~how:"pointer arithmetic" rhs;
+                  unknown_addr
+              | false, false -> unknown_addr)
+          | Sub -> (
+              match (rooted la, rooted ra) with
+              | true, false ->
+                  { root = la.root; aoff = Interval.sub la.aoff (eval env rhs) }
+              | _, true ->
+                  escape_of emit env ~how:"pointer arithmetic" lhs;
+                  escape_of emit env ~how:"pointer arithmetic" rhs;
+                  unknown_addr
+              | _ -> unknown_addr)
+          | _ ->
+              escape_of emit env ~how:"address laundered" lhs;
+              escape_of emit env ~how:"address laundered" rhs;
+              unknown_addr
+        in
+        set_reg env dst itv ai
+    | Icmp { dst; op; lhs; rhs } ->
+        let env = set_reg env dst (Interval.of_bounds 0L 1L) unknown_addr in
+        { env with cmps = Imap.add dst (op, lhs, rhs) env.cmps }
+    | Select { dst; cond = _; if_true; if_false } ->
+        let itv = Interval.join (eval env if_true) (eval env if_false) in
+        let ta = aeval env if_true and fa = aeval env if_false in
+        let ai =
+          if ta.root = fa.root then
+            { root = ta.root; aoff = Interval.join ta.aoff fa.aoff }
+          else begin
+            escape_of emit env ~how:"select mixes roots" if_true;
+            escape_of emit env ~how:"select mixes roots" if_false;
+            unknown_addr
+          end
+        in
+        set_reg env dst itv ai
+    | Sext { dst; width; value } ->
+        let ai = if width >= 8 then aeval env value else unknown_addr in
+        if width < 8 then escape_of emit env ~how:"narrowing cast" value;
+        set_reg env dst (Interval.sext ~width (eval env value)) ai
+    | Trunc { dst; width; value } ->
+        let ai = if width >= 8 then aeval env value else unknown_addr in
+        if width < 8 then escape_of emit env ~how:"narrowing cast" value;
+        set_reg env dst (Interval.zext ~width (eval env value)) ai
+    | Call { dst; callee; args } ->
+        let arg i = List.nth_opt args i in
+        let is_builtin =
+          Ir.Prog.is_extern prog callee
+          && (List.mem callee writer_builtins
+             || List.mem callee readonly_builtins)
+        in
+        let env =
+          if is_builtin then begin
+            (match callee with
+            | "memcpy" | "memset" | "strncpy" -> (
+                match (arg 0, arg 2) with
+                | Some dst_op, Some len_op ->
+                    if
+                      check_bulk_write emit ~builtin:callee
+                        (aeval env dst_op) (eval env len_op)
+                    then havoc env
+                    else env
+                | _ -> env)
+            | "read_input" | "snprintf_cat" -> (
+                match (arg 0, arg 1) with
+                | Some dst_op, Some len_op ->
+                    if
+                      check_bulk_write emit ~builtin:callee
+                        (aeval env dst_op) (eval env len_op)
+                    then havoc env
+                    else env
+                | _ -> env)
+            | "strcpy" -> (
+                match (arg 0, arg 1) with
+                | Some dst_op, Some src_op ->
+                    let len =
+                      match aeval env src_op with
+                      | { root = Rglobal g; aoff }
+                        when Interval.equal aoff (Interval.const 0L) -> (
+                          match Ir.Prog.find_global prog g with
+                          | Some gl ->
+                              let l =
+                                match String.index_opt gl.ginit '\000' with
+                                | Some i -> i
+                                | None -> String.length gl.ginit
+                              in
+                              Interval.const (Int64.of_int (l + 1))
+                          | None -> Interval.top)
+                      | _ -> Interval.top
+                    in
+                    if
+                      check_bulk_write emit ~builtin:callee
+                        (aeval env dst_op) len
+                    then havoc env
+                    else env
+                | _ -> env)
+            | _ -> env (* read-only builtins *))
+          end
+          else begin
+            (* unknown or defined callee: pointer arguments escape *)
+            List.iter (escape_of emit env ~how:("passed to " ^ callee)) args;
+            env
+          end
+        in
+        let env =
+          match dst with
+          | None -> env
+          | Some d ->
+              let ai =
+                if callee = "malloc" then
+                  { root = Rheap; aoff = Interval.const 0L }
+                else unknown_addr
+              in
+              let itv =
+                match callee with
+                | "input_byte" -> Interval.of_bounds (-1L) 255L
+                | "read_input" -> (
+                    (* returns bytes actually written: 0..max_n *)
+                    match arg 1 with
+                    | Some len_op ->
+                        let l = eval env len_op in
+                        if
+                          match l.Interval.lo with
+                          | Some v -> Int64.compare v 0L >= 0
+                          | None -> false
+                        then { Interval.lo = Some 0L; hi = l.Interval.hi }
+                        else Interval.top
+                    | None -> Interval.top)
+                | _ -> Interval.top
+              in
+              set_reg env d itv ai
+        in
+        env
+    | Call_ind { dst; callee = _; args } ->
+        List.iter (escape_of emit env ~how:"passed to indirect call") args;
+        let env = match dst with None -> env | Some d -> set_reg env d Interval.top unknown_addr in
+        (* an unknown callee could in principle write anywhere *)
+        havoc env
+    | Intrinsic { dst; name; args } ->
+        List.iter (escape_of emit env ~how:("passed to intrinsic " ^ name)) args;
+        (match dst with None -> env | Some d -> set_reg env d Interval.top unknown_addr)
+  in
+  let transfer_block emit (b : Ir.Func.block) env =
+    List.fold_left (fun env i -> transfer_instr emit b.label env i) env b.instrs
+  in
+  (* ---------------- edge refinement ---------------- *)
+  (* The MiniC lowering launders every control condition through
+     [icmp Ne cond 0] (cmp_ne0), so the comparison that actually
+     constrains an index sits one (or more) cmps-map hops behind the
+     branched-on register.  Unwrap [Ne v 0]/[Eq v 0] chains before
+     refining; [Eq v 0] flips the branch sense.  Depth-capped for
+     safety, though SSA makes cycles impossible. *)
+  (* SSA map [sext dst -> source reg]: lets refinement see through the
+     widening MiniC inserts between an i32 load and its compare/gep use
+     ([%r4 = sext.32 %r3; icmp slt %r4, 4] must also narrow %r3, else
+     the next load of the i32 loop counter forgets the bound). *)
+  let sext_src = Hashtbl.create 16 in
+  Array.iter
+    (fun (b : Ir.Func.block) ->
+      List.iter
+        (function
+          | Ir.Instr.Sext { dst; width; value = Ir.Instr.Reg v } ->
+              Hashtbl.replace sext_src dst (width, v)
+          | _ -> ())
+        b.instrs)
+    cfg.blocks;
+  let rec refine_by ?(depth = 0) env ~taken (op, lhs, rhs) =
+    let inner_cmp subj other =
+      match subj with
+      | Ir.Instr.Reg v
+        when Interval.equal (eval env other) (Interval.const 0L) ->
+          Imap.find_opt v env.cmps
+      | _ -> None
+    in
+    let chained =
+      match op with
+      | Ir.Instr.Ne | Ir.Instr.Eq -> (
+          let flip = op = Ir.Instr.Eq in
+          match inner_cmp lhs rhs with
+          | Some inner -> Some (inner, flip)
+          | None -> (
+              match inner_cmp rhs lhs with
+              | Some inner -> Some (inner, flip)
+              | None -> None))
+      | _ -> None
+    in
+    let env =
+      match chained with
+      | Some (inner, flip) when depth < 8 ->
+          refine_by ~depth:(depth + 1) env
+            ~taken:(if flip then not taken else taken)
+            inner
+      | _ -> env
+    in
+    (* apply a narrowed interval to [r], the slot it was freshly loaded
+       from, and — backward through sext (identity on in-range values,
+       which its source's current interval must certify) — the register
+       it widens *)
+    let rec apply_refined env r refined =
+      let env = { env with regs = Imap.add r refined env.regs } in
+      let env =
+        Imap.fold
+          (fun s v acc ->
+            if v = r then { acc with slots = Imap.add s refined acc.slots }
+            else acc)
+          env.slotval env
+      in
+      match Hashtbl.find_opt sext_src r with
+      | Some (width, v) ->
+          let cur_v =
+            match Imap.find_opt v env.regs with
+            | Some i -> i
+            | None -> Interval.top
+          in
+          if Interval.equal (Interval.sext ~width cur_v) cur_v then
+            apply_refined env v (Interval.meet cur_v refined)
+          else env
+      | None -> env
+    in
+    let refine_side env op subj other =
+      match subj with
+      | Ir.Instr.Reg r ->
+          let rhs_itv = eval env other in
+          let cur =
+            match Imap.find_opt r env.regs with
+            | Some v -> v
+            | None -> Interval.top
+          in
+          apply_refined env r (Interval.refine op ~taken cur ~rhs:rhs_itv)
+      | _ -> env
+    in
+    let env = refine_side env op lhs rhs in
+    match swap_icmp op with
+    | Some op' -> refine_side env op' rhs lhs
+    | None -> env
+  in
+  let edge_env pred_i succ_i =
+    match (Array.get cfg.blocks pred_i).term with
+    | Ir.Instr.Cond_br { cond = Ir.Instr.Reg c; if_true; if_false }
+      when if_true <> if_false -> (
+        fun out ->
+          match Imap.find_opt c out.cmps with
+          | None -> out
+          | Some cmp ->
+              let succ_label = cfg.blocks.(succ_i).Ir.Func.label in
+              if succ_label = if_true then refine_by out ~taken:true cmp
+              else if succ_label = if_false then refine_by out ~taken:false cmp
+              else out)
+    | _ -> fun out -> out
+  in
+  (* ---------------- fixpoint ---------------- *)
+  let nblocks = Array.length cfg.blocks in
+  let entry_env =
+    let regs, addrs =
+      List.fold_left
+        (fun (regs, addrs) (r, ty) ->
+          ( Imap.add r Interval.top regs,
+            if ty = Ir.Ty.Ptr then
+              Imap.add r { root = Rparam; aoff = Interval.top } addrs
+            else addrs ))
+        (Imap.empty, Imap.empty) f.params
+    in
+    { regs; addrs; slots = Imap.empty; slotval = Imap.empty; cmps = Imap.empty }
+  in
+  let in_env = Array.make (max nblocks 1) None in
+  let out_env = Array.make (max nblocks 1) None in
+  (* Widen only at loop heads (targets of a back edge in the RPO
+     numbering): widening everywhere would re-destroy the intervals the
+     edge refinement just narrowed — a branch-guarded body block would
+     never keep its bound. *)
+  let is_widen_point =
+    Array.init nblocks (fun i -> List.exists (fun p -> p >= i) cfg.pred.(i))
+  in
+  let no_emit _ = () in
+  if nblocks > 0 then begin
+    let rounds = ref 0 in
+    let changed = ref true in
+    while !changed && !rounds < 64 do
+      incr rounds;
+      changed := false;
+      for i = 0 to nblocks - 1 do
+        let from_preds =
+          List.filter_map
+            (fun p ->
+              match out_env.(p) with
+              | None -> None
+              | Some out -> Some ((edge_env p i) out))
+            cfg.pred.(i)
+        in
+        let inputs = if i = 0 then entry_env :: from_preds else from_preds in
+        match inputs with
+        | [] -> () (* unreachable; Cfg drops these, but belt and braces *)
+        | e :: rest ->
+            let joined =
+              List.fold_left
+                (fun a b ->
+                  {
+                    regs =
+                      Imap.merge
+                        (fun _ x y ->
+                          match (x, y) with
+                          | Some x, Some y -> Some (Interval.join x y)
+                          | _ -> None)
+                        a.regs b.regs;
+                    addrs =
+                      Imap.merge
+                        (fun _ x y ->
+                          match (x, y) with
+                          | Some x, Some y when x.root = y.root ->
+                              Some
+                                { root = x.root; aoff = Interval.join x.aoff y.aoff }
+                          | _ -> None)
+                        a.addrs b.addrs;
+                    slots =
+                      Imap.merge
+                        (fun _ x y ->
+                          match (x, y) with
+                          | Some x, Some y -> Some (Interval.join x y)
+                          | Some _, None | None, Some _ -> Some Interval.top
+                          | None, None -> None)
+                        a.slots b.slots;
+                    slotval =
+                      Imap.merge
+                        (fun _ x y ->
+                          match (x, y) with
+                          | Some x, Some y when x = y -> Some x
+                          | _ -> None)
+                        a.slotval b.slotval;
+                    cmps =
+                      Imap.merge
+                        (fun _ x y ->
+                          match (x, y) with
+                          | Some x, Some y when x = y -> Some x
+                          | _ -> None)
+                        a.cmps b.cmps;
+                  })
+                e rest
+            in
+            let next =
+              match in_env.(i) with
+              | Some old when !rounds > 3 && is_widen_point.(i) ->
+                  {
+                    joined with
+                    regs =
+                      Imap.merge
+                        (fun _ o n ->
+                          match (o, n) with
+                          | Some o, Some n -> Some (Interval.widen ~old:o n)
+                          | _, n -> n)
+                        old.regs joined.regs;
+                    slots =
+                      Imap.merge
+                        (fun _ o n ->
+                          match (o, n) with
+                          | Some o, Some n -> Some (Interval.widen ~old:o n)
+                          | _, n -> n)
+                        old.slots joined.slots;
+                  }
+              | _ -> joined
+            in
+            let same =
+              match in_env.(i) with
+              | Some old -> env_equal old next
+              | None -> false
+            in
+            if not same then begin
+              in_env.(i) <- Some next;
+              changed := true
+            end;
+            (match in_env.(i) with
+            | Some e -> out_env.(i) <- Some (transfer_block no_emit cfg.blocks.(i) e)
+            | None -> ())
+      done
+    done
+  end;
+  (* ---------------- recording pass ---------------- *)
+  let overflow : (Ir.Instr.reg, reason list) Hashtbl.t = Hashtbl.create 8 in
+  let add_overflow s r =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt overflow s) in
+    if not (List.mem r cur) then Hashtbl.replace overflow s (cur @ [ r ])
+  in
+  let loads : (Ir.Instr.reg, Ir.Instr.reg list) Hashtbl.t = Hashtbl.create 8 in
+  let store_edges = ref [] in
+  let wild_values = ref [] in
+  let wild_stores = ref 0 in
+  let heap_stores = ref 0 in
+  let global_overflows = ref [] in
+  let emit = function
+    | Ev_overflow (s, r) -> add_overflow s r
+    | Ev_global_overflow g ->
+        if not (List.mem g !global_overflows) then
+          global_overflows := !global_overflows @ [ g ]
+    | Ev_wild_store v ->
+        incr wild_stores;
+        (match v with Some v -> wild_values := v :: !wild_values | None -> ())
+    | Ev_heap_store -> incr heap_stores
+    | Ev_load (s, d) ->
+        Hashtbl.replace loads s
+          (d :: Option.value ~default:[] (Hashtbl.find_opt loads s))
+    | Ev_store_edge (v, s) -> store_edges := (v, s) :: !store_edges
+  in
+  Array.iteri
+    (fun i b ->
+      match in_env.(i) with
+      | Some e -> ignore (transfer_block emit b e)
+      | None -> ())
+    cfg.blocks;
+  (* ---------------- sinks (syntactic) ---------------- *)
+  let sinks = ref [] in
+  let sink r role = sinks := (r, role) :: !sinks in
+  let reg_op = function Ir.Instr.Reg r -> Some r | _ -> None in
+  let callees = ref [] in
+  let has_call_ind = ref false in
+  List.iter
+    (fun (b : Ir.Func.block) ->
+      List.iter
+        (fun (i : Ir.Instr.t) ->
+          match i with
+          | Load { addr; _ } -> Option.iter (fun r -> sink r Mem_addr) (reg_op addr)
+          | Store { addr; _ } ->
+              Option.iter (fun r -> sink r Mem_addr) (reg_op addr)
+          | Gep { base; index; _ } ->
+              Option.iter (fun r -> sink r Mem_addr) (reg_op base);
+              Option.iter
+                (fun (idx, _) ->
+                  Option.iter (fun r -> sink r Mem_addr) (reg_op idx))
+                index
+          | Select { cond; _ } ->
+              Option.iter (fun r -> sink r Branch_feed) (reg_op cond)
+          | Call { callee; args; _ } ->
+              if Ir.Prog.find_func prog callee <> None then begin
+                if not (List.mem callee !callees) then
+                  callees := !callees @ [ callee ]
+              end;
+              List.iter
+                (fun a -> Option.iter (fun r -> sink r Call_arg) (reg_op a))
+                args
+          | Call_ind { callee; args; _ } ->
+              has_call_ind := true;
+              Option.iter (fun r -> sink r Call_target) (reg_op callee);
+              List.iter
+                (fun a -> Option.iter (fun r -> sink r Call_arg) (reg_op a))
+                args
+          | Intrinsic { args; _ } ->
+              List.iter
+                (fun a -> Option.iter (fun r -> sink r Call_arg) (reg_op a))
+                args
+          | _ -> ())
+        b.instrs;
+      (match b.term with
+        | Ir.Instr.Cond_br { cond; _ } ->
+            Option.iter (fun r -> sink r Branch_feed) (reg_op cond)
+        | Ir.Instr.Ret _ | Ir.Instr.Br _ | Ir.Instr.Unreachable -> ()))
+    f.blocks;
+  List.iter (fun v -> sink v Wild_data) !wild_values;
+  (* ---------------- per-slot taint -> roles ---------------- *)
+  let nregs = max 1 f.next_reg in
+  let roles_of s =
+    let tainted = Array.make nregs false in
+    let mark r = if r >= 0 && r < nregs && not (tainted.(r)) then tainted.(r) <- true in
+    List.iter mark (Option.value ~default:[] (Hashtbl.find_opt loads s));
+    (* tainted slots (memory-mediated propagation) *)
+    let tslots = Hashtbl.create 4 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      (* register propagation through defs *)
+      List.iter
+        (fun (b : Ir.Func.block) ->
+          List.iter
+            (fun (i : Ir.Instr.t) ->
+              match Ir.Instr.defined_reg i with
+              | Some d when not tainted.(d) ->
+                  let uses = List.filter_map reg_op (Ir.Instr.operands i) in
+                  if List.exists (fun r -> r < nregs && tainted.(r)) uses then begin
+                    tainted.(d) <- true;
+                    changed := true
+                  end
+              | _ -> ())
+            b.instrs)
+        f.blocks;
+      (* stores of tainted values into other slots taint those slots' loads *)
+      List.iter
+        (fun (v, t) ->
+          if v < nregs && tainted.(v) && not (Hashtbl.mem tslots t) then begin
+            Hashtbl.replace tslots t ();
+            List.iter mark (Option.value ~default:[] (Hashtbl.find_opt loads t));
+            changed := true
+          end)
+        !store_edges
+    done;
+    let roles = ref [] in
+    List.iter
+      (fun (r, role) ->
+        if r < nregs && tainted.(r) && not (List.mem role !roles) then
+          roles := role :: !roles)
+      !sinks;
+    List.sort compare !roles
+  in
+  let slots =
+    List.mapi
+      (fun index (r, ty, name) ->
+        {
+          index;
+          name;
+          reg = r;
+          ty;
+          size = Ir.Ty.size ty;
+          offset =
+            Option.value ~default:0 (Attacks.Layout.var_offset frame name);
+          overflow = Option.value ~default:[] (Hashtbl.find_opt overflow r);
+          roles = roles_of r;
+        })
+      static_slots
+  in
+  {
+    fname = f.name;
+    slots;
+    wild_stores = !wild_stores;
+    heap_stores = !heap_stores;
+    global_overflows = !global_overflows;
+    callees = !callees;
+    has_call_ind = !has_call_ind;
+  }
+
+let analyze prog = List.map (analyze_func prog) prog.Ir.Prog.funcs

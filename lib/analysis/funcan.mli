@@ -1,0 +1,67 @@
+(** Per-function stack-slot classification (DESIGN.md §10).
+
+    For every static stack slot of a function this pass decides
+    {e overflow-capable} vs {e safe} (an interval dataflow over
+    gep/load/store plus an escape analysis — calls taking pointers to a
+    slot count as escapes, per the CleanStack/STEROIDS stance), and
+    computes the {e victim roles} of each slot: whether values loaded
+    from it (possibly laundered through other slots) feed branches,
+    indirect-call targets, memory addresses, call arguments, or the
+    value operand of a wild store.
+
+    Soundness stance (w.r.t. the dynamic harness): writes are
+    first-order — the intervals assume callees are memory-safe, so a
+    slot whose address never escapes keeps its bounds across calls.
+    Within the function, any out-of-extent or wild write havocs every
+    tracked slot.  See DESIGN.md §10 for the known imprecision list. *)
+
+type reason =
+  | Out_of_extent of string
+      (** a store's resolved offset interval is not contained in the
+          slot's extent; the payload names the site *)
+  | Unbounded_intrinsic of string
+      (** a builtin write ([read_input], [memcpy], [strncpy],
+          [snprintf_cat], ...) whose length bound exceeds the space
+          left in the slot *)
+  | Escape of string
+      (** the slot's address flows somewhere the analysis cannot
+          follow: callee argument, stored to memory, laundered through
+          arithmetic *)
+
+type role =
+  | Branch_feed  (** reaches a conditional branch or select condition *)
+  | Call_target  (** reaches an indirect-call callee *)
+  | Mem_addr  (** reaches a load/store address or gep operand *)
+  | Call_arg  (** passed to a call *)
+  | Wild_data  (** becomes the value written through a wild pointer *)
+
+type slot = {
+  index : int;  (** static slot index (P-BOX column order) *)
+  name : string;
+  reg : Ir.Instr.reg;
+  ty : Ir.Ty.t;
+  size : int;
+  offset : int;  (** unhardened frame offset (negative, from frame top) *)
+  overflow : reason list;  (** [] = provably safe *)
+  roles : role list;
+}
+
+type t = {
+  fname : string;
+  slots : slot list;
+  wild_stores : int;
+      (** stores through pointers of unknown provenance (loaded,
+          parameter-derived, or absolute) — the second DOP write channel *)
+  heap_stores : int;
+  global_overflows : string list;  (** globals written out of extent *)
+  callees : string list;  (** defined functions this one calls *)
+  has_call_ind : bool;
+}
+
+val reason_to_string : reason -> string
+val role_to_string : role -> string
+
+val analyze_func : Ir.Prog.t -> Ir.Func.t -> t
+
+val analyze : Ir.Prog.t -> t list
+(** Every defined function, in program order. *)

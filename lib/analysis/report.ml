@@ -1,0 +1,413 @@
+module J = Sutil.Json
+
+type scored_pair = { pair : Dop.pair; attempts : (string * float) list }
+
+type func_summary = {
+  fname : string;
+  n_slots : int;
+  n_overflow : int;
+  n_victims : int;
+  wild_stores : int;
+  frame_bytes : int;
+}
+
+type t = {
+  name : string;
+  funcs : func_summary list;
+  analyses : Funcan.t list;
+  pairs : scored_pair list;
+  defense_names : string list;
+}
+
+let analyze_prog ?(name = "program") ?(score = true) prog =
+  let analyses = Funcan.analyze prog in
+  let raw_pairs = Dop.enumerate prog analyses in
+  let pairs =
+    if score && raw_pairs <> [] then
+      let ctx = Score.make_ctx prog analyses in
+      List.map (fun p -> { pair = p; attempts = Score.attempts ctx p }) raw_pairs
+    else List.map (fun p -> { pair = p; attempts = [] }) raw_pairs
+  in
+  let funcs =
+    List.map
+      (fun (a : Funcan.t) ->
+        let frame =
+          match Ir.Prog.find_func prog a.fname with
+          | Some f -> (Attacks.Layout.frame_of_func f).frame_bytes
+          | None -> 0
+        in
+        {
+          fname = a.fname;
+          n_slots = List.length a.slots;
+          n_overflow =
+            List.length
+              (List.filter (fun (s : Funcan.slot) -> s.overflow <> []) a.slots);
+          n_victims =
+            List.length
+              (List.filter (fun (s : Funcan.slot) -> s.roles <> []) a.slots);
+          wild_stores = a.wild_stores;
+          frame_bytes = frame;
+        })
+      analyses
+  in
+  let defense_names = if score then Score.defense_names else [] in
+  { name; funcs; analyses; pairs; defense_names }
+
+let summary t =
+  List.map
+    (fun d ->
+      let best =
+        List.fold_left
+          (fun acc sp ->
+            match List.assoc_opt d sp.attempts with
+            | Some a when a < acc -> a
+            | _ -> acc)
+          infinity t.pairs
+      in
+      (d, best))
+    t.defense_names
+
+(* ---------------- tables ---------------- *)
+
+let att_str a =
+  if a = infinity then "-" else Format.asprintf "%.3g" a
+
+let to_table t =
+  let tt =
+    Sutil.Texttable.create
+      ~columns:
+        (List.map
+           (fun c -> (c, Sutil.Texttable.Left))
+           [ "kind"; "buffer"; "victim"; "dist"; "roles" ]
+        @ List.map (fun c -> (c, Sutil.Texttable.Right)) t.defense_names)
+  in
+  List.iter
+    (fun sp ->
+      let p = sp.pair in
+      Sutil.Texttable.add_row tt
+        ([
+           Dop.kind_to_string p.kind;
+           p.buf_func ^ ":" ^ p.buf_slot;
+           p.victim_func ^ ":" ^ p.victim_slot;
+           (match p.static_distance with
+           | Some d -> string_of_int d
+           | None -> "-");
+           String.concat "," (List.map Funcan.role_to_string p.victim_roles);
+         ]
+        @ List.map
+            (fun d ->
+              match List.assoc_opt d sp.attempts with
+              | Some a -> att_str a
+              | None -> "-")
+            t.defense_names))
+    t.pairs;
+  tt
+
+let funcs_table t =
+  let tt =
+    Sutil.Texttable.create
+      ~columns:
+        (("function", Sutil.Texttable.Left)
+        :: List.map
+             (fun c -> (c, Sutil.Texttable.Right))
+             [ "slots"; "overflow"; "victims"; "wild stores"; "frame B" ])
+  in
+  List.iter
+    (fun f ->
+      Sutil.Texttable.add_row tt
+        [
+          f.fname;
+          string_of_int f.n_slots;
+          string_of_int f.n_overflow;
+          string_of_int f.n_victims;
+          string_of_int f.wild_stores;
+          string_of_int f.frame_bytes;
+        ])
+    t.funcs;
+  tt
+
+let to_text t =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "DOP attack surface: %s\n\n" t.name;
+  out "per-function\n%s\n" (Sutil.Texttable.render (funcs_table t));
+  List.iter
+    (fun (a : Funcan.t) ->
+      List.iter
+        (fun (s : Funcan.slot) ->
+          if s.overflow <> [] || s.roles <> [] then begin
+            out "  %s:%s (%d B at %d): " a.fname s.name s.size s.offset;
+            if s.overflow = [] then out "safe"
+            else
+              out "overflow-capable [%s]"
+                (String.concat "; "
+                   (List.map Funcan.reason_to_string s.overflow));
+            if s.roles <> [] then
+              out " roles [%s]"
+                (String.concat ", " (List.map Funcan.role_to_string s.roles));
+            out "\n"
+          end)
+        a.slots)
+    t.analyses;
+  out "\nDOP pairs (%d) — expected attempts per defense\n%s\n"
+    (List.length t.pairs)
+    (Sutil.Texttable.render (to_table t));
+  if t.defense_names <> [] then begin
+    out "easiest pair per defense:\n";
+    List.iter (fun (d, a) -> out "  %-12s %s\n" d (att_str a)) (summary t)
+  end;
+  Buffer.contents buf
+
+(* ---------------- JSON ---------------- *)
+
+let role_to_json r = J.String (Funcan.role_to_string r)
+
+let role_of_json = function
+  | J.String "branch" -> Ok Funcan.Branch_feed
+  | J.String "call-target" -> Ok Funcan.Call_target
+  | J.String "mem-addr" -> Ok Funcan.Mem_addr
+  | J.String "call-arg" -> Ok Funcan.Call_arg
+  | J.String "wild-data" -> Ok Funcan.Wild_data
+  | j -> Error ("bad role " ^ J.to_string j)
+
+let reason_to_json (r : Funcan.reason) =
+  let kind, detail =
+    match r with
+    | Out_of_extent s -> ("out-of-extent", s)
+    | Unbounded_intrinsic s -> ("unbounded-intrinsic", s)
+    | Escape s -> ("escape", s)
+  in
+  J.Obj [ ("kind", J.String kind); ("detail", J.String detail) ]
+
+let reason_of_json j =
+  match
+    ( Option.bind (J.member "kind" j) J.to_str_opt,
+      Option.bind (J.member "detail" j) J.to_str_opt )
+  with
+  | Some "out-of-extent", Some d -> Ok (Funcan.Out_of_extent d)
+  | Some "unbounded-intrinsic", Some d -> Ok (Funcan.Unbounded_intrinsic d)
+  | Some "escape", Some d -> Ok (Funcan.Escape d)
+  | _ -> Error ("bad reason " ^ J.to_string j)
+
+let slot_to_json (s : Funcan.slot) =
+  J.Obj
+    [
+      ("index", J.Int s.index);
+      ("name", J.String s.name);
+      ("reg", J.Int s.reg);
+      ("ty", J.String (Ir.Ty.to_string s.ty));
+      ("size", J.Int s.size);
+      ("offset", J.Int s.offset);
+      ("overflow", J.List (List.map reason_to_json s.overflow));
+      ("roles", J.List (List.map role_to_json s.roles));
+    ]
+
+let funcan_to_json (a : Funcan.t) =
+  J.Obj
+    [
+      ("fname", J.String a.fname);
+      ("slots", J.List (List.map slot_to_json a.slots));
+      ("wild_stores", J.Int a.wild_stores);
+      ("heap_stores", J.Int a.heap_stores);
+      ("global_overflows", J.List (List.map (fun g -> J.String g) a.global_overflows));
+      ("callees", J.List (List.map (fun c -> J.String c) a.callees));
+      ("has_call_ind", J.Bool a.has_call_ind);
+    ]
+
+let pair_to_json sp =
+  let p = sp.pair in
+  J.Obj
+    [
+      ("kind", J.String (Dop.kind_to_string p.kind));
+      ("buf_func", J.String p.buf_func);
+      ("buf_slot", J.String p.buf_slot);
+      ("victim_func", J.String p.victim_func);
+      ("victim_slot", J.String p.victim_slot);
+      ( "static_distance",
+        match p.static_distance with Some d -> J.Int d | None -> J.Null );
+      ("path", J.List (List.map (fun s -> J.String s) p.path));
+      ("victim_roles", J.List (List.map role_to_json p.victim_roles));
+      ("reasons", J.List (List.map reason_to_json p.reasons));
+      ( "attempts",
+        J.Obj (List.map (fun (d, a) -> (d, J.Float a)) sp.attempts) );
+    ]
+
+let func_summary_to_json f =
+  J.Obj
+    [
+      ("fname", J.String f.fname);
+      ("n_slots", J.Int f.n_slots);
+      ("n_overflow", J.Int f.n_overflow);
+      ("n_victims", J.Int f.n_victims);
+      ("wild_stores", J.Int f.wild_stores);
+      ("frame_bytes", J.Int f.frame_bytes);
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ("name", J.String t.name);
+      ("defenses", J.List (List.map (fun d -> J.String d) t.defense_names));
+      ("funcs", J.List (List.map func_summary_to_json t.funcs));
+      ("analyses", J.List (List.map funcan_to_json t.analyses));
+      ("pairs", J.List (List.map pair_to_json t.pairs));
+      ( "summary",
+        J.Obj (List.map (fun (d, a) -> (d, J.Float a)) (summary t)) );
+    ]
+
+(* -------- parsing (the round-trip direction) -------- *)
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs ->
+      let* y = f x in
+      let* ys = map_result f xs in
+      Ok (y :: ys)
+
+let need what o = Option.to_result ~none:("missing " ^ what) o
+let str_field k j = need k (Option.bind (J.member k j) J.to_str_opt)
+let int_field k j = need k (Option.bind (J.member k j) J.to_int_opt)
+let list_field k j = Option.fold ~none:[] ~some:J.to_list (J.member k j)
+
+let bool_field k j =
+  match J.member k j with Some (J.Bool b) -> Ok b | _ -> Error ("missing " ^ k)
+
+let ty_of_size size =
+  if size = 1 then Ir.Ty.I8
+  else if size = 2 then Ir.Ty.I16
+  else if size = 4 then Ir.Ty.I32
+  else if size = 8 then Ir.Ty.I64
+  else Ir.Ty.Array (Ir.Ty.I8, size)
+
+(* Inverse of [Ir.Ty.to_string] for the forms a slot can carry.  Struct
+   display names don't record their fields, so those (and anything else
+   unparseable) fall back to a type of the right extent. *)
+let rec ty_of_string ~size s =
+  match s with
+  | "i1" -> Ir.Ty.I1
+  | "i8" -> Ir.Ty.I8
+  | "i16" -> Ir.Ty.I16
+  | "i32" -> Ir.Ty.I32
+  | "i64" -> Ir.Ty.I64
+  | "ptr" -> Ir.Ty.Ptr
+  | _ -> (
+      match Scanf.sscanf_opt s "[%d x %[^]]]" (fun n elt -> (n, elt)) with
+      | Some (n, elt) when n > 0 ->
+          Ir.Ty.Array (ty_of_string ~size:(size / n) elt, n)
+      | _ -> ty_of_size size)
+
+let slot_of_json j =
+  let* index = int_field "index" j in
+  let* name = str_field "name" j in
+  let* reg = int_field "reg" j in
+  let* ty_s = str_field "ty" j in
+  let* size = int_field "size" j in
+  let* offset = int_field "offset" j in
+  let* overflow = map_result reason_of_json (list_field "overflow" j) in
+  let* roles = map_result role_of_json (list_field "roles" j) in
+  Ok
+    {
+      Funcan.index;
+      name;
+      reg;
+      ty = ty_of_string ~size ty_s;
+      size;
+      offset;
+      overflow;
+      roles;
+    }
+
+let funcan_of_json j =
+  let* fname = str_field "fname" j in
+  let* slots = map_result slot_of_json (list_field "slots" j) in
+  let* wild_stores = int_field "wild_stores" j in
+  let* heap_stores = int_field "heap_stores" j in
+  let* global_overflows =
+    map_result
+      (fun x -> need "global" (J.to_str_opt x))
+      (list_field "global_overflows" j)
+  in
+  let* callees =
+    map_result (fun x -> need "callee" (J.to_str_opt x)) (list_field "callees" j)
+  in
+  let* has_call_ind = bool_field "has_call_ind" j in
+  Ok
+    {
+      Funcan.fname;
+      slots;
+      wild_stores;
+      heap_stores;
+      global_overflows;
+      callees;
+      has_call_ind;
+    }
+
+let kind_of_string = function
+  | "same-frame" -> Ok Dop.Same_frame
+  | "cross-frame" -> Ok Dop.Cross_frame
+  | "wild-write" -> Ok Dop.Wild_write
+  | s -> Error ("bad kind " ^ s)
+
+let pair_of_json j =
+  let* kind = Result.bind (str_field "kind" j) kind_of_string in
+  let* buf_func = str_field "buf_func" j in
+  let* buf_slot = str_field "buf_slot" j in
+  let* victim_func = str_field "victim_func" j in
+  let* victim_slot = str_field "victim_slot" j in
+  let static_distance =
+    Option.bind (J.member "static_distance" j) J.to_int_opt
+  in
+  let* path =
+    map_result (fun x -> need "path" (J.to_str_opt x)) (list_field "path" j)
+  in
+  let* victim_roles = map_result role_of_json (list_field "victim_roles" j) in
+  let* reasons = map_result reason_of_json (list_field "reasons" j) in
+  let* attempts =
+    match J.member "attempts" j with
+    | Some (J.Obj kvs) ->
+        map_result
+          (fun (d, v) ->
+            let* a = need ("attempts." ^ d) (J.to_float_opt v) in
+            Ok (d, a))
+          kvs
+    | _ -> Ok []
+  in
+  Ok
+    {
+      pair =
+        {
+          Dop.kind;
+          buf_func;
+          buf_slot;
+          victim_func;
+          victim_slot;
+          static_distance;
+          path;
+          victim_roles;
+          reasons;
+        };
+      attempts;
+    }
+
+let func_summary_of_json j =
+  let* fname = str_field "fname" j in
+  let* n_slots = int_field "n_slots" j in
+  let* n_overflow = int_field "n_overflow" j in
+  let* n_victims = int_field "n_victims" j in
+  let* wild_stores = int_field "wild_stores" j in
+  let* frame_bytes = int_field "frame_bytes" j in
+  Ok { fname; n_slots; n_overflow; n_victims; wild_stores; frame_bytes }
+
+let of_json j =
+  let* name = str_field "name" j in
+  let* defense_names =
+    map_result
+      (fun x -> need "defense" (J.to_str_opt x))
+      (list_field "defenses" j)
+  in
+  let* funcs = map_result func_summary_of_json (list_field "funcs" j) in
+  let* analyses = map_result funcan_of_json (list_field "analyses" j) in
+  let* pairs = map_result pair_of_json (list_field "pairs" j) in
+  Ok { name; funcs; analyses; pairs; defense_names }

@@ -1,0 +1,49 @@
+(** Attack-surface reports: the analyzer's user-facing output.
+
+    [analyze_prog] runs the whole pipeline — per-function slot
+    classification ({!Funcan}), DOP pair enumeration ({!Dop}) and
+    per-defense expected-attempts scoring ({!Score}) — and packages the
+    result for the [smokestackc analyze] subcommand, the [analysis]
+    bench experiment, and the differential validator in [lib/harness].
+
+    The JSON form round-trips: [of_json (to_json t)] reconstructs the
+    report exactly (floats via their shortest decimal form). *)
+
+type scored_pair = { pair : Dop.pair; attempts : (string * float) list }
+
+type func_summary = {
+  fname : string;
+  n_slots : int;
+  n_overflow : int;  (** overflow-capable slots *)
+  n_victims : int;  (** slots with at least one victim role *)
+  wild_stores : int;
+  frame_bytes : int;
+}
+
+type t = {
+  name : string;
+  funcs : func_summary list;
+  analyses : Funcan.t list;
+  pairs : scored_pair list;
+  defense_names : string list;
+}
+
+val analyze_prog : ?name:string -> ?score:bool -> Ir.Prog.t -> t
+(** [score] defaults to [true]; pass [false] to skip the (sampled)
+    per-defense attempts and get classification + pairs only. *)
+
+val summary : t -> (string * float) list
+(** Per defense, the expected attempts of the {e easiest} pair — the
+    attacker picks the cheapest channel.  [infinity] when the program
+    has no pairs at all. *)
+
+val to_table : t -> Sutil.Texttable.t
+(** Pair-level table (one row per scored pair). *)
+
+val funcs_table : t -> Sutil.Texttable.t
+
+val to_text : t -> string
+(** Full human-readable report (both tables plus per-slot detail). *)
+
+val to_json : t -> Sutil.Json.t
+val of_json : Sutil.Json.t -> (t, string) result

@@ -1,0 +1,212 @@
+let defense_names =
+  [ "none"; "stack-base"; "canary"; "forrest-pad"; "static-perm"; "smokestack" ]
+
+let n_build_samples = 32
+let n_draw_samples = 2048
+
+type ctx = {
+  base : Ir.Prog.t;
+  hardened : Smokestack.Harden.t;
+  forrest : Ir.Prog.t list;
+  static_perm : Ir.Prog.t list;
+  slot_index : (string * string, int) Hashtbl.t;  (** (func, slot) -> orig idx *)
+  draw_cache : (string * int, int array) Hashtbl.t;
+      (** (func, orig idx) -> sampled per-invocation offsets *)
+}
+
+let make_ctx (prog : Ir.Prog.t) (ans : Funcan.t list) =
+  let slot_index = Hashtbl.create 32 in
+  List.iter
+    (fun (a : Funcan.t) ->
+      List.iter
+        (fun (s : Funcan.slot) ->
+          Hashtbl.replace slot_index (a.fname, s.name) s.index)
+        a.slots)
+    ans;
+  let builds defense =
+    List.init n_build_samples (fun i ->
+        (Defenses.Defense.apply ~seed:(Int64.of_int (i + 1)) defense prog).prog)
+  in
+  {
+    base = prog;
+    hardened = Smokestack.Harden.harden Smokestack.Config.default prog;
+    forrest = builds Defenses.Defense.Forrest_pad;
+    static_perm = builds Defenses.Defense.Static_perm;
+    slot_index;
+    draw_cache = Hashtbl.create 32;
+  }
+
+(* expected attempts from an observed distribution: 1 / Σ p² over the
+   [n] samples; [infinity] when no sample is counted at all *)
+let attempts_of_counts counts n =
+  let sq =
+    Hashtbl.fold
+      (fun _ c acc ->
+        let p = float_of_int c /. float_of_int n in
+        acc +. (p *. p))
+      counts 0.
+  in
+  if sq <= 0. then infinity else 1. /. sq
+
+let tally counts key =
+  Hashtbl.replace counts key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+
+(* distribution of [sample seed -> 'a option] over the seeded builds *)
+let sampled_attempts samples =
+  let counts = Hashtbl.create 16 in
+  let n = List.length samples in
+  List.iter (function Some v -> tally counts v | None -> ()) samples;
+  attempts_of_counts counts n
+
+(* ---- per-build layouts (forrest-pad / static-perm) ---- *)
+
+let build_distance prog (p : Dop.pair) =
+  match p.kind with
+  | Dop.Same_frame -> (
+      match Ir.Prog.find_func prog p.buf_func with
+      | None -> None
+      | Some f ->
+          let frame = Attacks.Layout.frame_of_func f in
+          let off n = Attacks.Layout.var_offset frame n in
+          (match (off p.buf_slot, off p.victim_slot) with
+          | Some b, Some v -> Some (v - b)
+          | _ -> None))
+  | Dop.Cross_frame ->
+      let rows = Attacks.Layout.chain prog p.path in
+      Attacks.Layout.distance rows
+        ~from_:(p.buf_func, p.buf_slot)
+        ~to_:(p.victim_func, p.victim_slot)
+  | Dop.Wild_write -> (
+      (* a wild write needs the victim's position, not a distance *)
+      match Ir.Prog.find_func prog p.victim_func with
+      | None -> None
+      | Some f ->
+          Attacks.Layout.var_offset
+            (Attacks.Layout.frame_of_func f)
+            p.victim_slot)
+
+let per_build_attempts builds p =
+  sampled_attempts (List.map (fun prog -> build_distance prog p) builds)
+
+(* ---- Smokestack ---- *)
+
+(* per-invocation offsets of one original slot, sampled from the same
+   decode the instrumented prologue performs *)
+let draw_offsets ctx fname idx =
+  match Hashtbl.find_opt ctx.draw_cache (fname, idx) with
+  | Some a -> a
+  | None ->
+      let pbox = ctx.hardened.pbox in
+      let seed = Int64.of_int (1 + (Hashtbl.hash (fname, idx) land 0xffff)) in
+      let rng = Sutil.Simrng.create ~seed in
+      let a =
+        match Smokestack.Pbox.binding pbox fname with
+        | None -> Array.make n_draw_samples 0
+        | Some b -> (
+            match b.mode with
+            | Smokestack.Pbox.Dynamic _ ->
+                let dyn = Option.get (Smokestack.Pbox.dyn_of pbox b) in
+                Array.init n_draw_samples (fun _ ->
+                    (Smokestack.Runtime.dynamic_offsets_for_draw dyn
+                       (Sutil.Simrng.next_u64 rng)).(idx))
+            | Smokestack.Pbox.Exhaustive _ ->
+                let e = Option.get (Smokestack.Pbox.entry_of pbox b) in
+                let mask = Int64.of_int (e.rows_materialized - 1) in
+                Array.init n_draw_samples (fun _ ->
+                    let row =
+                      Int64.to_int (Int64.logand (Sutil.Simrng.next_u64 rng) mask)
+                    in
+                    (Smokestack.Pbox.lookup_offsets pbox b ~row).(idx)))
+      in
+      Hashtbl.replace ctx.draw_cache (fname, idx) a;
+      a
+
+let smokestack_same_frame ctx p =
+  let pbox = ctx.hardened.pbox in
+  match
+    ( Hashtbl.find_opt ctx.slot_index (p.Dop.buf_func, p.Dop.buf_slot),
+      Hashtbl.find_opt ctx.slot_index (p.Dop.victim_func, p.Dop.victim_slot) )
+  with
+  | Some bi, Some vi -> (
+      match Smokestack.Pbox.binding pbox p.Dop.buf_func with
+      | None -> 1. (* excluded from hardening: layout fixed *)
+      | Some b -> (
+          match b.mode with
+          | Smokestack.Pbox.Exhaustive ex ->
+              let e = Option.get (Smokestack.Pbox.entry_of pbox b) in
+              let sq =
+                Smokestack.Entropy_an.subset_collision e.table
+                  ~slots:[ ex.canon_of_orig.(bi); ex.canon_of_orig.(vi) ]
+              in
+              if sq <= 0. then infinity else 1. /. sq
+          | Smokestack.Pbox.Dynamic _ ->
+              (* one frame, one draw: joint (buffer, victim) offsets *)
+              let dyn =
+                Option.get (Smokestack.Pbox.dyn_of pbox b)
+              in
+              let seed = Int64.of_int (1 + (Hashtbl.hash p.Dop.buf_func land 0xffff)) in
+              let rng = Sutil.Simrng.create ~seed in
+              let counts = Hashtbl.create 64 in
+              for _ = 1 to n_draw_samples do
+                let offs =
+                  Smokestack.Runtime.dynamic_offsets_for_draw dyn
+                    (Sutil.Simrng.next_u64 rng)
+                in
+                tally counts (offs.(bi), offs.(vi))
+              done;
+              attempts_of_counts counts n_draw_samples))
+  | _ -> 1.
+
+let smokestack_cross_frame ctx p =
+  match
+    ( Hashtbl.find_opt ctx.slot_index (p.Dop.buf_func, p.Dop.buf_slot),
+      Hashtbl.find_opt ctx.slot_index (p.Dop.victim_func, p.Dop.victim_slot) )
+  with
+  | Some bi, Some vi -> (
+      let hprog = ctx.hardened.prog in
+      let rows = Attacks.Layout.chain hprog p.Dop.path in
+      match
+        Attacks.Layout.distance rows
+          ~from_:(p.Dop.buf_func, "__ss_total")
+          ~to_:(p.Dop.victim_func, "__ss_total")
+      with
+      | None -> 1.
+      | Some slab_gap ->
+          let boffs = draw_offsets ctx p.Dop.buf_func bi in
+          let voffs = draw_offsets ctx p.Dop.victim_func vi in
+          let counts = Hashtbl.create 64 in
+          for i = 0 to n_draw_samples - 1 do
+            tally counts (slab_gap + voffs.(i) - boffs.(i))
+          done;
+          attempts_of_counts counts n_draw_samples)
+  | _ -> 1.
+
+let smokestack_wild ctx p =
+  match Hashtbl.find_opt ctx.slot_index (p.Dop.victim_func, p.Dop.victim_slot) with
+  | Some vi ->
+      let voffs = draw_offsets ctx p.Dop.victim_func vi in
+      let counts = Hashtbl.create 64 in
+      Array.iter (tally counts) voffs;
+      attempts_of_counts counts n_draw_samples
+  | None -> 1.
+
+let stack_base_pads = Defenses.Stack_base.max_pad / 16
+
+let attempts ctx (p : Dop.pair) =
+  let relative = p.kind <> Dop.Wild_write in
+  let stack_base = if relative then 1. else float_of_int stack_base_pads in
+  let smokestack =
+    match p.kind with
+    | Dop.Same_frame -> smokestack_same_frame ctx p
+    | Dop.Cross_frame -> smokestack_cross_frame ctx p
+    | Dop.Wild_write -> smokestack_wild ctx p
+  in
+  [
+    ("none", 1.);
+    ("stack-base", stack_base);
+    ("canary", 1.);
+    ("forrest-pad", per_build_attempts ctx.forrest p);
+    ("static-perm", per_build_attempts ctx.static_perm p);
+    ("smokestack", smokestack);
+  ]

@@ -1,0 +1,38 @@
+(** Expected brute-force attempts per DOP pair per defense (step 3).
+
+    For every enumerated pair this module answers: how many attempts
+    does a payload crafted from one observed layout need, in
+    expectation, before it lands against a fresh target under each
+    defense?  The per-attempt success probability is a collision
+    probability (guess and reality drawn from the same distribution —
+    the E9 argument), so expected attempts are [1 / Σ p²].
+
+    - [none], [canary]: the layout is fixed and adjacency-based DOP
+      writes never cross the canary word, so 1 attempt.
+    - [stack-base]: relative distances are unchanged (1 attempt);
+      wild writes need the absolute base, a uniform draw over the
+      4096 distinct pads.
+    - [forrest-pad], [static-perm]: per-{e build} randomization — the
+      distance distribution is sampled over 32 seeded builds.
+    - [smokestack]: per-{e invocation} randomization — exhaustive
+      bindings are scored exactly with {!Smokestack.Entropy_an.subset_collision}
+      over the pair's canonical P-BOX columns; dynamic bindings and
+      cross-frame pairs are sampled from the runtime's own decode
+      ({!Smokestack.Runtime.dynamic_offsets_for_draw}), with the
+      inter-frame slab gap read off the hardened binary. *)
+
+val defense_names : string list
+(** Column order of every [(defense, attempts)] list this module
+    produces. *)
+
+type ctx
+(** Prepared scoring context: one Smokestack hardening plus the seeded
+    forrest-pad / static-perm builds of a program, shared by all its
+    pairs. *)
+
+val make_ctx : Ir.Prog.t -> Funcan.t list -> ctx
+
+val attempts : ctx -> Dop.pair -> (string * float) list
+(** Expected attempts for this pair under every defense, in
+    {!defense_names} order.  [infinity] means no sampled layout ever
+    repeated (the sample lower-bounds the true number). *)

@@ -6,6 +6,7 @@ type workload = {
   input : string;
   sched_bias_pct : float;
   program : Ir.Prog.t Lazy.t;
+  dop_hints : (string * string) list;
 }
 
 (* Each kernel is calibrated to its namesake's call density — the ratio
@@ -854,7 +855,7 @@ let proftpd_io_input =
 let wireshark_io_input =
   String.concat "" (List.init 1500 (fun i -> lcg_input 48 (i + 5)))
 
-let mk wname kind description source input sched_bias_pct =
+let mk ?(hints = []) wname kind description source input sched_bias_pct =
   {
     wname;
     kind;
@@ -863,6 +864,7 @@ let mk wname kind description source input sched_bias_pct =
     input;
     sched_bias_pct;
     program = lazy (Minic.Driver.compile source);
+    dop_hints = hints;
   }
 
 let spec =
@@ -887,9 +889,13 @@ let spec =
 
 let io =
   [
-    mk "proftpd-io" `Io "FTP command loop (I/O bound)" Proftpd.source
+    mk
+      ~hints:[ ("sreplace", "buf") ]
+      "proftpd-io" `Io "FTP command loop (I/O bound)" Proftpd.source
       proftpd_io_input 0.2;
-    mk "wireshark-io" `Io "frame dissection loop (I/O bound)" wireshark_io_src
+    mk
+      ~hints:[ ("dissect_frame", "pd") ]
+      "wireshark-io" `Io "frame dissection loop (I/O bound)" wireshark_io_src
       wireshark_io_input 0.1;
   ]
 

@@ -26,6 +26,10 @@ type workload = {
   input : string;  (** bytes served to [read_input]/[input_byte] *)
   sched_bias_pct : float;
   program : Ir.Prog.t Lazy.t;
+  dop_hints : (string * string) list;
+      (** [(function, slot)] pairs the static analyzer is expected to
+          classify overflow-capable — ground-truth annotations for the
+          analysis experiment and its tests *)
 }
 
 val all : workload list

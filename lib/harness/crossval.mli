@@ -1,0 +1,38 @@
+(** Differential validation of the static DOP analyzer (tentpole
+    acceptance check).
+
+    Every attack the dynamic harness can land against the unhardened
+    build — the six synthetic {!Apps.Synth} variants plus the five
+    real-vulnerability exploits of {!Security.realvuln} — must
+    correspond to a DOP pair the static analyzer reports for the same
+    program.  Each attack carries its {e witness set}: the
+    (buffer function, buffer slot, victim function, victim slot)
+    tuples it actually corrupts (buffer slot ["*"] for the wild-write
+    channel).  A row validates when the attack either fails
+    dynamically or at least one witness appears among the statically
+    enumerated pairs.
+
+    The converse is deliberately not asserted: the analyzer is allowed
+    to over-approximate (escape-based false positives are documented
+    in DESIGN.md §10), but it must never miss a demonstrated attack. *)
+
+type row = {
+  cname : string;  (** attack name, e.g. ["stack-direct"] *)
+  verdicts : Attacks.Verdict.t list;
+      (** dynamic attempts against the unhardened build *)
+  dynamic_success : bool;
+  static_pairs : int;  (** pairs the analyzer reports for the program *)
+  matched : string option;
+      (** the first witness found among the static pairs, rendered
+          ["buf_func:buf_slot -> victim_func:victim_slot"] *)
+  validated : bool;  (** [dynamic_success] implies [matched <> None] *)
+}
+
+type t = { rows : row list; all_validated : bool }
+
+val run : ?pool:Sched.Pool.t -> ?trials:int -> unit -> t
+(** Static analysis runs once per distinct program in the submitting
+    domain; only the dynamic trials are parallelized. *)
+
+val table : t -> Sutil.Texttable.t
+val to_markdown : t -> string

@@ -1,0 +1,128 @@
+type row = {
+  pname : string;
+  pkind : string;
+  n_funcs : int;
+  n_slots : int;
+  n_overflow : int;
+  n_victims : int;
+  n_pairs : int;
+  easiest : (string * float) list;
+  hints_ok : bool;
+}
+
+type t = { rows : row list; defense_names : string list }
+
+let programs ~progen =
+  List.map
+    (fun (w : Apps.Spec.workload) ->
+      let kind = match w.kind with `Spec -> "spec" | `Io -> "io" in
+      (w.wname, kind, Lazy.force w.program, w.dop_hints))
+    Apps.Spec.all
+  @ List.map
+      (fun (v : Apps.Synth.variant) ->
+        (v.vname, "synth", Lazy.force v.program, []))
+      Apps.Synth.variants
+  @ List.init progen (fun i ->
+        let seed = Int64.of_int (9001 + i) in
+        ( Printf.sprintf "progen-%Ld" seed,
+          "progen",
+          Minic.Driver.compile (Minic.Progen.generate ~seed),
+          [] ))
+
+let hints_hold (report : Analysis.Report.t) hints =
+  List.for_all
+    (fun (f, s) ->
+      List.exists
+        (fun (fa : Analysis.Funcan.t) ->
+          fa.fname = f
+          && List.exists
+               (fun (sl : Analysis.Funcan.slot) ->
+                 sl.name = s && sl.overflow <> [])
+               fa.slots)
+        report.analyses)
+    hints
+
+let run ?(pool = Sched.Pool.sequential) ?(progen = 4) ?(score = true) () =
+  let programs = programs ~progen in
+  let rows =
+    Sched.Pool.run_all pool
+      (List.map
+         (fun (pname, pkind, prog, hints) ->
+           Sched.Job.v ~id:("e12/" ^ pname) ~seed:3L (fun () ->
+               let report =
+                 Analysis.Report.analyze_prog ~name:pname ~score prog
+               in
+               let sum f =
+                 List.fold_left
+                   (fun acc (fs : Analysis.Report.func_summary) ->
+                     acc + f fs)
+                   0 report.funcs
+               in
+               {
+                 pname;
+                 pkind;
+                 n_funcs = List.length report.funcs;
+                 n_slots = sum (fun fs -> fs.n_slots);
+                 n_overflow = sum (fun fs -> fs.n_overflow);
+                 n_victims = sum (fun fs -> fs.n_victims);
+                 n_pairs = List.length report.pairs;
+                 easiest = (if score then Analysis.Report.summary report else []);
+                 hints_ok = hints_hold report hints;
+               }))
+         programs)
+  in
+  { rows; defense_names = (if score then Analysis.Score.defense_names else []) }
+
+let fmt_attempts a =
+  if a = infinity then "-"
+  else if a >= 1e6 then Printf.sprintf "%.2e" a
+  else if Float.is_integer a then Printf.sprintf "%.0f" a
+  else Printf.sprintf "%.1f" a
+
+let table t =
+  let tbl =
+    Sutil.Texttable.create
+      ~columns:
+        (Sutil.Texttable.
+           [
+             ("program", Left);
+             ("kind", Left);
+             ("funcs", Right);
+             ("slots", Right);
+             ("overflow", Right);
+             ("victims", Right);
+             ("pairs", Right);
+             ("hints", Left);
+           ]
+        @ List.map
+            (fun d -> (d, Sutil.Texttable.Right))
+            t.defense_names)
+  in
+  List.iter
+    (fun r ->
+      Sutil.Texttable.add_row tbl
+        ([
+           r.pname;
+           r.pkind;
+           string_of_int r.n_funcs;
+           string_of_int r.n_slots;
+           string_of_int r.n_overflow;
+           string_of_int r.n_victims;
+           string_of_int r.n_pairs;
+           (if r.hints_ok then "ok" else "MISS");
+         ]
+        @ List.map
+            (fun d ->
+              match List.assoc_opt d r.easiest with
+              | Some a -> fmt_attempts a
+              | None -> "-")
+            t.defense_names))
+    t.rows;
+  tbl
+
+let to_markdown t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    "E12: static DOP attack surface (expected attempts, easiest pair)\n\n";
+  Buffer.add_string b (Sutil.Texttable.render (table t));
+  Buffer.contents b

@@ -1,0 +1,46 @@
+let successors = function
+  | Instr.Ret _ | Instr.Unreachable -> []
+  | Instr.Br l -> [ l ]
+  | Instr.Cond_br { if_true; if_false; _ } ->
+      if if_true = if_false then [ if_true ] else [ if_true; if_false ]
+
+type t = {
+  blocks : Func.block array;
+  index_of : (string, int) Hashtbl.t;
+  succ : int list array;
+  pred : int list array;
+}
+
+let of_func (f : Func.t) =
+  let by_label = Hashtbl.create 16 in
+  List.iter (fun (b : Func.block) -> Hashtbl.replace by_label b.label b) f.blocks;
+  (* depth-first postorder from the entry, then reverse *)
+  let visited = Hashtbl.create 16 in
+  let post = ref [] in
+  let rec dfs label =
+    if not (Hashtbl.mem visited label) then begin
+      Hashtbl.add visited label ();
+      match Hashtbl.find_opt by_label label with
+      | None -> ()
+      | Some b ->
+          List.iter dfs (successors b.term);
+          post := b :: !post
+    end
+  in
+  (match f.blocks with [] -> () | entry :: _ -> dfs entry.label);
+  let blocks = Array.of_list !post in
+  let index_of = Hashtbl.create 16 in
+  Array.iteri (fun i (b : Func.block) -> Hashtbl.replace index_of b.label i) blocks;
+  let n = Array.length blocks in
+  let succ = Array.make n [] in
+  let pred = Array.make n [] in
+  Array.iteri
+    (fun i (b : Func.block) ->
+      let ss =
+        List.filter_map (fun l -> Hashtbl.find_opt index_of l) (successors b.term)
+      in
+      succ.(i) <- ss;
+      List.iter (fun s -> pred.(s) <- i :: pred.(s)) ss)
+    blocks;
+  Array.iteri (fun i ps -> pred.(i) <- List.rev ps) pred;
+  { blocks; index_of; succ; pred }

@@ -1,0 +1,22 @@
+(** Control-flow-graph utilities over {!Func.t} blocks.
+
+    Small, allocation-light helpers shared by the verifier-style
+    dataflow passes and the static DOP analyzer ([lib/analysis]):
+    successor/predecessor maps and a reverse-postorder block ordering
+    (the order that makes forward dataflow converge fastest). *)
+
+val successors : Instr.terminator -> string list
+(** Labels a terminator can branch to ([Ret]/[Unreachable] have none).
+    [Cond_br] lists the true target first. *)
+
+type t = {
+  blocks : Func.block array;  (** in reverse postorder from the entry *)
+  index_of : (string, int) Hashtbl.t;  (** label -> index in [blocks] *)
+  succ : int list array;  (** successor indices per block *)
+  pred : int list array;  (** predecessor indices per block *)
+}
+
+val of_func : Func.t -> t
+(** Builds the CFG reachable from the entry block.  Unreachable blocks
+    are dropped (they cannot contribute stores).  Edge targets that name
+    missing blocks are ignored, matching the verifier's leniency. *)

@@ -24,6 +24,11 @@ val create : ?capacity:int -> unit -> t
 val attach : t -> Exec.state -> unit
 (** Start recording events from this state. *)
 
+val record : t -> event -> unit
+(** Append one event, dropping the oldest when the ring is full.
+    [attach] installs this as the state's hook; exposed for embedders
+    that merge their own events into the transcript, and for tests. *)
+
 val events : t -> event list
 (** Oldest first. *)
 

@@ -133,9 +133,21 @@ let generate ~seed =
     Buffer.add_string buf (gen_helper rng ~name ~arity ~funcs:!funcs);
     funcs := (name, arity) :: !funcs
   done;
-  (* main: accumulate helper results and globals into a checksum *)
-  let c = { rng; scalars = "acc" :: globals; arrays = []; funcs = !funcs; depth = 2 } in
-  Buffer.add_string buf "int main() {\n  long acc = 0;\n";
+  (* main: accumulate helper results and globals into a checksum.  Like
+     every helper, main gets at least one array local and one scalar
+     local — the frame-permutation passes need both kinds in every
+     function to have anything to separate. *)
+  let c =
+    {
+      rng;
+      scalars = "acc" :: globals;
+      arrays = [ ("mbuf", 8) ];
+      funcs = !funcs;
+      depth = 2;
+    }
+  in
+  Buffer.add_string buf "int main() {\n  long acc = 0;\n  long mbuf[8];\n";
+  Buffer.add_string buf "  for (int z = 0; z < 8; z++) mbuf[z] = z * 7;\n";
   let rounds = 2 + Sutil.Simrng.int rng ~bound:4 in
   for r = 1 to rounds do
     Buffer.add_string buf
@@ -144,7 +156,9 @@ let generate ~seed =
       Buffer.add_string buf
         (Printf.sprintf "  %s += acc & 1023;\n" (pick rng globals))
   done;
-  Buffer.add_string buf "  print_int(acc);\n  print_newline();\n  return 0;\n}\n";
+  Buffer.add_string buf
+    "  acc = acc * 31 + mbuf[acc & 7];\n\
+    \  print_int(acc);\n  print_newline();\n  return 0;\n}\n";
   Buffer.contents buf
 
 let generate_many ~seed n =

@@ -11,6 +11,9 @@
 
 val generate : seed:int64 -> string
 (** A complete translation unit ending in a [print_int] of an
-    accumulated checksum. *)
+    accumulated checksum.  Every function — helpers and [main] —
+    declares at least one array local and at least one scalar local,
+    so every frame gives the permutation passes (and the DOP pair
+    enumeration) something to separate. *)
 
 val generate_many : seed:int64 -> int -> string list

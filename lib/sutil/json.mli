@@ -1,0 +1,45 @@
+(** Minimal JSON tree, printer and parser.
+
+    The repo deliberately avoids external JSON dependencies; this covers
+    what the analysis reports and bench emitters need: the full JSON
+    value grammar, deterministic printing, and a strict parser good
+    enough to round-trip our own output (used by the CLI tests and CI).
+
+    Numbers: integers print without a decimal point and parse to [Int];
+    anything with a fraction or exponent becomes [Float].  Strings are
+    escaped per RFC 8259 (control characters as [\uXXXX]); the parser
+    accepts [\uXXXX] escapes but folds non-ASCII code points to bytes
+    only for the Basic Latin range — our own output is ASCII-only. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** [to_string v] renders [v]; [~indent:true] pretty-prints with
+    two-space indentation (deterministic — object order preserved). *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document (trailing whitespace ok,
+    trailing garbage is an error). *)
+
+val of_string_exn : string -> t
+(** Like {!of_string} but raises [Failure]. *)
+
+(** {2 Accessors} — total lookups used by the report readers/tests. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] finds key [k]; [None] on other constructors. *)
+
+val to_int_opt : t -> int option
+(** [Int n] or integral [Float]. *)
+
+val to_float_opt : t -> float option
+val to_str_opt : t -> string option
+val to_list : t -> t list
+(** Elements of a [List], [[]] otherwise. *)

@@ -55,6 +55,28 @@ let render t =
     rows;
   Buffer.contents buf
 
+let columns t = List.map fst t.columns
+
+let row_cells t =
+  List.rev
+    (List.filter_map (function Cells cells -> Some cells | Rule -> None) t.rows)
+
+let to_json ?title t =
+  let title_fields =
+    match title with Some s -> [ ("title", Json.String s) ] | None -> []
+  in
+  Json.Obj
+    (title_fields
+    @ [
+        ("columns", Json.List (List.map (fun c -> Json.String c) (columns t)));
+        ( "rows",
+          Json.List
+            (List.map
+               (fun cells ->
+                 Json.List (List.map (fun c -> Json.String c) cells))
+               (row_cells t)) );
+      ])
+
 let print ?title t =
   (match title with
   | Some title ->

@@ -22,6 +22,16 @@ val add_rule : t -> unit
 val render : t -> string
 (** Renders the table with a header rule and column padding. *)
 
+val columns : t -> string list
+(** Header cells, left to right. *)
+
+val row_cells : t -> string list list
+(** Data rows in display order (rules omitted). *)
+
+val to_json : ?title:string -> t -> Json.t
+(** Machine-readable form: [{"title"?, "columns": [...], "rows": [[...]]}].
+    Used by [bench/main.exe --json]. *)
+
 val print : ?title:string -> t -> unit
 (** [print ?title t] writes the rendered table (preceded by [title] and
     an underline when given) to stdout. *)

@@ -308,6 +308,83 @@ int main() {
     (List.length (Machine.Trace.events t));
   Alcotest.(check bool) "drops counted" true (Machine.Trace.dropped t > 0)
 
+(* Exact dropped accounting and render ~limit ordering on an overfilled
+   ring, without a machine in the loop — Trace.record is the same hook
+   attach installs. *)
+let mk_ev i =
+  Machine.Trace.Ev_intrinsic { name = Printf.sprintf "e%d" i; result = None }
+
+let ev_name = function
+  | Machine.Trace.Ev_intrinsic { name; _ } -> name
+  | _ -> "?"
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_trace_dropped_exact () =
+  let t = Machine.Trace.create ~capacity:4 () in
+  Alcotest.(check int) "empty ring" 0 (Machine.Trace.dropped t);
+  for i = 0 to 3 do
+    Machine.Trace.record t (mk_ev i)
+  done;
+  Alcotest.(check int) "exactly full: nothing dropped" 0
+    (Machine.Trace.dropped t);
+  Alcotest.(check int) "exactly full: all retained" 4
+    (List.length (Machine.Trace.events t));
+  Machine.Trace.record t (mk_ev 4);
+  Alcotest.(check int) "one past capacity drops one" 1
+    (Machine.Trace.dropped t);
+  for i = 5 to 9 do
+    Machine.Trace.record t (mk_ev i)
+  done;
+  Alcotest.(check int) "10 through a 4-ring drops 6" 6
+    (Machine.Trace.dropped t);
+  Alcotest.(check (list string))
+    "survivors are the newest, oldest first"
+    [ "e6"; "e7"; "e8"; "e9" ]
+    (List.map ev_name (Machine.Trace.events t))
+
+let test_trace_capacity_one () =
+  let t = Machine.Trace.create ~capacity:1 () in
+  for i = 0 to 2 do
+    Machine.Trace.record t (mk_ev i)
+  done;
+  Alcotest.(check int) "dropped" 2 (Machine.Trace.dropped t);
+  Alcotest.(check (list string)) "only the newest" [ "e2" ]
+    (List.map ev_name (Machine.Trace.events t))
+
+let test_trace_render_limit () =
+  let t = Machine.Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Machine.Trace.record t (mk_ev i)
+  done;
+  (match String.split_on_char '\n' (String.trim (Machine.Trace.render ~limit:2 t)) with
+  | [ drop; a; b ] ->
+      Alcotest.(check bool) "drop banner first" true (contains drop "dropped");
+      Alcotest.(check bool) "then e8" true (contains a "e8");
+      Alcotest.(check bool) "then e9" true (contains b "e9")
+  | lines ->
+      Alcotest.failf "render ~limit:2 gave %d lines" (List.length lines));
+  (* limit above retention: everything retained, oldest first *)
+  let full = Machine.Trace.render ~limit:100 t in
+  let pos needle =
+    let n = String.length needle in
+    let rec go i =
+      if i + n > String.length full then -1
+      else if String.sub full i n = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) (Printf.sprintf "contains e%d" j) true (pos (Printf.sprintf "@e%d" j) >= 0))
+    [ 6; 7; 8; 9 ];
+  Alcotest.(check bool) "oldest first" true (pos "@e6" < pos "@e9");
+  Alcotest.(check bool) "e5 gone" false (contains full "@e5")
+
 let test_trace_captures_detection () =
   let prog =
     compile
@@ -370,6 +447,9 @@ let () =
         [
           Alcotest.test_case "records calls" `Quick test_trace_records_calls;
           Alcotest.test_case "ring bounds" `Quick test_trace_ring_bounds;
+          Alcotest.test_case "dropped exact" `Quick test_trace_dropped_exact;
+          Alcotest.test_case "capacity one" `Quick test_trace_capacity_one;
+          Alcotest.test_case "render limit" `Quick test_trace_render_limit;
           Alcotest.test_case "captures detection" `Quick test_trace_captures_detection;
         ] );
       ( "builtins",

@@ -588,6 +588,46 @@ int main() {
   in
   Alcotest.(check int) "verifies" 0 (List.length (Ir.Verifier.verify prog))
 
+(* Progen guarantees: byte-identical output per seed, and every
+   function — helpers and main — declares at least one array local and
+   one scalar local (the permutation passes need both kinds in every
+   frame). *)
+let test_progen_determinism () =
+  Alcotest.(check string) "same seed, same program"
+    (Minic.Progen.generate ~seed:123L)
+    (Minic.Progen.generate ~seed:123L);
+  Alcotest.(check bool) "different seeds differ" true
+    (Minic.Progen.generate ~seed:123L <> Minic.Progen.generate ~seed:124L);
+  Alcotest.(check (list string)) "generate_many deterministic"
+    (Minic.Progen.generate_many ~seed:55L 5)
+    (Minic.Progen.generate_many ~seed:55L 5)
+
+let test_progen_locals_shape () =
+  List.iter
+    (fun seed ->
+      let prog = Minic.Driver.compile (Minic.Progen.generate ~seed) in
+      List.iter
+        (fun (f : Ir.Func.t) ->
+          let arrays = ref 0 and scalars = ref 0 in
+          (match f.blocks with
+          | entry :: _ ->
+              List.iter
+                (function
+                  | Ir.Instr.Alloca { ty = Ir.Ty.Array _; count = None; _ } ->
+                      incr arrays
+                  | Ir.Instr.Alloca { count = None; _ } -> incr scalars
+                  | _ -> ())
+                entry.instrs
+          | [] -> ());
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %Ld: %s has an array local" seed f.name)
+            true (!arrays >= 1);
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %Ld: %s has a scalar local" seed f.name)
+            true (!scalars >= 1))
+        prog.Ir.Prog.funcs)
+    [ 1L; 2L; 3L; 4L; 5L; 42L; 9001L ]
+
 let () =
   Alcotest.run "minic"
     [
@@ -604,5 +644,10 @@ let () =
         [
           Alcotest.test_case "builtins in sync" `Quick test_builtins_in_sync;
           Alcotest.test_case "verified IR" `Quick test_verified_ir;
+        ] );
+      ( "progen",
+        [
+          Alcotest.test_case "determinism" `Quick test_progen_determinism;
+          Alcotest.test_case "locals shape" `Quick test_progen_locals_shape;
         ] );
     ]
