@@ -712,6 +712,15 @@ let analyze_func (prog : Ir.Prog.t) (f : Ir.Func.t) =
                           | Some o, Some n -> Some (Interval.widen ~old:o n)
                           | _, n -> n)
                         old.regs joined.regs;
+                    addrs =
+                      Imap.merge
+                        (fun _ o n ->
+                          match (o, n) with
+                          | Some o, Some n when o.root = n.root ->
+                              Some
+                                { n with aoff = Interval.widen ~old:o.aoff n.aoff }
+                          | _, n -> n)
+                        old.addrs joined.addrs;
                     slots =
                       Imap.merge
                         (fun _ o n ->
@@ -735,7 +744,31 @@ let analyze_func (prog : Ir.Prog.t) (f : Ir.Func.t) =
             | Some e -> out_env.(i) <- Some (transfer_block no_emit cfg.blocks.(i) e)
             | None -> ())
       done
-    done
+    done;
+    if !changed then
+      (* Round cap hit: the interval components may still be
+         under-approximated.  Degrade every interval to top so the
+         recording pass stays conservative.  Address roots are safe to
+         keep: registers are SSA (one def each, loop state flows through
+         memory), so a reg's root is determined by its unique def chain
+         and cannot differ across iterations — only the offset intervals
+         can, and those go to top here. *)
+      Array.iteri
+        (fun i e ->
+          match e with
+          | None -> ()
+          | Some e ->
+              in_env.(i) <-
+                Some
+                  {
+                    regs = Imap.map (fun _ -> Interval.top) e.regs;
+                    addrs =
+                      Imap.map (fun a -> { a with aoff = Interval.top }) e.addrs;
+                    slots = Imap.map (fun _ -> Interval.top) e.slots;
+                    slotval = Imap.empty;
+                    cmps = Imap.empty;
+                  })
+        in_env
   end;
   (* ---------------- recording pass ---------------- *)
   let overflow : (Ir.Instr.reg, reason list) Hashtbl.t = Hashtbl.create 8 in

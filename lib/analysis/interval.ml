@@ -58,8 +58,7 @@ let widen ~old now =
               (fun acc t ->
                 let t = Int64.neg (Int64.add t 1L) in
                 if acc = None && Int64.compare t n <= 0 then Some t else acc)
-              None
-              (List.rev widen_thresholds)
+              None widen_thresholds
         | _ -> None);
       hi =
         (match (old.hi, now.hi) with
@@ -302,11 +301,13 @@ let refine (op : Ir.Instr.icmp) ~taken lhs ~rhs =
       | Some v when v <> Int64.max_int -> Some (Int64.add v 1L)
       | b -> b
     in
-    (* signed bounds: lhs <= rhs  /  lhs < rhs  /  ... *)
+    (* signed bounds: the rhs value is only known to lie somewhere in
+       [rhs.lo, rhs.hi], so lhs < rhs only certifies lhs <= max(rhs)-1
+       and lhs > rhs only certifies lhs >= min(rhs)+1 *)
     let le () = { lhs with hi = inner_min lhs.hi rhs.hi } in
-    let lt () = { lhs with hi = inner_min lhs.hi (dec rhs.lo) } in
+    let lt () = { lhs with hi = inner_min lhs.hi (dec rhs.hi) } in
     let ge () = { lhs with lo = inner_max lhs.lo rhs.lo } in
-    let gt () = { lhs with lo = inner_max lhs.lo (inc rhs.hi) } in
+    let gt () = { lhs with lo = inner_max lhs.lo (inc rhs.lo) } in
     match (op, taken) with
     | (Eq, true) | (Ne, false) -> meet lhs rhs
     | (Eq, false) | (Ne, true) -> (

@@ -128,6 +128,25 @@ let of_string_exn s =
     | Some v -> v
     | None -> error "bad \\u escape"
   in
+  (* JSON strings are Unicode; we store them as UTF-8 bytes *)
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
   let parse_string () =
     expect '"';
     let buf = Buffer.create 16 in
@@ -152,11 +171,24 @@ let of_string_exn s =
           | 'f' -> Buffer.add_char buf '\012'
           | 'u' ->
               let v = parse_hex4 () in
-              if v < 0x100 then Buffer.add_char buf (Char.chr v)
-              else
-                (* non-Latin-1 code point: keep a replacement byte; our
-                   own emitter never produces these *)
-                Buffer.add_char buf '?'
+              let cp =
+                if v >= 0xD800 && v <= 0xDBFF then begin
+                  (* high surrogate: must pair with a \uDC00-\uDFFF *)
+                  if !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                  then begin
+                    pos := !pos + 2;
+                    let lo = parse_hex4 () in
+                    if lo >= 0xDC00 && lo <= 0xDFFF then
+                      0x10000 + ((v - 0xD800) lsl 10) + (lo - 0xDC00)
+                    else error "bad low surrogate in \\u pair"
+                  end
+                  else error "unpaired high surrogate"
+                end
+                else if v >= 0xDC00 && v <= 0xDFFF then
+                  error "unpaired low surrogate"
+                else v
+              in
+              add_utf8 buf cp
           | _ -> error "bad escape");
           loop ())
       | c -> Buffer.add_char buf c; loop ()

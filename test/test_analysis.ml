@@ -11,6 +11,49 @@ let find_slot (fa : Analysis.Funcan.t) name =
   | None -> Alcotest.failf "%s: no slot %s" fa.fname name
 
 (* ------------------------------------------------------------------ *)
+(* Interval domain *)
+
+let itv = Alcotest.testable Analysis.Interval.pp Analysis.Interval.equal
+
+(* refining against a non-singleton rhs must use the sound bound: from
+   lhs < rhs we only know lhs <= max(rhs)-1, and from lhs > rhs only
+   lhs >= min(rhs)+1 *)
+let test_refine_nonsingleton_rhs () =
+  let open Analysis.Interval in
+  let lhs = of_bounds 0L 1000L and rhs = of_bounds 0L 100L in
+  Alcotest.check itv "slt taken" (of_bounds 0L 99L)
+    (refine Ir.Instr.Slt ~taken:true lhs ~rhs);
+  Alcotest.check itv "sle taken" (of_bounds 0L 100L)
+    (refine Ir.Instr.Sle ~taken:true lhs ~rhs);
+  Alcotest.check itv "sgt taken" (of_bounds 1L 1000L)
+    (refine Ir.Instr.Sgt ~taken:true lhs ~rhs);
+  Alcotest.check itv "sge taken" (of_bounds 0L 1000L)
+    (refine Ir.Instr.Sge ~taken:true lhs ~rhs);
+  Alcotest.check itv "sge not-taken (lt)" (of_bounds 0L 99L)
+    (refine Ir.Instr.Sge ~taken:false lhs ~rhs);
+  Alcotest.check itv "sle not-taken (gt)" (of_bounds 1L 1000L)
+    (refine Ir.Instr.Sle ~taken:false lhs ~rhs);
+  Alcotest.check itv "ult taken" (of_bounds 0L 99L)
+    (refine Ir.Instr.Ult ~taken:true lhs ~rhs);
+  (* i in [0,1000] refined by i < n, n in [0,100]: must NOT go empty *)
+  Alcotest.(check bool) "slt taken not empty" false
+    (is_empty (refine Ir.Instr.Slt ~taken:true lhs ~rhs));
+  (* singleton rhs still refines exactly *)
+  Alcotest.check itv "slt taken singleton" (of_bounds 0L 7L)
+    (refine Ir.Instr.Slt ~taken:true lhs ~rhs:(const 8L))
+
+let test_widen_lower_threshold () =
+  let open Analysis.Interval in
+  (* a lower bound drifting just below zero snaps to -128 (the i8
+     boundary), not straight to -2^31 *)
+  Alcotest.check itv "snaps to -128" (of_bounds (-128L) 10L)
+    (widen ~old:(of_bounds (-5L) 10L) (of_bounds (-6L) 10L));
+  Alcotest.check itv "snaps to -32768" (of_bounds (-32768L) 10L)
+    (widen ~old:(of_bounds (-200L) 10L) (of_bounds (-201L) 10L));
+  Alcotest.check itv "hi snaps to 127" (of_bounds 0L 127L)
+    (widen ~old:(of_bounds 0L 5L) (of_bounds 0L 6L))
+
+(* ------------------------------------------------------------------ *)
 (* Hand-built IR: classification *)
 
 (* for (i = 0; i < 8; i++) buf[i] = 1;  -- provably in-bounds *)
@@ -245,6 +288,13 @@ let test_crossval_all_validated () =
 let () =
   Alcotest.run "analysis"
     [
+      ( "interval",
+        [
+          Alcotest.test_case "refine non-singleton rhs" `Quick
+            test_refine_nonsingleton_rhs;
+          Alcotest.test_case "widen lower thresholds" `Quick
+            test_widen_lower_threshold;
+        ] );
       ( "classify",
         [
           Alcotest.test_case "bounded loop safe" `Quick test_bounded_loop_safe;

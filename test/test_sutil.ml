@@ -199,6 +199,38 @@ let test_texttable () =
   Alcotest.(check string) "bytes" "2.0 KiB" (Sutil.Texttable.fmt_bytes 2048);
   Alcotest.(check string) "pct" "+10.3%" (Sutil.Texttable.fmt_pct 10.3)
 
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_unicode_escapes () =
+  (* \uXXXX escapes decode to UTF-8 bytes, not replacement chars *)
+  let parse s =
+    match Sutil.Json.of_string s with
+    | Ok (Sutil.Json.String v) -> v
+    | Ok _ -> Alcotest.fail "expected a string"
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  Alcotest.(check string) "ascii" "A" (parse {|"A"|});
+  Alcotest.(check string) "latin-1 escape" "\xc3\xa9" (parse {|"\u00e9"|});
+  Alcotest.(check string) "bmp escape" "\xe2\x82\xac" (parse {|"\u20ac"|});
+  Alcotest.(check string) "surrogate pair escape" "\xf0\x9f\x98\x80"
+    (parse {|"\ud83d\ude00"|});
+  Alcotest.(check string) "raw utf-8 passes through" "\xe2\x82\xac"
+    (parse "\"\xe2\x82\xac\"");
+  let fails s =
+    match Sutil.Json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  check_bool "unpaired high surrogate" true (fails {|"\ud83d"|});
+  check_bool "unpaired low surrogate" true (fails {|"\ude00"|});
+  check_bool "high surrogate + non-escape" true (fails {|"\ud83dxx"|})
+
+let test_json_control_roundtrip () =
+  (* our emitter writes control chars as \u00XX; they must survive *)
+  let v = Sutil.Json.String "a\x01b\x1fc" in
+  match Sutil.Json.of_string (Sutil.Json.to_string v) with
+  | Ok v' -> check_bool "round-trips" true (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -238,5 +270,12 @@ let () =
         [
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "texttable" `Quick test_texttable;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "unicode escapes" `Quick
+            test_json_unicode_escapes;
+          Alcotest.test_case "control round-trip" `Quick
+            test_json_control_roundtrip;
         ] );
     ]
