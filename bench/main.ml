@@ -9,7 +9,8 @@
      dune exec bench/main.exe -- fig3      # one experiment
      dune exec bench/main.exe -- table1 fig4 micro
      dune exec bench/main.exe -- --jobs=8 fig3
-   Experiments: table1 fig3 fig4 bypass pentest realvuln brute ablation micro engine
+   Experiments: table1 fig3 fig4 bypass pentest realvuln brute rngsec
+   rerand ablation analysis chaos micro engine
 
    --jobs=N runs each paper-table experiment's cells on N domains;
    tables are identical for every N.  The wall-clock benchmarks (micro,
@@ -172,6 +173,19 @@ let micro_tests () =
       fig3_probe; fig4_pbox; sec_attempt; permgen; aes;
     ]
 
+let run_chaos pool =
+  Engine.Backend.install ();
+  let t = Harness.Chaos.run ~pool () in
+  emit ~name:"chaos"
+    ~title:"E13: chaos — seeded fault injection across workloads and engines"
+    (Harness.Chaos.table t);
+  emit ~name:"chaos_policy"
+    ~title:"E13: fail-secure vs fail-open (rng:ones@1, RDRAND source)"
+    (Harness.Chaos.policy_table t);
+  say "detection: %d/%d corrupting fired plans caught (%.1f%%)" t.caught
+    t.corrupting_fired
+    (100. *. t.detection_rate)
+
 let run_micro () =
   let open Bechamel in
   say "Bechamel micro-benchmarks (wall-clock per iteration):";
@@ -292,6 +306,7 @@ let experiments =
     ("rerand", run_rerand);
     ("ablation", run_ablation);
     ("analysis", run_analysis);
+    ("chaos", run_chaos);
     (* wall-clock benchmarks: always sequential, the pool is unused *)
     ("micro", fun (_ : Sched.Pool.t) -> run_micro ());
     ("engine", fun (_ : Sched.Pool.t) -> run_engine ());

@@ -3,10 +3,34 @@
    Examples:
      smokestackc run examples/programs/hello.c
      smokestackc run --scheme AES-10 --seed 42 prog.c --input "bytes"
+     smokestackc run --harden --chaos rng:ones@1 prog.c
      smokestackc ir --harden prog.c
-     smokestackc pbox prog.c *)
+     smokestackc pbox prog.c
+
+   Exit codes: 0 clean exit, 1 non-zero program exit (or internal
+   error), 2 usage error, 3 compile/parse error, 4 runtime fault
+   (memory fault, defense detection, fuel exhaustion, timeout). *)
 
 open Cmdliner
+
+(* Diagnostics are one line: the first line of a multi-line message
+   carries the location and summary; the rest is detail for the IR
+   tools, not for a shell script checking $?. *)
+let one_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let exit_usage = 2
+let exit_compile = 3
+let exit_runtime = 4
+
+let usage_fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "smokestackc: %s\n" msg;
+      exit exit_usage)
+    fmt
 
 let read_file path =
   let ic = open_in_bin path in
@@ -18,8 +42,8 @@ let compile ?optimize path =
   match Minic.Driver.compile_result ?optimize (read_file path) with
   | Ok prog -> prog
   | Error msg ->
-      prerr_endline msg;
-      exit 1
+      Printf.eprintf "smokestackc: %s\n" (one_line msg);
+      exit exit_compile
 
 let opt_flag =
   Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Run the -O1 pipeline before anything else")
@@ -104,27 +128,85 @@ let seeds_arg =
            combined with $(b,--jobs) the runs execute in parallel.  \
            N=1 (the default) is the plain single run.")
 
+let chaos_conv =
+  let parse s =
+    match Fault.Plan.of_spec s with Ok p -> Ok p | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Fault.Plan.to_spec p))
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some chaos_conv) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Arm one deterministic fault plan before the run, e.g. \
+           $(b,rng:ones\\@1) (RDRAND stuck at all-ones from the first \
+           draw), $(b,mem:stack:64:3\\@2000) (flip bit 3 of the byte 64 \
+           below the stack top at instruction 2000), \
+           $(b,intr:ss.fid_assert:xor=1\\@1).  $(b,rng:*) plans require \
+           $(b,--harden) (they tamper with the Smokestack generator).")
+
+let fail_open_flag =
+  Arg.(
+    value & flag
+    & info [ "fail-open" ]
+        ~doc:
+          "On a randomness-source health failure, degrade to the \
+           memory-resident pseudo scheme and keep running instead of the \
+           fail-secure RDRAND -> AES-10 -> abort chain (for studying what \
+           silent degradation costs; see E13)")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock limit per run; a run still going after $(docv) \
+           seconds is abandoned and reported timed out (exit code 4).  \
+           With $(b,--seeds), each seed's run is supervised \
+           independently and the others still complete.")
+
 let run_cmd =
   let action file harden scheme seed input no_fid optimize trace engine jobs
-      seeds =
-    if seeds < 1 then begin
-      prerr_endline "smokestackc run: --seeds must be >= 1";
-      exit 2
-    end;
+      seeds chaos fail_open timeout =
+    if seeds < 1 then usage_fail "run: --seeds must be >= 1";
+    (match timeout with
+    | Some t when t <= 0. -> usage_fail "run: --timeout must be positive"
+    | _ -> ());
+    (match chaos with
+    | Some { Fault.Plan.site = Fault.Plan.Rng _; _ } when not harden ->
+        usage_fail
+          "run: rng fault plans tamper with the Smokestack generator — add \
+           --harden"
+    | _ -> ());
     let prog = compile ~optimize file in
+    let policy =
+      if fail_open then Rng.Generator.Fail_open else Rng.Generator.Fail_secure
+    in
+    let degr_str (d : Rng.Generator.degradation) =
+      Printf.sprintf "%s->%s"
+        (Rng.Scheme.name d.from_scheme)
+        (match d.to_scheme with
+        | Some s -> Rng.Scheme.name s
+        | None -> "ABORT")
+    in
     (* One self-contained run; returns everything to print so that
        multi-seed runs can execute as pool jobs and still emit output in
        seed order. *)
     let run_one ~seed =
-      let st =
+      let entropy = Crypto.Entropy.create ~seed in
+      let st, gen =
         if harden then
           let hardened =
             Smokestack.Harden.harden (config_of scheme no_fid) prog
           in
-          Smokestack.Harden.prepare hardened
-            ~entropy:(Crypto.Entropy.create ~seed)
-        else Machine.Exec.prepare prog
+          let gen = Rng.Generator.create ~policy scheme ~entropy in
+          (Smokestack.Harden.prepare hardened ~entropy ~gen, Some gen)
+        else (Machine.Exec.prepare prog, None)
       in
+      let armed = Option.map (fun p -> Fault.Inject.arm ?gen p st) chaos in
       let tracer =
         if trace then begin
           let t = Machine.Trace.create () in
@@ -136,9 +218,34 @@ let run_cmd =
       Machine.Exec.set_input st (Machine.Exec.input_string input);
       let backend = Machine.Backend.find engine in
       let outcome, stats = backend.Machine.Backend.run st in
-      (outcome, stats, Option.map (Machine.Trace.render ~limit:200) tracer)
+      let chaos_str =
+        Option.map
+          (fun a ->
+            Printf.sprintf "-- chaos %s: fired=%d%s\n"
+              (Fault.Plan.to_spec (Fault.Inject.plan a))
+              (Fault.Inject.fired a)
+              (match gen with
+              | Some g when Rng.Generator.degradations g <> [] ->
+                  " degraded: "
+                  ^ String.concat ", "
+                      (List.map degr_str (Rng.Generator.degradations g))
+              | _ -> ""))
+          armed
+      in
+      ( outcome,
+        stats,
+        Option.map (Machine.Trace.render ~limit:200) tracer,
+        chaos_str )
     in
-    let print_result ?seed (outcome, (stats : Machine.Exec.stats), trace_str) =
+    let code_of_outcome = function
+      | Machine.Exec.Exit 0L -> 0
+      | Machine.Exec.Exit _ -> 1
+      | Machine.Exec.Fault _ | Machine.Exec.Detected _
+      | Machine.Exec.Fuel_exhausted ->
+          exit_runtime
+    in
+    let print_result ?seed
+        (outcome, (stats : Machine.Exec.stats), trace_str, chaos_str) =
       Option.iter prerr_string trace_str;
       Option.iter (Printf.printf "== seed %Ld ==\n") seed;
       print_string stats.output;
@@ -148,32 +255,57 @@ let run_cmd =
         stats.cycles stats.instr_count stats.call_count stats.max_depth
         stats.max_frame_bytes
         (Sutil.Texttable.fmt_bytes stats.rss_bytes);
-      match outcome with Machine.Exec.Exit 0L -> true | _ -> false
+      Option.iter print_string chaos_str;
+      code_of_outcome outcome
     in
-    if seeds = 1 then begin
-      if not (print_result (run_one ~seed)) then exit 1
-    end
+    if seeds = 1 && timeout = None then exit (print_result (run_one ~seed))
     else begin
-      let results =
-        Sched.Pool.with_pool ?jobs @@ fun pool ->
-        Sched.Pool.run_all pool
-          (List.init seeds (fun i ->
-               let seed = Int64.add seed (Int64.of_int i) in
-               Sched.Job.v ~id:(Printf.sprintf "run/seed-%Ld" seed) ~seed
-                 (fun () -> (seed, run_one ~seed))))
+      let seed_list = List.init seeds (fun i -> Int64.add seed (Int64.of_int i)) in
+      let batch =
+        List.map
+          (fun seed ->
+            Sched.Job.v ~id:(Printf.sprintf "run/seed-%Ld" seed) ~seed
+              (fun () -> run_one ~seed))
+          seed_list
       in
-      let ok =
-        List.fold_left
-          (fun acc (seed, result) -> print_result ~seed result && acc)
-          true results
+      let width =
+        match jobs with
+        | Some j -> j
+        | None -> min seeds (Domain.recommended_domain_count ())
       in
-      if not ok then exit 1
+      let outcomes =
+        Sched.Pool.with_pool ~jobs:width @@ fun pool ->
+        match timeout with
+        | None -> List.map (fun v -> Sched.Job.Ok v) (Sched.Pool.run_all pool batch)
+        | Some t -> Sched.Pool.run_all_outcomes ~timeout:t pool batch
+      in
+      let with_seed = seeds > 1 in
+      let code =
+        List.fold_left2
+          (fun code sd outcome ->
+            match outcome with
+            | Sched.Job.Ok result ->
+                let seed = if with_seed then Some sd else None in
+                max code (print_result ?seed result)
+            | Sched.Job.Timed_out ->
+                if with_seed then Printf.printf "== seed %Ld ==\n" sd;
+                Printf.printf "-- timed out after %.1f s\n"
+                  (Option.get timeout);
+                max code exit_runtime
+            | Sched.Job.Failed e ->
+                Printf.eprintf "smokestackc: error: seed %Ld: %s\n" sd
+                  (one_line (Printexc.to_string e));
+                max code 1)
+          0 seed_list outcomes
+      in
+      exit code
     end
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a MiniC program")
     Term.(
       const action $ file_arg $ harden_flag $ scheme_arg $ seed_arg $ input_arg
-      $ no_fid $ opt_flag $ trace_flag $ engine_arg $ jobs_arg $ seeds_arg)
+      $ no_fid $ opt_flag $ trace_flag $ engine_arg $ jobs_arg $ seeds_arg
+      $ chaos_arg $ fail_open_flag $ timeout_arg)
 
 let ir_cmd =
   let action file harden scheme no_fid optimize =
@@ -311,16 +443,13 @@ let analyze_cmd =
                       ( v.Apps.Synth.vname,
                         Minic.Driver.compile v.Apps.Synth.source )
                   | None ->
-                      Printf.eprintf
+                      usage_fail
                         "unknown workload %S (an apps name like gobmk, a \
                          real-vuln program: librelp, wireshark, proftpd, or \
-                         a synth variant like stack-direct)\n"
-                        w;
-                      exit 2)))
+                         a synth variant like stack-direct)"
+                        w)))
       | None, Some f -> (Filename.basename f, compile ~optimize f)
-      | None, None ->
-          prerr_endline "smokestackc analyze: need a FILE or --workload NAME";
-          exit 2
+      | None, None -> usage_fail "analyze: need a FILE or --workload NAME"
     in
     let report = Analysis.Report.analyze_prog ~name ~score:(not no_score) prog in
     (match json_path with
@@ -380,7 +509,16 @@ let () =
     Cmd.info "smokestackc" ~version:"1.0.0"
       ~doc:"MiniC compiler with Smokestack runtime stack-layout randomization"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ run_cmd; ir_cmd; pbox_cmd; layouts_cmd; entropy_cmd; analyze_cmd ]))
+  (* ~catch:false: an escaped exception becomes a one-line diagnostic
+     and exit 1, not a backtrace dump; cmdliner's own CLI errors
+     (unknown flag, bad conversion) are remapped to exit 2. *)
+  let code =
+    try
+      Cmd.eval ~catch:false
+        (Cmd.group info
+           [ run_cmd; ir_cmd; pbox_cmd; layouts_cmd; entropy_cmd; analyze_cmd ])
+    with e ->
+      Printf.eprintf "smokestackc: error: %s\n" (one_line (Printexc.to_string e));
+      1
+  in
+  exit (if code = Cmd.Exit.cli_error then exit_usage else code)

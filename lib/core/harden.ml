@@ -17,12 +17,12 @@ let harden ?(seed = 1L) config prog =
   Ir.Pass.run [ Instrument.pass config ~pbox ] prog;
   { prog; pbox; config }
 
-let prepare ?heap_size ?stack_size ?entropy t =
+let prepare ?heap_size ?stack_size ?entropy ?gen t =
   let entropy =
     match entropy with Some e -> e | None -> Crypto.Entropy.system ()
   in
   let st = Machine.Exec.prepare ?heap_size ?stack_size t.prog in
-  Runtime.install t.config ~pbox:t.pbox ~entropy st;
+  Runtime.install ?gen t.config ~pbox:t.pbox ~entropy st;
   st
 
 let pbox_bytes t = Pbox.blob_bytes t.pbox

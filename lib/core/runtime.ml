@@ -19,13 +19,35 @@ let dynamic_offsets_for_draw (dyn : Pbox.dyn_binding) draw =
     order;
   offsets
 
-let install (config : Config.t) ~(pbox : Pbox.t) ~entropy
+let install ?gen (config : Config.t) ~(pbox : Pbox.t) ~entropy
     (st : Machine.Exec.state) =
   let scheme = config.scheme in
-  let cost = scheme_cost scheme in
   let gen =
-    Rng.Generator.create ~rekey_interval:config.rekey_interval scheme ~entropy
+    match gen with
+    | Some g -> g
+    | None ->
+        Rng.Generator.create ~rekey_interval:config.rekey_interval scheme
+          ~entropy
   in
+  (* Every degradation of the randomness source becomes a structured
+     trace event, so Machine.Trace transcripts show the fallback chain
+     in flight.  The hook is read at event time: attaching a tracer
+     after install still sees later degradations. *)
+  Rng.Generator.set_on_degrade gen (fun (d : Rng.Generator.degradation) ->
+      match st.Machine.Exec.on_event with
+      | Some emit ->
+          emit
+            (Machine.Exec.Ev_rng_degraded
+               {
+                 from_ = Rng.Scheme.name d.from_scheme;
+                 to_ = Option.map Rng.Scheme.name d.to_scheme;
+                 reason = d.reason;
+               })
+      | None -> ());
+  (* Charge the cost of the scheme actually serving draws, so a
+     degraded run's cycle accounting reflects its fallback; identical
+     to the static cost while no degradation has happened. *)
+  let cost () = scheme_cost (Rng.Generator.current_scheme gen) in
   let fid_key = Crypto.Entropy.u64 entropy in
   (* For the pseudo scheme the live state word sits in VM data memory:
      mirror the seed in, and route every draw through memory so an
@@ -46,7 +68,15 @@ let install (config : Config.t) ~(pbox : Pbox.t) ~entropy
         let s' = Rng.Pseudo.step s in
         Machine.Memory.store st.mem ~width:8 addr s';
         Rng.Pseudo.output s'
-    | None -> Rng.Generator.next_u64 gen
+    | None -> (
+        (* a fail-secure generator with its fallback chain exhausted
+           aborts the run as a detection, never as a raw exception *)
+        try Rng.Generator.next_u64 gen
+        with Rng.Generator.Source_failed reason ->
+          raise
+            (Machine.Exec.Detect
+               ("smokestack: randomness source failed, aborting (fail-secure): "
+              ^ reason)))
   in
   (* redraw_interval > 1 reuses the last index for a window of requests
      (the E11 periodic-rerandomization ablation); 1 is the paper. *)
@@ -64,10 +94,10 @@ let install (config : Config.t) ~(pbox : Pbox.t) ~entropy
         v
   in
   Machine.Exec.register_intrinsic st Abi.intr_rand (fun st _args ->
-      Machine.Exec.charge st cost;
+      Machine.Exec.charge st (cost ());
       Some (draw ()));
   Machine.Exec.register_intrinsic st Abi.intr_pad (fun st _args ->
-      Machine.Exec.charge st cost;
+      Machine.Exec.charge st (cost ());
       let v = Int64.to_int (Int64.logand (draw ()) 0x7fffffffL) in
       Some (Int64.of_int (v mod config.vla_pad_max)));
   Machine.Exec.register_intrinsic st Abi.intr_fid_key (fun st _args ->
@@ -86,7 +116,7 @@ let install (config : Config.t) ~(pbox : Pbox.t) ~entropy
       let dyn = pbox.dyns.(dyn_id) in
       let n = Array.length dyn.metas in
       Machine.Exec.charge st
-        (cost +. (Machine.Cost.layout_dynamic_per_var *. float_of_int n));
+        (cost () +. (Machine.Cost.layout_dynamic_per_var *. float_of_int n));
       (* One scheme draw seeds the permutation; for the secure schemes
          this is as unpredictable as the draw itself (see DESIGN.md on
          oversized frames). *)

@@ -14,9 +14,18 @@
     - {!Abi.intr_fid_assert} raises {!Machine.Exec.Detect} on mismatch;
     - {!Abi.intr_layout_dynamic} decodes a fresh permutation for
       oversized frames and writes the per-slot offsets to the frame's
-      scratch area. *)
+      scratch area.
+
+    The runtime also wires the generator's graceful-degradation chain
+    (see {!Rng.Generator}): every degradation is forwarded to the
+    state's trace hook as an [Ev_rng_degraded] event, draw costs follow
+    the scheme actually serving draws, and a fail-secure abort
+    ({!Rng.Generator.Source_failed}) is converted to
+    {!Machine.Exec.Detect} so every run still ends in a structured
+    outcome. *)
 
 val install :
+  ?gen:Rng.Generator.t ->
   Config.t ->
   pbox:Pbox.t ->
   entropy:Crypto.Entropy.t ->
@@ -24,7 +33,12 @@ val install :
   unit
 (** Registers all intrinsics and seeds the in-VM pseudo state (when the
     scheme needs it).  The entropy source supplies the AES keys/nonces,
-    RDRAND draws, pseudo seed, and FID key. *)
+    RDRAND draws, pseudo seed, and FID key.  [gen] substitutes a
+    caller-owned generator (the chaos experiments pass one with a
+    fault-injection tamper armed, or a [Fail_open] policy); it must
+    have been created with the config's scheme.  Note the [pseudo]
+    scheme routes draws through VM memory, bypassing any generator —
+    RNG fault plans apply to the hardware-backed schemes only. *)
 
 val scheme_cost : Rng.Scheme.t -> float
 (** Cycles charged per {!Abi.intr_rand} draw (Table I). *)

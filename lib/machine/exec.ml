@@ -4,6 +4,7 @@ type trace_event =
   | Ev_intrinsic of { name : string; result : int64 option }
   | Ev_fault of { detail : string }
   | Ev_detected of { reason : string }
+  | Ev_rng_degraded of { from_ : string; to_ : string option; reason : string }
 
 type state = {
   prog : Ir.Prog.t;

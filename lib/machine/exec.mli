@@ -19,6 +19,11 @@ type trace_event =
   | Ev_intrinsic of { name : string; result : int64 option }
   | Ev_fault of { detail : string }
   | Ev_detected of { reason : string }
+  | Ev_rng_degraded of { from_ : string; to_ : string option; reason : string }
+      (** the randomness source failed a health test (or reported
+          itself unavailable) and the runtime fell back to [to_]
+          ([None] = fail-secure abort); scheme names as strings so the
+          machine stays independent of [lib/rng] *)
       (** consumed by {!Trace}; [on_event = None] costs nothing *)
 
 type state = {

@@ -34,6 +34,8 @@ type segment = {
 type t = {
   segs : segment array;  (* sorted by base; disjoint *)
   mutable last : int;  (* index of the last segment hit, for locality *)
+  mutable on_access : (unit -> unit) option;
+      (* fault-injection hook, fired before every checked access *)
 }
 
 let create specs =
@@ -63,7 +65,7 @@ let create specs =
                prev.name s.name)
       end)
     segs;
-  { segs; last = 0 }
+  { segs; last = 0; on_access = None }
 
 let segments t = Array.to_list t.segs
 
@@ -82,6 +84,7 @@ let find t addr =
    the stack or one data segment, so the cache almost always hits and
    skips the linear scan). *)
 let locate t ~op addr size =
+  (match t.on_access with Some f -> f () | None -> ());
   if addr = 0 then raise (Fault Null_dereference);
   let segs = t.segs in
   let s = Array.unsafe_get segs t.last in
@@ -162,6 +165,21 @@ let cstring t ?(max = 1 lsl 20) addr =
   in
   go addr;
   Buffer.contents buf
+
+let set_access_hook t hook = t.on_access <- hook
+
+let flip_bit t ~addr ~bit =
+  if bit < 0 || bit > 7 then
+    invalid_arg "Machine.Memory.flip_bit: bit must be in [0, 7]";
+  match find t addr with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Machine.Memory.flip_bit: address 0x%x is unmapped"
+           addr)
+  | Some s ->
+      let off = addr - s.base in
+      Bytes.unsafe_set s.bytes off
+        (Char.chr (Char.code (Bytes.unsafe_get s.bytes off) lxor (1 lsl bit)))
 
 let touched_bytes t =
   Array.fold_left

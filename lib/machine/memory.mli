@@ -75,3 +75,18 @@ val cstring : t -> ?max:int -> int -> string
 val touched_bytes : t -> int
 (** Total bytes of pages touched so far, across all segments — the
     max-RSS proxy used by the Figure 4 experiment. *)
+
+(** {1 Fault injection} — consumed by [lib/fault]. *)
+
+val set_access_hook : t -> (unit -> unit) option -> unit
+(** Install (or clear) a hook fired before {e every} checked access —
+    loads, stores, string reads, byte blits.  The fault-injection
+    layer uses it to flip a bit when the owning state's instruction
+    counter crosses a plan's trigger; the hook must not itself call
+    the checked accessors (use {!flip_bit}, which writes the backing
+    bytes directly).  Costs one branch per access when [None]. *)
+
+val flip_bit : t -> addr:int -> bit:int -> unit
+(** Flip one bit of one mapped byte, ignoring permissions (this models
+    a hardware fault, not a program store).  [bit] is in [\[0, 7\]].
+    Raises [Invalid_argument] for unmapped addresses. *)

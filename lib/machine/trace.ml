@@ -4,6 +4,7 @@ type event = Exec.trace_event =
   | Ev_intrinsic of { name : string; result : int64 option }
   | Ev_fault of { detail : string }
   | Ev_detected of { reason : string }
+  | Ev_rng_degraded of { from_ : string; to_ : string option; reason : string }
 
 type t = {
   ring : event option array;
@@ -41,6 +42,10 @@ let pp_event fmt = function
       | None -> Format.fprintf fmt "   @%s" name)
   | Ev_fault { detail } -> Format.fprintf fmt "!! fault: %s" detail
   | Ev_detected { reason } -> Format.fprintf fmt "!! detected: %s" reason
+  | Ev_rng_degraded { from_; to_; reason } ->
+      Format.fprintf fmt "!! rng degraded: %s -> %s (%s)" from_
+        (match to_ with Some s -> s | None -> "ABORT")
+        reason
 
 let render ?limit t =
   let evs = events t in

@@ -15,6 +15,7 @@ type event = Exec.trace_event =
   | Ev_intrinsic of { name : string; result : int64 option }
   | Ev_fault of { detail : string }
   | Ev_detected of { reason : string }
+  | Ev_rng_degraded of { from_ : string; to_ : string option; reason : string }
 
 type t
 

@@ -1,5 +1,7 @@
 type 'a t = { id : string; seed : int64; run : unit -> 'a }
 
+type 'a outcome = Ok of 'a | Timed_out | Failed of exn
+
 let v ~id ?(seed = 0L) run = { id; seed; run }
 
 let seeded ~root ~id f =

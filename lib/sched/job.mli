@@ -14,6 +14,11 @@
 
 type 'a t = private { id : string; seed : int64; run : unit -> 'a }
 
+type 'a outcome = Ok of 'a | Timed_out | Failed of exn
+(** How one supervised job ended (see {!Pool.run_all_outcomes}):
+    normal result, wall-clock timeout, or an exception after all
+    retries were spent. *)
+
 val v : id:string -> ?seed:int64 -> (unit -> 'a) -> 'a t
 (** [v ~id f] is a job with an explicitly chosen seed (default [0L] for
     jobs whose thunk owns its seeding, e.g. the paper experiments with

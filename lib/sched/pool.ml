@@ -6,11 +6,48 @@ type t = {
   batch_done : Condition.t;
   mutable workers : unit Domain.t list;
   mutable closed : bool;
+  mutable active : int list;
+      (* ids of domains currently executing a task of this pool, for
+         nested-submission detection; guarded by [mutex] *)
 }
 
 let max_jobs = 128
 
 let clamp jobs = max 1 (min max_jobs jobs)
+
+let self_id () = (Domain.self () :> int)
+
+(* Run one queued task with the executing domain registered as busy, so
+   a job that tries to drive its own pool gets a clear error instead of
+   a deadlock. *)
+let run_task t task =
+  let id = self_id () in
+  Mutex.lock t.mutex;
+  t.active <- id :: t.active;
+  Mutex.unlock t.mutex;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.mutex;
+      t.active <-
+        (let rec drop = function
+           | [] -> []
+           | x :: rest -> if x = id then rest else x :: drop rest
+         in
+         drop t.active);
+      Mutex.unlock t.mutex)
+    task
+
+let check_not_nested t fn =
+  let id = self_id () in
+  Mutex.lock t.mutex;
+  let nested = List.mem id t.active in
+  Mutex.unlock t.mutex;
+  if nested then
+    failwith
+      (fn
+     ^ ": a job submitted a batch to the pool that is running it (the \
+        queue has no nesting support; this would deadlock).  Use \
+        Pool.sequential, or a separate pool, for nested experiments.")
 
 let worker_loop t () =
   let rec loop () =
@@ -30,7 +67,7 @@ let worker_loop t () =
     match task with
     | None -> ()
     | Some task ->
-        task ();
+        run_task t task;
         loop ()
   in
   loop ()
@@ -48,6 +85,7 @@ let create ?jobs () =
       batch_done = Condition.create ();
       workers = [];
       closed = false;
+      active = [];
     }
   in
   t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker_loop t));
@@ -64,6 +102,7 @@ let sequential =
     batch_done = Condition.create ();
     workers = [];
     closed = false;
+    active = [];
   }
 
 let run_all (type a) t (batch : a Job.t list) : a list =
@@ -73,6 +112,7 @@ let run_all (type a) t (batch : a Job.t list) : a list =
          propagate eagerly from the failing job *)
       List.map Job.run batch
   | _ :: _, _ ->
+      check_not_nested t "Sched.Pool.run_all";
       let arr = Array.of_list batch in
       let n = Array.length arr in
       let slots :
@@ -110,7 +150,7 @@ let run_all (type a) t (batch : a Job.t list) : a list =
               if Atomic.get remaining > 0 then
                 Condition.wait t.batch_done t.mutex;
               Mutex.unlock t.mutex);
-          (match task with Some task -> task () | None -> ());
+          (match task with Some task -> run_task t task | None -> ());
           help ()
         end
       in
@@ -128,6 +168,155 @@ let run_all (type a) t (batch : a Job.t list) : a list =
              | Some (Ok v) -> v
              | Some (Error _) | None -> assert false)
            slots)
+
+(* ------------------------------------------------------------------ *)
+(* Supervised execution: per-job wall-clock timeout and bounded retry.
+
+   Each attempt runs in its own spawned domain (never on the pool's
+   queue workers), because OCaml domains cannot be interrupted: a
+   timed-out job is *abandoned* — its domain keeps running, its
+   eventual result is discarded — and the batch continues on fresh
+   domains.  At most [t.size] supervised domains run at once, so a
+   hung job occupies one window slot until its timeout, never the
+   whole pool. *)
+
+type 'a exec_result = Done of 'a | Raised of exn
+
+type 'a running = {
+  r_idx : int;
+  r_attempt : int;  (* 0 = first execution *)
+  r_started : float;
+  r_cell : 'a exec_result option Atomic.t;
+  r_domain : unit Domain.t;
+}
+
+(* Exponential backoff with deterministic jitter derived from the
+   job's seed, so a retried experiment replays the same delays. *)
+let backoff_delay ~backoff ~seed ~attempt =
+  if backoff <= 0. then 0.
+  else
+    let rng =
+      Sutil.Simrng.create ~seed:(Int64.add seed (Int64.of_int (0x9e37 * attempt)))
+    in
+    let jitter = 0.5 +. (float_of_int (Sutil.Simrng.int rng ~bound:1024) /. 1024.) in
+    backoff *. float_of_int (1 lsl min 16 (attempt - 1)) *. jitter
+
+let run_all_outcomes (type a) ?timeout ?(retries = 0) ?(backoff = 0.01) t
+    (batch : a Job.t list) : a Job.outcome list =
+  (match timeout with
+  | Some s when s <= 0. ->
+      invalid_arg "Sched.Pool.run_all_outcomes: timeout must be positive"
+  | _ -> ());
+  if retries < 0 then
+    invalid_arg "Sched.Pool.run_all_outcomes: retries must be >= 0";
+  check_not_nested t "Sched.Pool.run_all_outcomes";
+  let arr = Array.of_list batch in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let out : a Job.outcome option array = Array.make n None in
+    let width = t.size in
+    let pending = Queue.create () in
+    for i = 0 to n - 1 do
+      Queue.add i pending
+    done;
+    (* (ready_at, idx, attempt), unordered — batches are small *)
+    let retryq : (float * int * int) list ref = ref [] in
+    let running : a running list ref = ref [] in
+    let completed = ref 0 in
+    let spawn idx attempt =
+      let cell = Atomic.make None in
+      let job = arr.(idx) in
+      let domain =
+        Domain.spawn (fun () ->
+            let r =
+              match Job.run job with v -> Done v | exception e -> Raised e
+            in
+            Atomic.set cell (Some r))
+      in
+      running :=
+        {
+          r_idx = idx;
+          r_attempt = attempt;
+          r_started = Unix.gettimeofday ();
+          r_cell = cell;
+          r_domain = domain;
+        }
+        :: !running
+    in
+    let take_ready_retry now =
+      let rec go acc = function
+        | [] -> None
+        | ((at, idx, attempt) as e) :: rest ->
+            if at <= now then begin
+              retryq := List.rev_append acc rest;
+              Some (idx, attempt)
+            end
+            else go (e :: acc) rest
+      in
+      go [] !retryq
+    in
+    let try_start () =
+      let continue = ref true in
+      while !continue && List.length !running < width do
+        let now = Unix.gettimeofday () in
+        match take_ready_retry now with
+        | Some (idx, attempt) -> spawn idx attempt
+        | None ->
+            if Queue.is_empty pending then continue := false
+            else spawn (Queue.pop pending) 0
+      done
+    in
+    let poll () =
+      let progressed = ref false in
+      let now = Unix.gettimeofday () in
+      running :=
+        List.filter
+          (fun r ->
+            match Atomic.get r.r_cell with
+            | Some (Done v) ->
+                Domain.join r.r_domain;
+                out.(r.r_idx) <- Some (Job.Ok v);
+                incr completed;
+                progressed := true;
+                false
+            | Some (Raised e) ->
+                Domain.join r.r_domain;
+                if r.r_attempt < retries then
+                  retryq :=
+                    ( now
+                      +. backoff_delay ~backoff ~seed:(Job.seed arr.(r.r_idx))
+                           ~attempt:(r.r_attempt + 1),
+                      r.r_idx,
+                      r.r_attempt + 1 )
+                    :: !retryq
+                else begin
+                  out.(r.r_idx) <- Some (Job.Failed e);
+                  incr completed
+                end;
+                progressed := true;
+                false
+            | None -> (
+                match timeout with
+                | Some s when now -. r.r_started > s ->
+                    (* abandon the domain: it cannot be interrupted;
+                       its slot is reclaimed and its eventual write to
+                       its private cell is discarded *)
+                    out.(r.r_idx) <- Some Job.Timed_out;
+                    incr completed;
+                    progressed := true;
+                    false
+                | _ -> true))
+          !running;
+      !progressed
+    in
+    while !completed < n do
+      try_start ();
+      let progressed = poll () in
+      if (not progressed) && !completed < n then Unix.sleepf 0.0005
+    done;
+    Array.to_list (Array.map Option.get out)
+  end
 
 let close t =
   let workers =

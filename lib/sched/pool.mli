@@ -8,9 +8,18 @@
     are spawned and {!run_all} degenerates to [List.map Job.run], the
     exact sequential path (including eager exception propagation).
 
+    {!run_all_outcomes} adds supervision: a per-job wall-clock timeout
+    and bounded retry with seeded backoff, reporting each job's
+    {!Job.outcome} instead of raising — a hung or crashing job can
+    neither take down the pool nor lose the other jobs' results.
+
     Restrictions: a pool must only be driven from the domain that
-    created it, and jobs must not call {!run_all} on the pool running
-    them (the queue has no nesting support; doing so can deadlock). *)
+    created it, and jobs must not call {!run_all} (or
+    {!run_all_outcomes}) on the pool running them — the queue has no
+    nesting support, so a nested submission is rejected with a clear
+    [Failure] instead of being left to deadlock.  Nested experiments
+    use {!sequential} (whose zero-worker {!run_all} nests freely) or a
+    pool of their own. *)
 
 type t
 
@@ -35,6 +44,36 @@ val run_all : t -> 'a Job.t list -> 'a list
     the {e first failed job in submission order} is re-raised (with its
     original backtrace) — completion order can not leak into which
     error the caller sees. *)
+
+val run_all_outcomes :
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  t ->
+  'a Job.t list ->
+  'a Job.outcome list
+(** Supervised variant of {!run_all}: every job's fate is reported in
+    submission order and nothing is re-raised.
+
+    - [timeout] (seconds of wall clock, default none): a job still
+      running after this long is {e abandoned} — OCaml domains cannot
+      be interrupted, so its domain keeps running and its eventual
+      result is discarded — and reported [Timed_out].  Timed-out jobs
+      are not retried (a hung job would hang again, and each
+      abandoned attempt leaks a domain).
+    - [retries] (default 0): a job that raised is re-run up to this
+      many additional times; the exception of the {e last} attempt is
+      reported as [Failed].
+    - [backoff] (default 0.01 s): base delay before a retry,
+      exponential in the attempt number with deterministic jitter
+      derived from the job's seed.
+
+    Each attempt runs on its own spawned domain (never on the queue
+    workers), at most {!val:jobs}[ t] at once; a closed pool (and
+    {!sequential}) supervises with a window of 1.  Deterministic
+    modulo wall-clock effects: for jobs that neither time out nor
+    race a timeout, the outcome list is the same at every pool
+    width. *)
 
 val close : t -> unit
 (** Drain and join the worker domains.  Idempotent; a closed pool (and

@@ -1,0 +1,158 @@
+(* End-to-end tests of the compiled smokestackc binary: the documented
+   exit-code contract (0 clean, 1 non-zero exit, 2 usage, 3
+   compile/parse, 4 runtime fault) and the --chaos/--timeout flags, all
+   driven through a real process so a shell script can rely on $?. *)
+
+let exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/smokestackc.exe"
+
+let write_temp content =
+  let path = Filename.temp_file "smokestackc_cli" ".c" in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+(* Run the binary, return (exit code, stdout+stderr). *)
+let run_cli args =
+  let out = Filename.temp_file "smokestackc_out" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in_bin out in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, text)
+
+let check_code what expected (code, output) =
+  if code <> expected then
+    Alcotest.failf "%s: expected exit %d, got %d; output:\n%s" what expected
+      code output
+
+let clean_src = {| int main() { print_str("ok\n"); return 0; } |}
+
+let nonzero_src = {| int main() { return 3; } |}
+
+let fault_src = {| int main() { int *p; p = (int*)32768; return *p; } |}
+
+let chaos_src =
+  {|
+int leaf(int n) {
+  int a[4];
+  int b;
+  b = n;
+  a[0] = b + 1;
+  return a[0];
+}
+int main() {
+  int i;
+  i = 0;
+  while (i < 50) { i = i + leaf(0) + 1; }
+  return 0;
+}
+|}
+
+let test_exit_0_clean_run () =
+  let src = write_temp clean_src in
+  let code, output = run_cli [ "run"; src ] in
+  check_code "clean run" 0 (code, output);
+  Alcotest.(check bool)
+    "program output present" true
+    (String.length output >= 3 && String.sub output 0 3 = "ok\n")
+
+let test_exit_1_nonzero_program_exit () =
+  let src = write_temp nonzero_src in
+  check_code "exit 3 program" 1 (run_cli [ "run"; src ])
+
+let test_exit_2_usage () =
+  let src = write_temp clean_src in
+  check_code "unknown flag" 2 (run_cli [ "run"; "--no-such-flag"; src ]);
+  check_code "bad chaos spec" 2 (run_cli [ "run"; "--chaos"; "bogus"; src ]);
+  check_code "rng chaos without --harden" 2
+    (run_cli [ "run"; "--chaos"; "rng:ones@1"; src ]);
+  check_code "bad seeds" 2 (run_cli [ "run"; "--seeds"; "0"; src ]);
+  check_code "bad timeout" 2 (run_cli [ "run"; "--timeout"; "0"; src ])
+
+let test_exit_3_parse_error () =
+  let src = write_temp "int main( { return 0 }" in
+  let code, output = run_cli [ "run"; src ] in
+  check_code "parse error" 3 (code, output);
+  Alcotest.(check bool)
+    "one-line diagnostic" true
+    (String.length output > 0
+    && (not (String.contains (String.trim output) '\n'))
+    && String.length output >= 12
+    && String.sub output 0 12 = "smokestackc:")
+
+let test_exit_4_runtime_fault () =
+  let src = write_temp fault_src in
+  check_code "memory fault" 4 (run_cli [ "run"; src ])
+
+let test_exit_4_chaos_detection () =
+  let src = write_temp chaos_src in
+  (* corrupting the FID assertion must surface as a detection: exit 4 *)
+  check_code "FID corruption detected" 4
+    (run_cli
+       [ "run"; "--harden"; "--chaos"; "intr:ss.fid_assert:xor=1@1"; src ])
+
+let test_chaos_rng_degradation_reported () =
+  let src = write_temp chaos_src in
+  let code, output =
+    run_cli
+      [ "run"; "--harden"; "--scheme"; "RDRAND"; "--chaos"; "rng:ones@1"; src ]
+  in
+  check_code "stuck RDRAND run completes on the fallback" 0 (code, output);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "degradation reported" true
+    (contains output "RDRAND->AES-10")
+
+let test_timeout_multi_seed () =
+  let src = write_temp clean_src in
+  let code, output =
+    run_cli [ "run"; "--seeds"; "3"; "--timeout"; "30"; "--jobs"; "2"; src ]
+  in
+  check_code "multi-seed with timeout" 0 (code, output);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (let nh = String.length output and nn = String.length needle in
+         let rec go i =
+           i + nn <= nh && (String.sub output i nn = needle || go (i + 1))
+         in
+         go 0))
+    [ "== seed 1 =="; "== seed 2 =="; "== seed 3 ==" ]
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "0: clean run" `Quick test_exit_0_clean_run;
+          Alcotest.test_case "1: non-zero exit" `Quick
+            test_exit_1_nonzero_program_exit;
+          Alcotest.test_case "2: usage errors" `Quick test_exit_2_usage;
+          Alcotest.test_case "3: parse error" `Quick test_exit_3_parse_error;
+          Alcotest.test_case "4: runtime fault" `Quick test_exit_4_runtime_fault;
+          Alcotest.test_case "4: chaos detection" `Quick
+            test_exit_4_chaos_detection;
+        ] );
+      ( "flags",
+        [
+          Alcotest.test_case "chaos degradation line" `Quick
+            test_chaos_rng_degradation_reported;
+          Alcotest.test_case "timeout + seeds" `Quick test_timeout_multi_seed;
+        ] );
+    ]

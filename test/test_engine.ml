@@ -169,6 +169,63 @@ let test_parity_memory_fault () =
     results;
   check_identical "null deref" results
 
+(* The structured fault-path contract both backends must share: a bad
+   access produces a [Fault] outcome — never an OCaml exception — with
+   the same fault payload on both engines. *)
+
+let test_parity_rodata_write () =
+  (* the string literal populates the rodata segment; 65536 is
+     [Machine.Exec.rodata_base] *)
+  let results =
+    run_both
+      {| int main() { int *p; print_str("ro"); p = (int*)65536; *p = 7; return 0; } |}
+  in
+  List.iter
+    (fun (label, (o, _)) ->
+      match o with
+      | Machine.Exec.Fault
+          { fault = Machine.Memory.Write_protected { addr = 65536 }; _ } ->
+          ()
+      | o ->
+          Alcotest.failf "%s: expected write-protected fault, got %s" label
+            (Machine.Exec.outcome_to_string o))
+    results;
+  check_identical "rodata write" results
+
+let test_parity_unmapped_access () =
+  (* 0x8000 lies between the function-token page and rodata: no
+     segment maps it *)
+  let results = run_both {| int main() { int *p; p = (int*)32768; return *p; } |} in
+  List.iter
+    (fun (label, (o, _)) ->
+      match o with
+      | Machine.Exec.Fault { fault = Machine.Memory.Out_of_bounds _; _ } -> ()
+      | o ->
+          Alcotest.failf "%s: expected out-of-bounds fault, got %s" label
+            (Machine.Exec.outcome_to_string o))
+    results;
+  check_identical "unmapped access" results
+
+let test_parity_straddling_load () =
+  (* 0xCFFFFE is 2 bytes below the stack region's top: a 4-byte load
+     starts mapped but runs off the end of the segment *)
+  let results =
+    run_both {| int main() { int *p; p = (int*)13631486; return *p; } |}
+  in
+  List.iter
+    (fun (label, (o, _)) ->
+      match o with
+      | Machine.Exec.Fault
+          { fault = Machine.Memory.Out_of_bounds { addr = 13631486; size = 4; _ }; _ }
+        ->
+          ()
+      | o ->
+          Alcotest.failf "%s: expected straddling out-of-bounds fault, got %s"
+            label
+            (Machine.Exec.outcome_to_string o))
+    results;
+  check_identical "straddling load" results
+
 let test_parity_stack_overflow () =
   check_identical "stack overflow"
     (run_both
@@ -408,6 +465,9 @@ let () =
             test_parity_outputs_and_stats;
           Alcotest.test_case "fuel exhaustion" `Quick test_parity_fuel_exhaustion;
           Alcotest.test_case "memory fault" `Quick test_parity_memory_fault;
+          Alcotest.test_case "rodata write" `Quick test_parity_rodata_write;
+          Alcotest.test_case "unmapped access" `Quick test_parity_unmapped_access;
+          Alcotest.test_case "straddling load" `Quick test_parity_straddling_load;
           Alcotest.test_case "stack overflow" `Quick test_parity_stack_overflow;
           Alcotest.test_case "VLA out of range" `Quick
             test_parity_vla_out_of_range;
