@@ -10,7 +10,7 @@
      dune exec bench/main.exe -- table1 fig4 micro
      dune exec bench/main.exe -- --jobs=8 fig3
    Experiments: table1 fig3 fig4 bypass pentest realvuln brute rngsec
-   rerand ablation analysis chaos micro engine
+   rerand ablation analysis selective chaos micro engine
 
    --jobs=N runs each paper-table experiment's cells on N domains;
    tables are identical for every N.  The wall-clock benchmarks (micro,
@@ -106,6 +106,26 @@ let run_analysis pool =
   say "differential validation: %s"
     (if cv.all_validated then "every dynamic success has a static DOP pair"
      else "FAILED - a dynamic success has no static pair")
+
+let run_selective pool =
+  let t = Harness.Selective.run ~pool () in
+  emit ~name:"selective"
+    ~title:
+      "E14: selective hardening — overhead and P-BOX bytes, full vs \
+       validator-certified elision"
+    (Harness.Selective.table t);
+  say "mean overhead saved: %s; mean P-BOX bytes saved: %.1f%%"
+    (Sutil.Texttable.fmt_pct t.mean_delta)
+    t.mean_pbox_saving_pct;
+  let cv = Harness.Crossval.run_selective ~pool () in
+  emit ~name:"selective_diff"
+    ~title:
+      "E14a: selective-hardening differential (verdicts and Progen output \
+       vs full hardening)"
+    (Harness.Crossval.selective_table cv);
+  say "selective differential: %s"
+    (if cv.all_identical then "bit-identical to full hardening on every case"
+     else "FAILED - selective hardening changed an observable")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
@@ -306,6 +326,7 @@ let experiments =
     ("rerand", run_rerand);
     ("ablation", run_ablation);
     ("analysis", run_analysis);
+    ("selective", run_selective);
     ("chaos", run_chaos);
     (* wall-clock benchmarks: always sequential, the pool is unused *)
     ("micro", fun (_ : Sched.Pool.t) -> run_micro ());

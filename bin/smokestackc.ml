@@ -425,29 +425,42 @@ let entropy_cmd =
              brute-force attacker faces)")
     Term.(const action $ file_arg $ scheme_arg)
 
+(* Shared by analyze and lint: resolve a --workload name to a program. *)
+let builtin_workload w =
+  match w with
+  | "librelp" -> (w, Lazy.force Apps.Librelp.program)
+  | "wireshark" -> (w, Lazy.force Apps.Wireshark.program)
+  | "proftpd" -> (w, Lazy.force Apps.Proftpd.program)
+  | _ -> (
+      match Apps.Spec.find w with
+      | Some wl -> (wl.Apps.Spec.wname, Lazy.force wl.Apps.Spec.program)
+      | None -> (
+          match Apps.Synth.find w with
+          | Some v -> (v.Apps.Synth.vname, Minic.Driver.compile v.Apps.Synth.source)
+          | None ->
+              usage_fail
+                "unknown workload %S (an apps name like gobmk, a real-vuln \
+                 program: librelp, wireshark, proftpd, or a synth variant \
+                 like stack-direct)"
+                w))
+
+let workload_opt cmd =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workload" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf
+             "%s a built-in workload (an application kernel like $(b,gobmk) \
+              or $(b,proftpd-io), or a synthetic pentest variant like \
+              $(b,stack-direct)) instead of a file"
+             cmd))
+
 let analyze_cmd =
   let action file workload json_path no_score optimize =
     let name, prog =
       match (workload, file) with
-      | Some w, _ -> (
-          match w with
-          | "librelp" -> (w, Lazy.force Apps.Librelp.program)
-          | "wireshark" -> (w, Lazy.force Apps.Wireshark.program)
-          | "proftpd" -> (w, Lazy.force Apps.Proftpd.program)
-          | _ -> (
-              match Apps.Spec.find w with
-              | Some wl -> (wl.Apps.Spec.wname, Lazy.force wl.Apps.Spec.program)
-              | None -> (
-                  match Apps.Synth.find w with
-                  | Some v ->
-                      ( v.Apps.Synth.vname,
-                        Minic.Driver.compile v.Apps.Synth.source )
-                  | None ->
-                      usage_fail
-                        "unknown workload %S (an apps name like gobmk, a \
-                         real-vuln program: librelp, wireshark, proftpd, or \
-                         a synth variant like stack-direct)"
-                        w)))
+      | Some w, _ -> builtin_workload w
       | None, Some f -> (Filename.basename f, compile ~optimize f)
       | None, None -> usage_fail "analyze: need a FILE or --workload NAME"
     in
@@ -467,16 +480,7 @@ let analyze_cmd =
   let file_opt =
     Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
   in
-  let workload_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "workload" ] ~docv:"NAME"
-          ~doc:
-            "Analyze a built-in workload (an application kernel like \
-             $(b,gobmk) or $(b,proftpd-io), or a synthetic pentest variant \
-             like $(b,stack-direct)) instead of a file")
-  in
+  let workload_arg = workload_opt "Analyze" in
   let json_arg =
     Arg.(
       value
@@ -502,9 +506,192 @@ let analyze_cmd =
       const action $ file_opt $ workload_arg $ json_arg $ no_score_arg
       $ opt_flag)
 
+let lint_cmd =
+  let action file workload progen scheme no_fid selective seed json_path mutate
+      optimize =
+    let name, prog =
+      match (workload, progen, file) with
+      | Some w, _, _ -> builtin_workload w
+      | None, Some s, _ ->
+          ( Printf.sprintf "progen-%Ld" s,
+            match Minic.Driver.compile_result (Minic.Progen.generate ~seed:s) with
+            | Ok prog -> prog
+            | Error msg ->
+                Printf.eprintf "smokestackc: %s\n" (one_line msg);
+                exit exit_compile )
+      | None, None, Some f -> (Filename.basename f, compile ~optimize f)
+      | None, None, None ->
+          usage_fail "lint: need a FILE, --workload NAME or --progen SEED"
+    in
+    if mutate < 0 then usage_fail "lint: --mutate must be non-negative";
+    let config =
+      Smokestack.Config.with_selective selective (config_of scheme no_fid)
+    in
+    (* ~validate:false: we run the validator ourselves so violations are
+       reported as lint findings (exit 1), not a hardening exception. *)
+    let hardened =
+      try Smokestack.Harden.harden ~seed ~validate:false config prog
+      with Failure msg ->
+        Printf.eprintf "smokestackc: %s\n" (one_line msg);
+        exit exit_compile
+    in
+    let violations = Analysis.Validate.check ~original:prog hardened in
+    (* Mutation smoke test: N seeded mutants cycling the classes, each
+       applicable one must be caught by its expected rule. *)
+    let mutants =
+      List.init mutate (fun i ->
+          let m =
+            List.nth Analysis.Validate.all_mutations
+              (i mod List.length Analysis.Validate.all_mutations)
+          in
+          let mseed = Int64.add seed (Int64.of_int i) in
+          match Analysis.Validate.mutate ~seed:mseed m hardened with
+          | None -> (m, `Inapplicable)
+          | Some (mutant, desc) ->
+              let vs = Analysis.Validate.check ~original:prog mutant in
+              let want = Analysis.Validate.expected_rule m in
+              if List.exists (fun v -> v.Analysis.Validate.rule = want) vs then
+                (m, `Caught desc)
+              else (m, `Missed desc))
+    in
+    let missed =
+      List.filter (fun (_, st) -> match st with `Missed _ -> true | _ -> false)
+        mutants
+    in
+    (match json_path with
+    | Some path ->
+        let module J = Sutil.Json in
+        let violation_json (v : Analysis.Validate.violation) =
+          J.Obj
+            [
+              ("rule", J.String (Analysis.Validate.rule_to_string v.rule));
+              ("func", J.String v.func);
+              ("row", match v.row with Some r -> J.Int r | None -> J.Null);
+              ("detail", J.String v.detail);
+            ]
+        in
+        let base =
+          [
+            ("program", J.String name);
+            ("clean", J.Bool (violations = []));
+            ("violations", J.List (List.map violation_json violations));
+          ]
+        in
+        let fields =
+          if mutants = [] then base
+          else
+            base
+            @ [
+                ( "mutations",
+                  J.List
+                    (List.map
+                       (fun (m, st) ->
+                         let status, detail =
+                           match st with
+                           | `Inapplicable -> ("inapplicable", "")
+                           | `Caught d -> ("caught", d)
+                           | `Missed d -> ("missed", d)
+                         in
+                         J.Obj
+                           [
+                             ( "mutation",
+                               J.String (Analysis.Validate.mutation_to_string m)
+                             );
+                             ("status", J.String status);
+                             ("detail", J.String detail);
+                           ])
+                       mutants) );
+              ]
+        in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (J.to_string ~indent:true (J.Obj fields));
+            output_char oc '\n')
+    | None -> ());
+    List.iter
+      (fun v ->
+        Printf.printf "violation: %s\n" (Analysis.Validate.violation_to_string v))
+      violations;
+    List.iter
+      (fun (m, st) ->
+        let mname = Analysis.Validate.mutation_to_string m in
+        match st with
+        | `Inapplicable -> Printf.printf "mutation %-16s inapplicable\n" mname
+        | `Caught d -> Printf.printf "mutation %-16s caught   (%s)\n" mname d
+        | `Missed d -> Printf.printf "mutation %-16s MISSED   (%s)\n" mname d)
+      mutants;
+    let elided = hardened.Smokestack.Harden.elided in
+    Printf.printf "%s: %s (%d function(s) checked%s%s)\n" name
+      (if violations = [] then "clean" else
+         Printf.sprintf "%d violation(s)" (List.length violations))
+      (List.length hardened.Smokestack.Harden.prog.Ir.Prog.funcs)
+      (if selective then Printf.sprintf ", %d elided" (List.length elided)
+       else "")
+      (if mutate = 0 then ""
+       else
+         Printf.sprintf ", %d/%d mutation(s) caught"
+           (List.length
+              (List.filter
+                 (fun (_, st) -> match st with `Caught _ -> true | _ -> false)
+                 mutants))
+           mutate);
+    if violations <> [] || missed <> [] then exit 1
+  in
+  let file_opt =
+    Arg.(
+      value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+  in
+  let workload_arg = workload_opt "Lint" in
+  let progen_arg =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "progen" ] ~docv:"SEED"
+          ~doc:"Lint the Progen-generated program for $(docv) instead of a file")
+  in
+  let selective_flag =
+    Arg.(
+      value & flag
+      & info [ "selective" ]
+          ~doc:
+            "Harden selectively (elide provably-safe functions) before \
+             validating; the validator then also certifies each elision")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the findings as JSON to $(docv)")
+  in
+  let mutate_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "mutate" ] ~docv:"N"
+          ~doc:
+            "Also apply N seeded IR mutations (cycling the known classes) \
+             and assert the validator catches each applicable one with the \
+             expected rule; a missed mutant is a lint failure")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically validate a hardened program: frame integrity, P-BOX \
+          soundness, index hygiene and FID pairing, plus per-elision \
+          certification under --selective.  Exit 1 on any violation or \
+          missed mutation.")
+    Term.(
+      const action $ file_opt $ workload_arg $ progen_arg $ scheme_arg $ no_fid
+      $ selective_flag $ seed_arg $ json_arg $ mutate_arg $ opt_flag)
+
 let () =
   (* force the engine library to link so --engine=bytecode resolves *)
   Engine.Backend.install ();
+  (* register the static validator as harden's post-condition hook and
+     the elision oracle behind Config.selective *)
+  Analysis.Validate.install ();
   let info =
     Cmd.info "smokestackc" ~version:"1.0.0"
       ~doc:"MiniC compiler with Smokestack runtime stack-layout randomization"
@@ -516,7 +703,15 @@ let () =
     try
       Cmd.eval ~catch:false
         (Cmd.group info
-           [ run_cmd; ir_cmd; pbox_cmd; layouts_cmd; entropy_cmd; analyze_cmd ])
+           [
+             run_cmd;
+             ir_cmd;
+             pbox_cmd;
+             layouts_cmd;
+             entropy_cmd;
+             analyze_cmd;
+             lint_cmd;
+           ])
     with e ->
       Printf.eprintf "smokestackc: error: %s\n" (one_line (Printexc.to_string e));
       1

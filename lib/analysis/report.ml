@@ -9,6 +9,9 @@ type func_summary = {
   n_victims : int;
   wild_stores : int;
   frame_bytes : int;
+  validated : bool;
+      (** default-config hardening of this program passes the static
+          validator with no violation attributed to this function *)
 }
 
 type t = {
@@ -27,6 +30,20 @@ let analyze_prog ?(name = "program") ?(score = true) prog =
       let ctx = Score.make_ctx prog analyses in
       List.map (fun p -> { pair = p; attempts = Score.attempts ctx p }) raw_pairs
     else List.map (fun p -> { pair = p; attempts = [] }) raw_pairs
+  in
+  (* Per-function validation verdict: harden with the default config
+     and ask the static validator which functions (if any) violate a
+     post-condition.  A program that cannot be hardened at all (e.g. it
+     already is) validates nothing. *)
+  let invalidated =
+    match
+      Smokestack.Harden.harden ~validate:false Smokestack.Config.default prog
+    with
+    | hardened ->
+        let vs = Validate.check ~original:prog hardened in
+        fun fname ->
+          List.exists (fun (v : Validate.violation) -> v.func = fname) vs
+    | exception _ -> fun _ -> true
   in
   let funcs =
     List.map
@@ -47,6 +64,7 @@ let analyze_prog ?(name = "program") ?(score = true) prog =
               (List.filter (fun (s : Funcan.slot) -> s.roles <> []) a.slots);
           wild_stores = a.wild_stores;
           frame_bytes = frame;
+          validated = not (invalidated a.fname);
         })
       analyses
   in
@@ -110,7 +128,8 @@ let funcs_table t =
         (("function", Sutil.Texttable.Left)
         :: List.map
              (fun c -> (c, Sutil.Texttable.Right))
-             [ "slots"; "overflow"; "victims"; "wild stores"; "frame B" ])
+             [ "slots"; "overflow"; "victims"; "wild stores"; "frame B";
+               "validated" ])
   in
   List.iter
     (fun f ->
@@ -122,6 +141,7 @@ let funcs_table t =
           string_of_int f.n_victims;
           string_of_int f.wild_stores;
           string_of_int f.frame_bytes;
+          (if f.validated then "yes" else "NO");
         ])
     t.funcs;
   tt
@@ -241,6 +261,7 @@ let func_summary_to_json f =
       ("n_victims", J.Int f.n_victims);
       ("wild_stores", J.Int f.wild_stores);
       ("frame_bytes", J.Int f.frame_bytes);
+      ("validated", J.Bool f.validated);
     ]
 
 let to_json t =
@@ -398,7 +419,10 @@ let func_summary_of_json j =
   let* n_victims = int_field "n_victims" j in
   let* wild_stores = int_field "wild_stores" j in
   let* frame_bytes = int_field "frame_bytes" j in
-  Ok { fname; n_slots; n_overflow; n_victims; wild_stores; frame_bytes }
+  let* validated = bool_field "validated" j in
+  Ok
+    { fname; n_slots; n_overflow; n_victims; wild_stores; frame_bytes;
+      validated }
 
 let of_json j =
   let* name = str_field "name" j in

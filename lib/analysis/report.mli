@@ -18,6 +18,10 @@ type func_summary = {
   n_victims : int;  (** slots with at least one victim role *)
   wild_stores : int;
   frame_bytes : int;
+  validated : bool;
+      (** default-config hardening of the program passes the static
+          validator ({!Validate}) with no violation attributed to this
+          function *)
 }
 
 type t = {

@@ -6,6 +6,7 @@ let intr_fid_key = "ss.fid_key"
 let intr_fid_assert = "ss.fid_assert"
 let intr_layout_dynamic = "ss.layout_dynamic"
 let smokestack_attr = "smokestack"
+let smokestack_elided_attr = "smokestack-elided"
 
 (* FNV-1a, 64-bit. *)
 let fid_const name =

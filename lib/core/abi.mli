@@ -33,3 +33,11 @@ val fid_const : string -> int64
 
 val smokestack_attr : string
 (** Attribute set on hardened functions. *)
+
+val smokestack_elided_attr : string
+(** Attribute set on functions that selective hardening
+    ([Config.selective]) left with their fixed frame layout: the
+    analysis proved every slot overflow-safe and non-escaping, so the
+    permutation/FID machinery is elided.  The prologue still consumes
+    one randomness draw (draw-preserving elision), keeping the
+    generator stream identical to full hardening. *)

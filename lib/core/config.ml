@@ -10,6 +10,7 @@ type t = {
   rekey_interval : int;
   exclude : string list;
   redraw_interval : int;
+  selective : bool;
 }
 
 let default =
@@ -25,10 +26,12 @@ let default =
     rekey_interval = 65536;
     exclude = [];
     redraw_interval = 1;
+    selective = false;
   }
 
 let with_scheme scheme t = { t with scheme }
 let with_exclude exclude t = { t with exclude }
+let with_selective selective t = { t with selective }
 
 let validate t =
   if t.max_exhaustive_vars < 1 || t.max_exhaustive_vars > 8 then

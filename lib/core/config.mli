@@ -38,6 +38,15 @@ type t = {
           per-invocation; larger values interpolate toward static
           permutation and re-open the same-run probe-then-exploit
           window the E11 experiment measures. *)
+  selective : bool;
+      (** analysis-guided selective hardening (DESIGN.md §12): elide
+          the permutation/FID machinery for functions every one of
+          whose slots is provably overflow-safe and non-escaping and
+          that appear in no DOP pair.  Elision is {e draw-preserving}
+          — the prologue still consumes one randomness draw — so the
+          generator stream, and with it every attack outcome, is
+          bit-identical to full hardening.  Requires the elision
+          oracle of [Analysis.Validate.install] to be registered. *)
 }
 
 val default : t
@@ -48,6 +57,8 @@ val default : t
 val with_exclude : string list -> t -> t
 
 val with_scheme : Rng.Scheme.t -> t -> t
+
+val with_selective : bool -> t -> t
 
 val validate : t -> (t, string) result
 (** Checks ranges ([max_exhaustive_vars] within factorial limits, VLA

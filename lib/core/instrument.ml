@@ -6,10 +6,11 @@ let effective_metas (config : Config.t) (slots : Slots.t) =
 
 let excluded (config : Config.t) name = List.mem name config.exclude
 
-let collect_metas config (prog : Ir.Prog.t) =
+let collect_metas ?(elided = []) config (prog : Ir.Prog.t) =
   List.filter_map
     (fun f ->
-      if excluded config f.Ir.Func.name then None
+      if excluded config f.Ir.Func.name || List.mem f.Ir.Func.name elided then
+        None
       else Some (f.Ir.Func.name, effective_metas config (Slots.discover f)))
     prog.funcs
 
@@ -60,9 +61,37 @@ let pad_vlas (f : Ir.Func.t) =
           b.instrs)
     f.blocks
 
-let instrument_function (config : Config.t) ~(pbox : Pbox.t) (f : Ir.Func.t) =
+(* Draw-preserving elision (selective hardening, DESIGN.md §12): the
+   function keeps its original fixed-layout allocas — the analysis
+   proved no slot can overflow or escape, so permuting them defends
+   nothing — but the prologue still performs the one randomness draw
+   full hardening would have made.  That keeps the generator stream
+   (and the rekey/redraw counters behind it) bit-identical to full
+   hardening, which is what lets Harness.Crossval assert attack
+   outcomes are unchanged rather than merely similar. *)
+let elide_function (config : Config.t) (f : Ir.Func.t) =
+  let slots = Slots.discover f in
+  if slots.vla_count > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Smokestack.Instrument: elided function %s has a VLA (the elision \
+          oracle must reject VLA functions: their pad draws cannot be \
+          preserved without instrumentation)"
+         f.name);
+  if Array.length (effective_metas config slots) > 0 then begin
+    let entry = Ir.Func.entry f in
+    let r = Ir.Func.fresh_reg f in
+    entry.instrs <-
+      Ir.Instr.Intrinsic { dst = Some r; name = Abi.intr_rand; args = [] }
+      :: entry.instrs;
+    Ir.Func.add_attr f Abi.smokestack_elided_attr
+  end
+
+let instrument_function ?(elided = []) (config : Config.t) ~(pbox : Pbox.t)
+    (f : Ir.Func.t) =
   check_alloca_placement f;
   if excluded config f.name then ()
+  else if List.mem f.name elided then elide_function config f
   else
   let slots = Slots.discover f in
   let metas = effective_metas config slots in
@@ -253,9 +282,10 @@ let add_runtime_globals ~(pbox : Pbox.t) (prog : Ir.Prog.t) =
     Ir.Prog.add_global prog ~name:Abi.prng_state_global ~ty:Ir.Ty.I64
       ~writable:true ()
 
-let run config ~pbox (prog : Ir.Prog.t) =
+let run ?elided config ~pbox (prog : Ir.Prog.t) =
   add_runtime_globals ~pbox prog;
-  List.iter (instrument_function config ~pbox) prog.funcs
+  List.iter (instrument_function ?elided config ~pbox) prog.funcs
 
-let pass config ~pbox =
-  Ir.Pass.Module_pass { name = "smokestack-instrument"; run = run config ~pbox }
+let pass ?elided config ~pbox =
+  Ir.Pass.Module_pass
+    { name = "smokestack-instrument"; run = run ?elided config ~pbox }

@@ -83,7 +83,16 @@ let one_extra_primitive ~small ~big =
   | true, [ (size, _) ] when size <= 16 -> true
   | _ -> false
 
-let build ?(seed = 1L) (config : Config.t) funcs =
+(* [elided] (selective hardening) lists functions that participate in
+   group formation and table generation exactly as under full hardening
+   — the per-entry row shuffles consume a single shared [shuffle_rng]
+   stream, so dropping a function up front would reshuffle every other
+   function's table and break the selective-vs-full bit-identity the
+   harness asserts — but receive no binding, are not recorded as users,
+   and tables left with no users at all are not serialized (that is the
+   P-BOX byte saving). *)
+let build ?(seed = 1L) ?(elided = []) (config : Config.t) funcs =
+  let is_elided fname = List.mem fname elided in
   let shuffle_rng = Sutil.Simrng.create ~seed in
   let funcs = List.filter (fun (_, metas) -> Array.length metas > 0) funcs in
   let exhaustive, dynamic =
@@ -120,14 +129,16 @@ let build ?(seed = 1L) (config : Config.t) funcs =
   let entries : entry list ref = ref [] in
   let bindings = Hashtbl.create 32 in
   let bind_into ~entry_index ~(entry : entry) ~dummy (fname, metas) =
-    let canon_of_orig = canon_map ~canon:entry.canon_meta metas in
-    entry.users <- fname :: entry.users;
-    Hashtbl.replace bindings fname
-      {
-        bfunc = fname;
-        n_orig = Array.length metas;
-        mode = Exhaustive { entry_index; canon_of_orig; dummy_slots = dummy };
-      }
+    if not (is_elided fname) then begin
+      let canon_of_orig = canon_map ~canon:entry.canon_meta metas in
+      entry.users <- fname :: entry.users;
+      Hashtbl.replace bindings fname
+        {
+          bfunc = fname;
+          n_orig = Array.length metas;
+          mode = Exhaustive { entry_index; canon_of_orig; dummy_slots = dummy };
+        }
+    end
   in
   List.iter
     (fun (key, members) ->
@@ -146,14 +157,17 @@ let build ?(seed = 1L) (config : Config.t) funcs =
               (* Map against the bigger canonical set: the unmatched
                  column is the dummy slot, which only consumes frame
                  space. *)
-              let canon_of_orig = canon_map ~canon:entry.canon_meta metas in
-              entry.users <- fname :: entry.users;
-              Hashtbl.replace bindings fname
-                {
-                  bfunc = fname;
-                  n_orig = Array.length metas;
-                  mode = Exhaustive { entry_index; canon_of_orig; dummy_slots = 1 };
-                })
+              if not (is_elided fname) then begin
+                let canon_of_orig = canon_map ~canon:entry.canon_meta metas in
+                entry.users <- fname :: entry.users;
+                Hashtbl.replace bindings fname
+                  {
+                    bfunc = fname;
+                    n_orig = Array.length metas;
+                    mode =
+                      Exhaustive { entry_index; canon_of_orig; dummy_slots = 1 };
+                  }
+              end)
             members
       | None ->
           let canon_meta = canonicalize (snd (List.hd members)) in
@@ -189,15 +203,26 @@ let build ?(seed = 1L) (config : Config.t) funcs =
     Array.of_list
       (List.map
          (fun e ->
-           let byte_offset = Buffer.length buf in
-           let real_rows = Array.length e.table.offsets in
-           for r = 0 to e.rows_materialized - 1 do
-             Array.iter put_u32 e.table.offsets.(r mod real_rows)
-           done;
-           { e with byte_offset })
+           (* A table every user of which was elided never gets read:
+              skip its rows.  The entry itself stays (indices into
+              [entries] were already handed out), pointing at offset 0
+              of a region it does not own — harmless, since nothing is
+              bound to it. *)
+           if e.users = [] then { e with byte_offset = 0 }
+           else begin
+             let byte_offset = Buffer.length buf in
+             let real_rows = Array.length e.table.offsets in
+             for r = 0 to e.rows_materialized - 1 do
+               Array.iter put_u32 e.table.offsets.(r mod real_rows)
+             done;
+             { e with byte_offset }
+           end)
          !entries)
   in
   (* Dynamic bindings for oversized frames. *)
+  let dynamic =
+    List.filter (fun (fname, _) -> not (is_elided fname)) dynamic
+  in
   let dyns =
     Array.of_list
       (List.mapi

@@ -58,11 +58,23 @@ type t = {
   config : Config.t;
 }
 
-val build : ?seed:int64 -> Config.t -> (string * (int * int) array) list -> t
+val build :
+  ?seed:int64 ->
+  ?elided:string list ->
+  Config.t ->
+  (string * (int * int) array) list ->
+  t
 (** [build config funcs] where each element is
     [(function name, per-slot (size, alignment) in program order)].
     Functions with zero slots are skipped.  [seed] drives the row
-    shuffles (default 1). *)
+    shuffles (default 1).
+
+    [elided] (selective hardening) names functions that shape group
+    formation and consume table shuffles exactly as under full hardening
+    — keeping every other function's layout bit-identical — but receive
+    no binding and are not registered as users; a table all of whose
+    users were elided is kept in {!t.entries} (indices are stable) but
+    contributes no blob bytes. *)
 
 val binding : t -> string -> binding option
 val entry_of : t -> binding -> entry option

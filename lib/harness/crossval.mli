@@ -36,3 +36,31 @@ val run : ?pool:Sched.Pool.t -> ?trials:int -> unit -> t
 
 val table : t -> Sutil.Texttable.t
 val to_markdown : t -> string
+
+(** {2 Selective-hardening differential (E14 acceptance)}
+
+    Elision is draw-preserving, so selective hardening must be
+    observationally indistinguishable from full hardening: every attack
+    of the eleven differential cases gets the bit-identical verdict
+    list, and every Progen corpus program the identical outcome and
+    output.  (Cycle counts legitimately differ — that delta is what
+    {!Selective} measures — so stats are not compared.) *)
+
+type selective_row = {
+  sname : string;  (** attack case or ["progen-<seed>"] *)
+  elided : int;  (** functions the oracle elided for this program *)
+  identical : bool;
+  detail : string;
+}
+
+type selective_t = { srows : selective_row list; all_identical : bool }
+
+val run_selective :
+  ?pool:Sched.Pool.t -> ?trials:int -> ?progen_seeds:int -> unit -> selective_t
+(** Installs the {!Analysis.Validate} elision oracle, then compares
+    full vs selective hardening: verdict lists over [trials] attempts
+    for each attack case, outcome + output for [progen_seeds] generated
+    programs. *)
+
+val selective_table : selective_t -> Sutil.Texttable.t
+val selective_to_markdown : selective_t -> string

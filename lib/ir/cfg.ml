@@ -44,3 +44,44 @@ let of_func (f : Func.t) =
     blocks;
   Array.iteri (fun i ps -> pred.(i) <- List.rev ps) pred;
   { blocks; index_of; succ; pred }
+
+(* Immediate dominators, Cooper–Harvey–Kennedy over the RPO ordering
+   [blocks] already provides.  The intersection walks rely on the
+   classic property that a node's dominator always has a smaller RPO
+   index than the node itself. *)
+let idom t =
+  let n = Array.length t.blocks in
+  let idom = Array.make n (-1) in
+  if n > 0 then idom.(0) <- 0;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while !f1 > !f2 do
+        f1 := idom.(!f1)
+      done;
+      while !f2 > !f1 do
+        f2 := idom.(!f2)
+      done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let processed = List.filter (fun p -> idom.(p) >= 0) t.pred.(i) in
+      match processed with
+      | [] -> ()
+      | p :: rest ->
+          let d = List.fold_left intersect p rest in
+          if idom.(i) <> d then begin
+            idom.(i) <- d;
+            changed := true
+          end
+    done
+  done;
+  idom
+
+let dominates ~idom a b =
+  let rec up b = b = a || (b <> 0 && up idom.(b)) in
+  up b

@@ -19,7 +19,7 @@ let record name dt =
       let prev = Option.value ~default:0. (Hashtbl.find_opt timing_table name) in
       Hashtbl.replace timing_table name (prev +. dt))
 
-let run ?(verify = true) passes prog =
+let run ?(verify = true) ?post passes prog =
   List.iter
     (fun pass ->
       let t0 = Sys.time () in
@@ -37,7 +37,20 @@ let run ?(verify = true) passes prog =
             in
             failwith
               (Printf.sprintf "pass %s broke IR invariants:\n%s" (name pass) report))
-    passes
+    passes;
+  (* Structural verification above answers "is this still well-formed
+     IR?"; the post hook answers "does the transformed program satisfy
+     the pipeline's semantic post-conditions?" — a distinct failure with
+     a distinct message, so callers can tell a broken pass from a broken
+     security property. *)
+  match post with
+  | None -> ()
+  | Some check -> (
+      match check prog with
+      | Ok () -> ()
+      | Error msg ->
+          failwith
+            (Printf.sprintf "pipeline post-condition validation failed:\n%s" msg))
 
 let timings () =
   with_timing_lock (fun () ->

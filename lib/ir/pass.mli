@@ -11,10 +11,18 @@ type t =
 
 val name : t -> string
 
-val run : ?verify:bool -> t list -> Prog.t -> unit
+val run :
+  ?verify:bool -> ?post:(Prog.t -> (unit, string) result) -> t list -> Prog.t -> unit
 (** Runs the pipeline in order.  With [verify] (default [true]) the
     program is verified after each pass; a failure identifies the
-    offending pass in the exception message. *)
+    offending pass in the exception message ("pass NAME broke IR
+    invariants").  [post], when given, runs once after the whole
+    pipeline (and its structural verification) succeeded; an [Error]
+    raises [Failure] with the distinct "pipeline post-condition
+    validation failed" prefix, so structural breakage and semantic
+    post-condition breakage are distinguishable from the message alone.
+    The Smokestack hardening pipeline uses it to run the static
+    validator of [Analysis.Validate]. *)
 
 val timings : unit -> (string * float) list
 (** Cumulative wall-clock seconds per pass name since startup, most

@@ -13,14 +13,18 @@ let successors (b : Func.block) =
   | Instr.Br l -> [ l ]
   | Instr.Cond_br { if_true; if_false; _ } -> [ if_true; if_false ]
 
-(* Forward dataflow: registers definitely defined at entry of each
-   block = intersection over predecessors of (defined-at-entry U
-   defs-in-block). *)
+(* Registers guaranteed defined at entry of each reachable block: the
+   parameters plus every definition in a strictly dominating block.
+   Dominance — not the old definite-assignment intersection dataflow —
+   is the property a compiler IR wants: a register is usable only where
+   its defining instruction is guaranteed to have already executed,
+   which is exactly "the definition site dominates the use".  Built on
+   the shared {!Cfg} dominator tree; [Cfg.of_func] drops unreachable
+   blocks, matching the verifier's leniency toward stranded code. *)
 let defined_at_entry (f : Func.t) =
-  let blocks = Array.of_list f.blocks in
-  let index = Hashtbl.create 16 in
-  Array.iteri (fun i (b : Func.block) -> Hashtbl.replace index b.label i) blocks;
-  let n = Array.length blocks in
+  let cfg = Cfg.of_func f in
+  let idom = Cfg.idom cfg in
+  let n = Array.length cfg.blocks in
   let defs_in =
     Array.map
       (fun (b : Func.block) ->
@@ -28,59 +32,17 @@ let defined_at_entry (f : Func.t) =
           (fun s i ->
             match Instr.defined_reg i with Some r -> IntSet.add r s | None -> s)
           IntSet.empty b.instrs)
-      blocks
+      cfg.blocks
   in
   let params = IntSet.of_list (List.map fst f.params) in
-  let all_regs = IntSet.of_list (List.init (Func.reg_count f) Fun.id) in
-  let at_entry = Array.make n all_regs in
-  if n > 0 then at_entry.(0) <- params;
-  (* only reachable predecessors constrain the meet: a stranded
-     (unreachable) block must not erase definitions on live paths *)
-  let reachable = Array.make n false in
-  let rec visit i =
-    if not reachable.(i) then begin
-      reachable.(i) <- true;
-      List.iter
-        (fun l ->
-          match Hashtbl.find_opt index l with
-          | Some j -> visit j
-          | None -> ())
-        (successors blocks.(i))
-    end
-  in
-  if n > 0 then visit 0;
-  let preds = Array.make n [] in
-  Array.iteri
-    (fun i b ->
-      if reachable.(i) then
-        List.iter
-          (fun l ->
-            match Hashtbl.find_opt index l with
-            | Some j -> preds.(j) <- i :: preds.(j)
-            | None -> ())
-          (successors b))
-    blocks;
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for i = 1 to n - 1 do
-      let incoming =
-        match preds.(i) with
-        | [] -> IntSet.empty (* unreachable: nothing guaranteed *)
-        | ps ->
-            List.fold_left
-              (fun acc p ->
-                IntSet.inter acc (IntSet.union at_entry.(p) defs_in.(p)))
-              all_regs ps
-      in
-      let incoming = IntSet.union incoming params in
-      if not (IntSet.equal incoming at_entry.(i)) then begin
-        at_entry.(i) <- incoming;
-        changed := true
-      end
-    done
+  let at_entry = Array.make n params in
+  (* RPO guarantees [idom.(i) < i], so one pass in index order settles
+     every block: available-at-entry = available at the immediate
+     dominator's entry plus its own definitions. *)
+  for i = 1 to n - 1 do
+    at_entry.(i) <- IntSet.union at_entry.(idom.(i)) defs_in.(idom.(i))
   done;
-  fun label -> at_entry.(Hashtbl.find index label)
+  fun label -> at_entry.(Hashtbl.find cfg.index_of label)
 
 let verify_func (p : Prog.t) (f : Func.t) =
   let errors = ref [] in

@@ -12,9 +12,9 @@ val verify_func : Prog.t -> Func.t -> error list
 val verify : Prog.t -> error list
 (** All errors across the program; empty means well-formed. Checks:
     blocks are non-empty of terminator, labels referenced by branches
-    exist, registers are defined before use on every path (conservative:
-    dominance approximated by "defined in some block that can reach the
-    use"), register indices are within [Func.reg_count], callees exist
+    exist, registers are defined before use on every path (a proper
+    dominator-tree check over {!Cfg}: every use must be dominated by a
+    definition), register indices are within [Func.reg_count], callees exist
     (function, extern, or intrinsic), load/store types are scalar,
     globals referenced exist, entry block is not a branch target. *)
 

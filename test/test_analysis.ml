@@ -239,7 +239,13 @@ let test_json_roundtrip () =
       match Analysis.Report.of_json j with
       | Error e -> Alcotest.failf "of_json failed: %s" e
       | Ok report' ->
-          Alcotest.(check bool) "round-trips exactly" true (report = report'))
+          Alcotest.(check bool) "round-trips exactly" true (report = report');
+          Alcotest.(check bool)
+            "every function validated under default hardening" true
+            (report'.funcs <> []
+            && List.for_all
+                 (fun (f : Analysis.Report.func_summary) -> f.validated)
+                 report'.funcs))
 
 let test_json_roundtrip_unscored () =
   let prog = escape_prog () in

@@ -135,6 +135,70 @@ let test_timeout_multi_seed () =
          go 0))
     [ "== seed 1 =="; "== seed 2 =="; "== seed 3 ==" ]
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- lint ---------------------------------------------------------- *)
+
+let test_lint_clean_file () =
+  let src = write_temp chaos_src in
+  let code, output = run_cli [ "lint"; src ] in
+  check_code "lint clean file" 0 (code, output);
+  Alcotest.(check bool) "clean verdict printed" true (contains output "clean")
+
+let test_lint_clean_workload () =
+  let code, output = run_cli [ "lint"; "--workload"; "proftpd-io" ] in
+  check_code "lint proftpd-io" 0 (code, output);
+  Alcotest.(check bool) "clean verdict printed" true (contains output "clean")
+
+let test_lint_json () =
+  let json = Filename.temp_file "smokestackc_lint" ".json" in
+  let code, output =
+    run_cli [ "lint"; "--workload"; "stack-direct"; "--json"; json ]
+  in
+  check_code "lint --json" 0 (code, output);
+  let ic = open_in_bin json in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove json)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Sutil.Json.of_string text with
+  | Error e -> Alcotest.failf "lint --json output does not parse: %s" e
+  | Ok j -> (
+      match (Sutil.Json.member "clean" j, Sutil.Json.member "violations" j) with
+      | Some (Sutil.Json.Bool true), Some (Sutil.Json.List []) -> ()
+      | _ -> Alcotest.failf "unexpected lint JSON: %s" text)
+
+let test_lint_mutate_caught () =
+  (* progen-42 admits every mutation class; all six must be caught *)
+  let code, output =
+    run_cli [ "lint"; "--progen"; "42"; "--mutate"; "6" ]
+  in
+  check_code "lint --mutate" 0 (code, output);
+  Alcotest.(check bool)
+    "all mutations caught" true
+    (contains output "6/6 mutation(s) caught");
+  Alcotest.(check bool) "no missed mutant" false (contains output "MISSED")
+
+let test_lint_usage_errors () =
+  check_code "lint without input" 2 (run_cli [ "lint" ]);
+  check_code "lint unknown workload" 2
+    (run_cli [ "lint"; "--workload"; "no-such-workload" ]);
+  let src = write_temp clean_src in
+  check_code "lint negative mutate" 2 (run_cli [ "lint"; "--mutate"; "-1"; src ])
+
+let test_lint_selective () =
+  let code, output =
+    run_cli [ "lint"; "--workload"; "gobmk"; "--selective" ]
+  in
+  check_code "lint --selective" 0 (code, output);
+  Alcotest.(check bool) "elided count reported" true (contains output "elided")
+
 let () =
   Alcotest.run "cli"
     [
@@ -154,5 +218,14 @@ let () =
           Alcotest.test_case "chaos degradation line" `Quick
             test_chaos_rng_degradation_reported;
           Alcotest.test_case "timeout + seeds" `Quick test_timeout_multi_seed;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "clean file" `Quick test_lint_clean_file;
+          Alcotest.test_case "clean workload" `Quick test_lint_clean_workload;
+          Alcotest.test_case "json report" `Quick test_lint_json;
+          Alcotest.test_case "mutations caught" `Slow test_lint_mutate_caught;
+          Alcotest.test_case "usage errors" `Quick test_lint_usage_errors;
+          Alcotest.test_case "selective" `Quick test_lint_selective;
         ] );
     ]

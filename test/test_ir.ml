@@ -140,6 +140,87 @@ let test_verifier_conditional_defs () =
       Ir.Builder.ret b (Some (Ir.Instr.Reg r));
       Ir.Prog.add_func prog f)
 
+(* ------------------------------------------------------------------ *)
+(* Cfg dominator tree (what the verifier's def-before-use and the
+   validator's FID pairing now stand on) *)
+
+let diamond_func () =
+  (* entry -> {t, f} -> j : j's immediate dominator is the entry, not
+     either branch arm *)
+  let f =
+    Ir.Func.create ~name:"d" ~params:[ (0, Ir.Ty.I64) ]
+      ~returns:(Some Ir.Ty.I64)
+  in
+  let b = Ir.Builder.create f in
+  Ir.Builder.cond_br b (Ir.Instr.Reg 0) ~if_true:"t" ~if_false:"f";
+  let _ = Ir.Builder.start_block b "t" in
+  Ir.Builder.br b "j";
+  let _ = Ir.Builder.start_block b "f" in
+  Ir.Builder.br b "j";
+  let _ = Ir.Builder.start_block b "j" in
+  Ir.Builder.ret b (Some (Ir.Instr.Reg 0));
+  f
+
+let test_cfg_diamond_idom () =
+  let cfg = Ir.Cfg.of_func (diamond_func ()) in
+  let idom = Ir.Cfg.idom cfg in
+  let at label = Hashtbl.find cfg.Ir.Cfg.index_of label in
+  check_int "entry is its own idom" (at "entry") idom.(at "entry");
+  check_int "t's idom is entry" (at "entry") idom.(at "t");
+  check_int "f's idom is entry" (at "entry") idom.(at "f");
+  check_int "join's idom skips the arms" (at "entry") idom.(at "j");
+  Alcotest.(check bool) "entry dominates join" true
+    (Ir.Cfg.dominates ~idom (at "entry") (at "j"));
+  Alcotest.(check bool) "arm does not dominate join" false
+    (Ir.Cfg.dominates ~idom (at "t") (at "j"));
+  Alcotest.(check bool) "dominance is reflexive" true
+    (Ir.Cfg.dominates ~idom (at "j") (at "j"))
+
+let test_cfg_loop_idom () =
+  (* entry -> head -> {body -> head, exit}: the back edge must not
+     disturb head's dominance over body and exit *)
+  let f = Ir.Func.create ~name:"l" ~params:[ (0, Ir.Ty.I64) ] ~returns:None in
+  let b = Ir.Builder.create f in
+  Ir.Builder.br b "head";
+  let _ = Ir.Builder.start_block b "head" in
+  Ir.Builder.cond_br b (Ir.Instr.Reg 0) ~if_true:"body" ~if_false:"exit";
+  let _ = Ir.Builder.start_block b "body" in
+  Ir.Builder.br b "head";
+  let _ = Ir.Builder.start_block b "exit" in
+  Ir.Builder.ret b None;
+  Ir.Prog.add_func (Ir.Prog.create ()) f;
+  let cfg = Ir.Cfg.of_func f in
+  let idom = Ir.Cfg.idom cfg in
+  let at label = Hashtbl.find cfg.Ir.Cfg.index_of label in
+  check_int "head's idom is entry" (at "entry") idom.(at "head");
+  check_int "body's idom is head" (at "head") idom.(at "body");
+  check_int "exit's idom is head" (at "head") idom.(at "exit");
+  Alcotest.(check bool) "body does not dominate exit" false
+    (Ir.Cfg.dominates ~idom (at "body") (at "exit"))
+
+let test_verifier_accepts_def_dominating_loop_use () =
+  (* a def in the loop header dominates a use in the body even though
+     the body also precedes the header in program order — the old
+     block-order approximation rejected this shape *)
+  let prog = Ir.Prog.create () in
+  let f = Ir.Func.create ~name:"f" ~params:[ (0, Ir.Ty.I64) ] ~returns:None in
+  let b = Ir.Builder.create f in
+  Ir.Builder.br b "head";
+  let _ = Ir.Builder.start_block b "head" in
+  let v = Ir.Builder.binop b Ir.Instr.Add (Ir.Instr.Reg 0) (Ir.Instr.Imm 1L) in
+  Ir.Builder.cond_br b (Ir.Instr.Reg 0) ~if_true:"body" ~if_false:"exit";
+  let _ = Ir.Builder.start_block b "body" in
+  let _ = Ir.Builder.binop b Ir.Instr.Add (Ir.Instr.Reg v) (Ir.Instr.Imm 2L) in
+  Ir.Builder.br b "head";
+  let _ = Ir.Builder.start_block b "exit" in
+  Ir.Builder.ret b None;
+  Ir.Prog.add_func prog f;
+  Alcotest.(check (list string))
+    "no errors" []
+    (List.map
+       (Format.asprintf "%a" Ir.Verifier.pp_error)
+       (Ir.Verifier.verify prog))
+
 let test_duplicate_function_rejected () =
   let prog = Ir.Prog.create () in
   Ir.Prog.add_func prog (build_valid_func ());
@@ -363,6 +444,10 @@ let () =
           Alcotest.test_case "ret mismatch" `Quick test_verifier_catches_ret_mismatch;
           Alcotest.test_case "aggregate load" `Quick test_verifier_catches_aggregate_load;
           Alcotest.test_case "conditional defs" `Quick test_verifier_conditional_defs;
+          Alcotest.test_case "loop-header def dominates body use" `Quick
+            test_verifier_accepts_def_dominating_loop_use;
+          Alcotest.test_case "diamond idom" `Quick test_cfg_diamond_idom;
+          Alcotest.test_case "loop idom" `Quick test_cfg_loop_idom;
         ] );
       ( "opt",
         [
