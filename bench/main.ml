@@ -10,7 +10,7 @@
      dune exec bench/main.exe -- table1 fig4 micro
      dune exec bench/main.exe -- --jobs=8 fig3
    Experiments: table1 fig3 fig4 bypass pentest realvuln brute rngsec
-   rerand ablation analysis selective chaos micro engine
+   rerand ablation analysis selective chaos serve micro engine
 
    --jobs=N runs each paper-table experiment's cells on N domains;
    tables are identical for every N.  The wall-clock benchmarks (micro,
@@ -206,6 +206,25 @@ let run_chaos pool =
     t.corrupting_fired
     (100. *. t.detection_rate)
 
+let run_serve pool =
+  Engine.Backend.install ();
+  let t0 = Unix.gettimeofday () in
+  let t = Harness.Serve.run ~pool () in
+  let wall = Unix.gettimeofday () -. t0 in
+  emit ~name:"server"
+    ~title:"E15: server runtime — mixed benign+attack traffic under load"
+    (Harness.Serve.summary_table t);
+  emit ~name:"server_tenants" ~title:"E15: per-tenant service and security"
+    (Harness.Serve.tenant_table t);
+  say "peak %d concurrent sessions; %d batch-verdict mismatches over %d checks"
+    t.summary.Server.Metrics.peak_open t.summary.Server.Metrics.batch_mismatches
+    t.summary.Server.Metrics.batch_checked;
+  let st = Sched.Pool.stats pool in
+  Printf.eprintf
+    "serve: %.1f s wall; pool: %d jobs, %d retries, %d timeouts, peak queue %d\n"
+    wall st.Sched.Pool.jobs_run st.Sched.Pool.retries st.Sched.Pool.timeouts
+    st.Sched.Pool.peak_queue
+
 let run_micro () =
   let open Bechamel in
   say "Bechamel micro-benchmarks (wall-clock per iteration):";
@@ -328,6 +347,7 @@ let experiments =
     ("analysis", run_analysis);
     ("selective", run_selective);
     ("chaos", run_chaos);
+    ("serve", run_serve);
     (* wall-clock benchmarks: always sequential, the pool is unused *)
     ("micro", fun (_ : Sched.Pool.t) -> run_micro ());
     ("engine", fun (_ : Sched.Pool.t) -> run_engine ());

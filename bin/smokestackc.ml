@@ -6,6 +6,7 @@
      smokestackc run --harden --chaos rng:ones@1 prog.c
      smokestackc ir --harden prog.c
      smokestackc pbox prog.c
+     smokestackc serve --sessions 1300 --jobs 8 --json BENCH_server.json
 
    Exit codes: 0 clean exit, 1 non-zero program exit (or internal
    error), 2 usage error, 3 compile/parse error, 4 runtime fault
@@ -172,6 +173,9 @@ let run_cmd =
   let action file harden scheme seed input no_fid optimize trace engine jobs
       seeds chaos fail_open timeout =
     if seeds < 1 then usage_fail "run: --seeds must be >= 1";
+    (match jobs with
+    | Some j when j < 1 -> usage_fail "run: --jobs must be >= 1"
+    | _ -> ());
     (match timeout with
     | Some t when t <= 0. -> usage_fail "run: --timeout must be positive"
     | _ -> ());
@@ -686,6 +690,147 @@ let lint_cmd =
       const action $ file_opt $ workload_arg $ progen_arg $ scheme_arg $ no_fid
       $ selective_flag $ seed_arg $ json_arg $ mutate_arg $ opt_flag)
 
+let serve_cmd =
+  let action sessions attack_pct chaos_pct mean_gap workers capacity seed jobs
+      engine timeout json_path show_tenants =
+    if sessions < 1 then usage_fail "serve: --sessions must be >= 1";
+    if attack_pct < 0 || chaos_pct < 0 || attack_pct + chaos_pct > 100 then
+      usage_fail
+        "serve: --attack-pct and --chaos-pct must be non-negative and sum to \
+         at most 100";
+    if mean_gap < 1 then usage_fail "serve: --mean-gap must be >= 1";
+    if workers < 1 then usage_fail "serve: --workers must be >= 1";
+    if capacity < 1 then usage_fail "serve: --capacity must be >= 1";
+    (match jobs with
+    | Some j when j < 1 -> usage_fail "serve: --jobs must be >= 1"
+    | _ -> ());
+    (match timeout with
+    | Some t when t <= 0. -> usage_fail "serve: --timeout must be positive"
+    | _ -> ());
+    let config =
+      {
+        Harness.Serve.default with
+        traffic =
+          { Server.Traffic.sessions; attack_pct; chaos_pct; mean_gap;
+            root = seed };
+        dispatch =
+          {
+            Server.Dispatch.default with
+            Server.Dispatch.virtual_workers = workers;
+            queue_capacity = capacity;
+            timeout;
+          };
+      }
+    in
+    let backend = Machine.Backend.find engine in
+    let width =
+      match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let t, stats =
+      Sched.Pool.with_pool ~jobs:width @@ fun pool ->
+      let t = Harness.Serve.run ~pool ~backend ~config () in
+      (t, Sched.Pool.stats pool)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Sutil.Texttable.print
+      ~title:"server runtime — mixed benign+attack traffic under load"
+      (Harness.Serve.summary_table t);
+    if show_tenants then
+      Sutil.Texttable.print ~title:"per-tenant service and security"
+        (Harness.Serve.tenant_table t);
+    (match json_path with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc
+              (Sutil.Json.to_string ~indent:true
+                 (Sutil.Texttable.to_json
+                    ~title:"server runtime — mixed benign+attack traffic"
+                    (Harness.Serve.summary_table t)));
+            output_char oc '\n')
+    | None -> ());
+    (* host-dependent numbers go to stderr, never into the report *)
+    Printf.eprintf
+      "serve: %.1f s wall; pool: %d jobs, %d retries, %d timeouts, peak queue %d\n"
+      wall stats.Sched.Pool.jobs_run stats.Sched.Pool.retries
+      stats.Sched.Pool.timeouts stats.Sched.Pool.peak_queue;
+    (* a served attack diverging from its batch verdict is a harness
+       soundness bug; make it impossible to miss in scripts and CI *)
+    if t.Harness.Serve.summary.Server.Metrics.batch_mismatches > 0 then begin
+      Printf.eprintf "smokestackc: serve: %d batch-verdict mismatch(es)\n"
+        t.Harness.Serve.summary.Server.Metrics.batch_mismatches;
+      exit 1
+    end
+  in
+  let sessions_arg =
+    Arg.(
+      value
+      & opt int Server.Traffic.default.Server.Traffic.sessions
+      & info [ "sessions" ] ~docv:"N" ~doc:"Sessions in the traffic schedule")
+  in
+  let attack_arg =
+    Arg.(
+      value
+      & opt int Server.Traffic.default.Server.Traffic.attack_pct
+      & info [ "attack-pct" ] ~docv:"PCT"
+          ~doc:"Percent of sessions that are attack sessions")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt int Server.Traffic.default.Server.Traffic.chaos_pct
+      & info [ "chaos-pct" ] ~docv:"PCT"
+          ~doc:"Percent of sessions served under an armed fault plan")
+  in
+  let gap_arg =
+    Arg.(
+      value
+      & opt int Server.Traffic.default.Server.Traffic.mean_gap
+      & info [ "mean-gap" ] ~docv:"CYCLES"
+          ~doc:"Mean inter-arrival gap in VM cycles (smaller = more overload)")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int Server.Dispatch.default.Server.Dispatch.virtual_workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Simulated request handlers")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt int Server.Dispatch.default.Server.Dispatch.queue_capacity
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Waiting sessions admitted before load-shedding kicks in")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the summary table as JSON to $(docv)")
+  in
+  let tenants_flag =
+    Arg.(
+      value & flag
+      & info [ "tenants" ] ~doc:"Also print the per-tenant breakdown")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the hardened multi-tenant server harness: a deterministic \
+          mixed benign+attack traffic schedule dispatched over a worker \
+          pool, reporting throughput, latency percentiles, shed rate and \
+          the security ledger.  The report is byte-identical at any \
+          $(b,--jobs) and on either engine; exit 1 if any served attack's \
+          verdict diverges from the batch harness.")
+    Term.(
+      const action $ sessions_arg $ attack_arg $ chaos_arg $ gap_arg
+      $ workers_arg $ capacity_arg $ seed_arg $ jobs_arg $ engine_arg
+      $ timeout_arg $ json_arg $ tenants_flag)
+
 let () =
   (* force the engine library to link so --engine=bytecode resolves *)
   Engine.Backend.install ();
@@ -711,6 +856,7 @@ let () =
              entropy_cmd;
              analyze_cmd;
              lint_cmd;
+             serve_cmd;
            ])
     with e ->
       Printf.eprintf "smokestackc: error: %s\n" (one_line (Printexc.to_string e));

@@ -157,10 +157,16 @@ let key_ptr_payload prog =
   let w = width 1 in
   String.init w (fun i -> Char.chr (byte key i))
 
+let judge_session ?backend ?arm applied ~seed ~chunks =
+  let outcome, stats = Runner.run_chunks ?backend ?arm applied ~seed ~chunks in
+  ( Attacks.Verdict.classify outcome
+      ~goal_met:(Dopkit.goal_in_output key_leak_marker stats),
+    Some stats,
+    List.length chunks )
+
 let judge applied ~seed ~chunks =
-  let outcome, stats = Runner.run_chunks applied ~seed ~chunks in
-  Attacks.Verdict.classify outcome
-    ~goal_met:(Dopkit.goal_in_output key_leak_marker stats)
+  let verdict, _, _ = judge_session applied ~seed ~chunks in
+  verdict
 
 let chain = [ "main"; "relpTcpLstnInit"; "relpTcpChkPeerName" ]
 
@@ -197,14 +203,18 @@ let static_distance (applied : Defenses.Defense.applied) ~seed =
           List.assoc "keyPtr" caller_guess - slab_gap
           - List.assoc "allNames" callee_guess)
 
-let attack_static applied ~seed =
+let attack_static_session ?backend ?arm applied ~seed =
   match
     let dist = static_distance applied ~seed in
     let payload = key_ptr_payload (applied : Defenses.Defense.applied).prog in
     exploit_chunks ~dist ~payload
   with
-  | chunks -> judge applied ~seed ~chunks
-  | exception Invalid_argument _ -> Attacks.Verdict.No_effect
+  | chunks -> judge_session ?backend ?arm applied ~seed ~chunks
+  | exception Invalid_argument _ -> (Attacks.Verdict.No_effect, None, 0)
+
+let attack_static applied ~seed =
+  let verdict, _, _ = attack_static_session applied ~seed in
+  verdict
 
 (* Probe run: plant 'P'*100 then "PROBEVAL" (contiguous in allNames
    only), scan the live stack for the composite needle and for the

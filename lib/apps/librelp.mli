@@ -43,6 +43,17 @@ val attack_static :
 (** One attempt, offsets from binary analysis (falling back to an
     Algorithm-1 guess against Smokestack). *)
 
+val attack_static_session :
+  ?backend:Machine.Backend.t ->
+  ?arm:(Machine.Exec.state -> unit) ->
+  Defenses.Defense.applied ->
+  seed:int64 ->
+  Attacks.Verdict.t * Machine.Exec.stats option * int
+(** Server-runtime form of {!attack_static}: identical craft and
+    verdict, plus engine selection, fault arming, the run's stats and
+    the number of certificate chunks delivered ([(_, None, 0)] when the
+    craft was impossible). *)
+
 val attack_disclosure :
   Defenses.Defense.applied -> seed:int64 -> Attacks.Verdict.t
 (** Probe run: plant a recognizable SAN, scan the stack for it and for

@@ -134,16 +134,24 @@ let gadget_chunk ~op_off ~delta_off (op, delta) =
       Attacks.Overflow.bytes delta_off (String.make 1 (Char.chr delta));
     ]
 
-let run_gadgets applied ~seed ~marker gadgets =
+let run_gadgets_session ?backend ?arm applied ~seed ~marker gadgets =
   match
     let op_off, delta_off = op_delta_offsets applied ~seed in
     List.map (gadget_chunk ~op_off ~delta_off) gadgets
   with
   | chunks ->
-      let outcome, stats = Runner.run_chunks applied ~seed ~chunks in
-      Attacks.Verdict.classify outcome
-        ~goal_met:(Dopkit.goal_in_output marker stats)
-  | exception Invalid_argument _ -> Attacks.Verdict.No_effect
+      let outcome, stats =
+        Runner.run_chunks ?backend ?arm applied ~seed ~chunks
+      in
+      ( Attacks.Verdict.classify outcome
+          ~goal_met:(Dopkit.goal_in_output marker stats),
+        Some stats,
+        List.length chunks )
+  | exception Invalid_argument _ -> (Attacks.Verdict.No_effect, None, 0)
+
+let run_gadgets applied ~seed ~marker gadgets =
+  let verdict, _, _ = run_gadgets_session applied ~seed ~marker gadgets in
+  verdict
 
 (* delta is a don't-care for LOAD/MOV/SEND; 1 keeps the payload NUL-free *)
 let load = (1, 1)
@@ -156,23 +164,40 @@ let acc_dbl = (7, 1)
 
 (* Walk the 7-deep pointer chain (no node address is ever used — the
    ASLR-bypass property of the original), then stream 4 key words. *)
-let attack_key_extraction applied ~seed =
+let key_extraction_gadgets =
   let walk = List.concat (List.init 8 (fun _ -> [ load; mov ])) in
   let leak =
     List.concat (List.init 4 (fun _ -> [ load; send; ptr_add 8 ]))
   in
-  run_gadgets applied ~seed ~marker:key_leak_marker (walk @ leak)
+  walk @ leak
+
+let attack_key_extraction_session ?backend ?arm applied ~seed =
+  run_gadgets_session ?backend ?arm applied ~seed ~marker:key_leak_marker
+    key_extraction_gadgets
+
+let attack_key_extraction applied ~seed =
+  run_gadgets applied ~seed ~marker:key_leak_marker key_extraction_gadgets
 
 (* Compute an attacker-chosen 24-bit answer with double-and-add, then
    emit it: the remotely-controlled-bot simulation. *)
-let attack_bot applied ~seed =
+let bot_gadgets =
   let bits = List.init 24 (fun i -> (bot_answer lsr (23 - i)) land 1) in
   let compute =
     List.concat_map
       (fun bit -> acc_dbl :: (if bit = 1 then [ acc_add 1 ] else []))
       bits
   in
-  run_gadgets applied ~seed ~marker:bot_marker (compute @ [ send ])
+  compute @ [ send ]
+
+let attack_bot_session ?backend ?arm applied ~seed =
+  run_gadgets_session ?backend ?arm applied ~seed ~marker:bot_marker bot_gadgets
+
+let attack_bot applied ~seed =
+  run_gadgets applied ~seed ~marker:bot_marker bot_gadgets
+
+let attack_memperm_session ?backend ?arm applied ~seed =
+  run_gadgets_session ?backend ?arm applied ~seed ~marker:memperm_marker
+    [ setmode 7 ]
 
 let attack_memperm applied ~seed =
   run_gadgets applied ~seed ~marker:memperm_marker [ setmode 7 ]

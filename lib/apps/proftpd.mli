@@ -44,3 +44,31 @@ val attack_bot : Defenses.Defense.applied -> seed:int64 -> Attacks.Verdict.t
 
 val attack_memperm :
   Defenses.Defense.applied -> seed:int64 -> Attacks.Verdict.t
+
+(** Session forms of the three exploits for the server runtime: same
+    craft and judgement as the batch functions (identical verdict for
+    identical [applied] and [seed]), but engine-selectable, able to arm
+    a fault plan on the session state, and reporting the run's stats
+    plus the number of request chunks delivered ([(_, None, 0)] when
+    the layout guess was geometrically impossible and nothing ran). *)
+
+val attack_key_extraction_session :
+  ?backend:Machine.Backend.t ->
+  ?arm:(Machine.Exec.state -> unit) ->
+  Defenses.Defense.applied ->
+  seed:int64 ->
+  Attacks.Verdict.t * Machine.Exec.stats option * int
+
+val attack_bot_session :
+  ?backend:Machine.Backend.t ->
+  ?arm:(Machine.Exec.state -> unit) ->
+  Defenses.Defense.applied ->
+  seed:int64 ->
+  Attacks.Verdict.t * Machine.Exec.stats option * int
+
+val attack_memperm_session :
+  ?backend:Machine.Backend.t ->
+  ?arm:(Machine.Exec.state -> unit) ->
+  Defenses.Defense.applied ->
+  seed:int64 ->
+  Attacks.Verdict.t * Machine.Exec.stats option * int

@@ -1,14 +1,15 @@
-let run_adaptive ?backend ?fuel ?heap_size ?stack_size
+let run_adaptive ?backend ?arm ?fuel ?heap_size ?stack_size
     (applied : Defenses.Defense.applied) ~seed ~input =
   let backend =
     match backend with Some b -> b | None -> Machine.Backend.default ()
   in
   let entropy = Crypto.Entropy.create ~seed in
   let st = applied.fresh_state ?heap_size ?stack_size entropy in
+  Option.iter (fun f -> f st) arm;
   Machine.Exec.set_input st input;
   backend.Machine.Backend.run ?fuel st
 
-let run_chunks ?backend ?fuel ?heap_size ?stack_size applied ~seed ~chunks =
+let run_chunks ?backend ?arm ?fuel ?heap_size ?stack_size applied ~seed ~chunks =
   let remaining = ref chunks in
   let input _st max =
     match !remaining with
@@ -17,4 +18,4 @@ let run_chunks ?backend ?fuel ?heap_size ?stack_size applied ~seed ~chunks =
         remaining := rest;
         if String.length chunk > max then String.sub chunk 0 max else chunk
   in
-  run_adaptive ?backend ?fuel ?heap_size ?stack_size applied ~seed ~input
+  run_adaptive ?backend ?arm ?fuel ?heap_size ?stack_size applied ~seed ~input

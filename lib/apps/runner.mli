@@ -8,10 +8,16 @@
 
     [?backend] selects the execution engine ({!Machine.Backend});
     defaults to {!Machine.Backend.default}, which is the reference
-    interpreter unless an experiment driver switched it. *)
+    interpreter unless an experiment driver switched it.
+
+    [?arm] sees the prepared state after the defense runtime is
+    installed and before execution — the hook the server runtime and
+    the chaos machinery use to arm {!Fault.Inject} plans on per-session
+    states. *)
 
 val run_chunks :
   ?backend:Machine.Backend.t ->
+  ?arm:(Machine.Exec.state -> unit) ->
   ?fuel:int ->
   ?heap_size:int ->
   ?stack_size:int ->
@@ -26,6 +32,7 @@ val run_chunks :
 
 val run_adaptive :
   ?backend:Machine.Backend.t ->
+  ?arm:(Machine.Exec.state -> unit) ->
   ?fuel:int ->
   ?heap_size:int ->
   ?stack_size:int ->

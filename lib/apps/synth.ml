@@ -5,6 +5,12 @@ type variant = {
   source : string;
   program : Ir.Prog.t Lazy.t;
   attack : Defenses.Defense.applied -> seed:int64 -> Attacks.Verdict.t;
+  attack_session :
+    ?backend:Machine.Backend.t ->
+    ?arm:(Machine.Exec.state -> unit) ->
+    Defenses.Defense.applied ->
+    seed:int64 ->
+    Attacks.Verdict.t * Machine.Exec.stats option * int;
 }
 
 let granted = "GRANTED:"
@@ -192,9 +198,12 @@ int main() { serve(); return 0; }
 (* ------------------------------------------------------------------ *)
 (* Attack helpers                                                      *)
 
-let run_and_judge applied ~seed ~chunks =
-  let outcome, stats = Runner.run_chunks applied ~seed ~chunks in
-  Attacks.Verdict.classify outcome ~goal_met:(Dopkit.goal_in_output granted stats)
+let run_and_judge_session ?backend ?arm applied ~seed ~chunks =
+  let outcome, stats = Runner.run_chunks ?backend ?arm applied ~seed ~chunks in
+  ( Attacks.Verdict.classify outcome
+      ~goal_met:(Dopkit.goal_in_output granted stats),
+    Some stats,
+    List.length chunks )
 
 (* Stack-relative offsets of serve()'s locals, from the binary when it
    reveals them, otherwise an Algorithm-1 guess driven by the seed. *)
@@ -212,12 +221,12 @@ let chunk_of layout assignments =
        (fun (var, v) -> Attacks.Overflow.u64 (List.assoc var layout) v)
        assignments)
 
-let attempt mk =
-  (* A layout guess can be geometrically impossible (victim below the
-     buffer, overlapping writes): the attempt is simply wasted. *)
-  match mk () with
-  | chunks, judge -> judge chunks
-  | exception Invalid_argument _ -> Attacks.Verdict.No_effect
+(* A layout guess can be geometrically impossible (victim below the
+   buffer, overlapping writes): the attempt is simply wasted. *)
+let attempt_session ?backend ?arm applied ~seed craft =
+  match craft () with
+  | chunks -> run_and_judge_session ?backend ?arm applied ~seed ~chunks
+  | exception Invalid_argument _ -> (Attacks.Verdict.No_effect, None, 0)
 
 let global_addr prog name =
   match List.assoc_opt name (Attacks.Layout.global_addrs prog) with
@@ -236,52 +245,40 @@ let stack_direct_slots =
     ("buff", 64, 1);
   ]
 
-let stack_direct_attack applied ~seed =
-  attempt (fun () ->
-      let layout =
-        serve_offsets applied ~slots:stack_direct_slots ~buffer:"buff"
-          ~vars:[ "ctr"; "size"; "step"; "req" ] ~seed
-      in
-      let vr0 = global_addr applied.prog "vr0" in
-      let vr1 = global_addr applied.prog "vr1" in
-      let auth = global_addr applied.prog "auth" in
-      (* one ADD gadget invocation: *dst += *src *)
-      let add ~dst ~src =
-        chunk_of layout
-          [ ("req", 1L); ("size", dst); ("step", src); ("ctr", 0L) ]
-      in
-      let target = Int64.to_int auth_magic in
-      (* vr0 = 1 (initial), vr1 = 0: double-and-add MSB-first *)
-      let bits = List.init 13 (fun i -> (target lsr (12 - i)) land 1) in
-      let chunks =
-        List.concat_map
-          (fun bit ->
-            add ~dst:vr1 ~src:vr1
-            :: (if bit = 1 then [ add ~dst:vr1 ~src:vr0 ] else []))
-          bits
-        @ [ add ~dst:auth ~src:vr1 ]
-      in
-      (chunks, fun chunks -> run_and_judge applied ~seed ~chunks))
+let stack_direct_chunks (applied : Defenses.Defense.applied) ~seed =
+  let layout =
+    serve_offsets applied ~slots:stack_direct_slots ~buffer:"buff"
+      ~vars:[ "ctr"; "size"; "step"; "req" ] ~seed
+  in
+  let vr0 = global_addr applied.prog "vr0" in
+  let vr1 = global_addr applied.prog "vr1" in
+  let auth = global_addr applied.prog "auth" in
+  (* one ADD gadget invocation: *dst += *src *)
+  let add ~dst ~src =
+    chunk_of layout [ ("req", 1L); ("size", dst); ("step", src); ("ctr", 0L) ]
+  in
+  let target = Int64.to_int auth_magic in
+  (* vr0 = 1 (initial), vr1 = 0: double-and-add MSB-first *)
+  let bits = List.init 13 (fun i -> (target lsr (12 - i)) land 1) in
+  List.concat_map
+    (fun bit ->
+      add ~dst:vr1 ~src:vr1
+      :: (if bit = 1 then [ add ~dst:vr1 ~src:vr0 ] else []))
+    bits
+  @ [ add ~dst:auth ~src:vr1 ]
 
 let stack_indirect_slots =
   [ ("stamp", 8, 8); ("seen", 8, 8); ("ticks", 8, 8); ("n", 8, 8); ("buff", 64, 1) ]
 
-let stack_indirect_attack applied ~seed =
-  attempt (fun () ->
-      let layout =
-        serve_offsets applied ~slots:stack_indirect_slots ~buffer:"buff"
-          ~vars:[ "stamp"; "seen"; "ticks" ] ~seed
-      in
-      let auth = global_addr applied.prog "auth" in
-      (* corrupt the pointer ("seen") first, then the program's own
-         *seen = stamp write does the damage — RIPE's indirect mode *)
-      let chunks =
-        [
-          chunk_of layout
-            [ ("stamp", auth_magic); ("seen", auth); ("ticks", 0L) ];
-        ]
-      in
-      (chunks, fun chunks -> run_and_judge applied ~seed ~chunks))
+let stack_indirect_chunks (applied : Defenses.Defense.applied) ~seed =
+  let layout =
+    serve_offsets applied ~slots:stack_indirect_slots ~buffer:"buff"
+      ~vars:[ "stamp"; "seen"; "ticks" ] ~seed
+  in
+  let auth = global_addr applied.prog "auth" in
+  (* corrupt the pointer ("seen") first, then the program's own
+     *seen = stamp write does the damage — RIPE's indirect mode *)
+  [ chunk_of layout [ ("stamp", auth_magic); ("seen", auth); ("ticks", 0L) ] ]
 
 (* data/heap variants need the distance from the stack array to the
    auth local — the quantity Smokestack randomizes per call. *)
@@ -295,20 +292,18 @@ let stack_write_params applied ~slots ~seed =
 let data_heap_slots =
   [ ("auth", 8, 8); ("slots", 128, 8); ("rounds", 8, 8); ("n", 8, 8) ]
 
-let data_direct_attack applied ~seed =
-  attempt (fun () ->
-      let idx = stack_write_params applied ~slots:data_heap_slots ~seed in
-      let gaddrs = Attacks.Layout.global_addrs applied.prog in
-      let gbuf = List.assoc "gbuf" gaddrs in
-      let rel name = List.assoc name gaddrs - gbuf in
-      let chunk =
-        Attacks.Overflow.craft ~len:1
-          [
-            Attacks.Overflow.u64 (rel "g_idx") idx;
-            Attacks.Overflow.u64 (rel "g_val") auth_magic;
-          ]
-      in
-      ([ chunk ], fun chunks -> run_and_judge applied ~seed ~chunks))
+let data_direct_chunks (applied : Defenses.Defense.applied) ~seed =
+  let idx = stack_write_params applied ~slots:data_heap_slots ~seed in
+  let gaddrs = Attacks.Layout.global_addrs applied.prog in
+  let gbuf = List.assoc "gbuf" gaddrs in
+  let rel name = List.assoc name gaddrs - gbuf in
+  [
+    Attacks.Overflow.craft ~len:1
+      [
+        Attacks.Overflow.u64 (rel "g_idx") idx;
+        Attacks.Overflow.u64 (rel "g_val") auth_magic;
+      ];
+  ]
 
 (* Absolute address of a local in serve()'s frame: frame placement is
    deterministic (main has no frame), so the binary yields it — except
@@ -344,22 +339,20 @@ let data_indirect_slots =
   [ ("auth", 8, 8); ("rounds", 8, 8); ("n", 8, 8); ("bytes_seen", 8, 8);
     ("errs", 8, 8); ("last", 8, 8); ("reqid", 32, 1) ]
 
-let data_indirect_attack applied ~seed =
-  attempt (fun () ->
-      let auth_addr =
-        absolute_local_addr applied ~slots:data_indirect_slots ~var:"auth" ~seed
-      in
-      let gaddrs = Attacks.Layout.global_addrs applied.prog in
-      let gbuf = List.assoc "gbuf" gaddrs in
-      let rel name = List.assoc name gaddrs - gbuf in
-      let chunk =
-        Attacks.Overflow.craft ~len:1
-          [
-            Attacks.Overflow.u64 (rel "g_out") auth_addr;
-            Attacks.Overflow.u64 (rel "g_stamp") auth_magic;
-          ]
-      in
-      ([ chunk ], fun chunks -> run_and_judge applied ~seed ~chunks))
+let data_indirect_chunks (applied : Defenses.Defense.applied) ~seed =
+  let auth_addr =
+    absolute_local_addr applied ~slots:data_indirect_slots ~var:"auth" ~seed
+  in
+  let gaddrs = Attacks.Layout.global_addrs applied.prog in
+  let gbuf = List.assoc "gbuf" gaddrs in
+  let rel name = List.assoc name gaddrs - gbuf in
+  [
+    Attacks.Overflow.craft ~len:1
+      [
+        Attacks.Overflow.u64 (rel "g_out") auth_addr;
+        Attacks.Overflow.u64 (rel "g_stamp") auth_magic;
+      ];
+  ]
 
 (* Heap adjacency: the VM's bump allocator places the 16-byte control
    block right after the 64-byte buffer (16-byte aligned) — the
@@ -370,40 +363,43 @@ let heap_direct_slots =
   [ ("auth", 8, 8); ("slots", 128, 8); ("rounds", 8, 8); ("n", 8, 8);
     ("hbuf", 8, 8); ("ctl", 8, 8) ]
 
-let heap_direct_attack applied ~seed =
-  attempt (fun () ->
-      let idx = stack_write_params applied ~slots:heap_direct_slots ~seed in
-      let chunk =
-        Attacks.Overflow.craft ~len:1
-          [
-            Attacks.Overflow.u64 heap_ctl_rel idx;
-            Attacks.Overflow.u64 (heap_ctl_rel + 8) auth_magic;
-          ]
-      in
-      ([ chunk ], fun chunks -> run_and_judge applied ~seed ~chunks))
+let heap_direct_chunks applied ~seed =
+  let idx = stack_write_params applied ~slots:heap_direct_slots ~seed in
+  [
+    Attacks.Overflow.craft ~len:1
+      [
+        Attacks.Overflow.u64 heap_ctl_rel idx;
+        Attacks.Overflow.u64 (heap_ctl_rel + 8) auth_magic;
+      ];
+  ]
 
 let heap_indirect_slots =
   [ ("auth", 8, 8); ("rounds", 8, 8); ("n", 8, 8); ("bytes_seen", 8, 8);
     ("errs", 8, 8); ("last", 8, 8); ("reqid", 32, 1); ("hbuf", 8, 8);
     ("ctl", 8, 8) ]
 
-let heap_indirect_attack applied ~seed =
-  attempt (fun () ->
-      let auth_addr =
-        absolute_local_addr applied ~slots:heap_indirect_slots ~var:"auth" ~seed
-      in
-      let chunk =
-        Attacks.Overflow.craft ~len:1
-          [
-            Attacks.Overflow.u64 heap_ctl_rel auth_addr;
-            Attacks.Overflow.u64 (heap_ctl_rel + 8) auth_magic;
-          ]
-      in
-      ([ chunk ], fun chunks -> run_and_judge applied ~seed ~chunks))
+let heap_indirect_chunks applied ~seed =
+  let auth_addr =
+    absolute_local_addr applied ~slots:heap_indirect_slots ~var:"auth" ~seed
+  in
+  [
+    Attacks.Overflow.craft ~len:1
+      [
+        Attacks.Overflow.u64 heap_ctl_rel auth_addr;
+        Attacks.Overflow.u64 (heap_ctl_rel + 8) auth_magic;
+      ];
+  ]
 
 (* ------------------------------------------------------------------ *)
 
-let mk vname technique location source attack =
+let mk vname technique location source craft =
+  let attack_session ?backend ?arm applied ~seed =
+    attempt_session ?backend ?arm applied ~seed (fun () -> craft applied ~seed)
+  in
+  let attack applied ~seed =
+    let verdict, _, _ = attack_session applied ~seed in
+    verdict
+  in
   {
     vname;
     technique;
@@ -411,16 +407,17 @@ let mk vname technique location source attack =
     source;
     program = lazy (Minic.Driver.compile source);
     attack;
+    attack_session;
   }
 
 let variants =
   [
-    mk "stack-direct" `Direct `Stack stack_direct_src stack_direct_attack;
-    mk "stack-indirect" `Indirect `Stack stack_indirect_src stack_indirect_attack;
-    mk "data-direct" `Direct `Data data_direct_src data_direct_attack;
-    mk "data-indirect" `Indirect `Data data_indirect_src data_indirect_attack;
-    mk "heap-direct" `Direct `Heap heap_direct_src heap_direct_attack;
-    mk "heap-indirect" `Indirect `Heap heap_indirect_src heap_indirect_attack;
+    mk "stack-direct" `Direct `Stack stack_direct_src stack_direct_chunks;
+    mk "stack-indirect" `Indirect `Stack stack_indirect_src stack_indirect_chunks;
+    mk "data-direct" `Direct `Data data_direct_src data_direct_chunks;
+    mk "data-indirect" `Indirect `Data data_indirect_src data_indirect_chunks;
+    mk "heap-direct" `Direct `Heap heap_direct_src heap_direct_chunks;
+    mk "heap-indirect" `Indirect `Heap heap_indirect_src heap_indirect_chunks;
   ]
 
 let find name = List.find_opt (fun v -> String.equal v.vname name) variants

@@ -22,6 +22,16 @@ type variant = {
   source : string;  (** MiniC *)
   program : Ir.Prog.t Lazy.t;
   attack : Defenses.Defense.applied -> seed:int64 -> Attacks.Verdict.t;
+  attack_session :
+    ?backend:Machine.Backend.t ->
+    ?arm:(Machine.Exec.state -> unit) ->
+    Defenses.Defense.applied ->
+    seed:int64 ->
+    Attacks.Verdict.t * Machine.Exec.stats option * int;
+      (** Server-runtime form of [attack]: identical craft and verdict,
+          plus engine selection, fault arming, the run's stats and the
+          number of request chunks delivered ([(_, None, 0)] when the
+          craft was impossible). *)
 }
 
 val variants : variant list

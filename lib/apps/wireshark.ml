@@ -57,7 +57,7 @@ let callee_slots =
 
 let caller_slots = [ ("fdata", 2048, 1); ("cell_list", 8, 8); ("flen", 8, 8) ]
 
-let attack (applied : Defenses.Defense.applied) ~seed =
+let attack_session ?backend ?arm (applied : Defenses.Defense.applied) ~seed =
   let chain = [ "main"; caller; callee ] in
   let rows = Attacks.Layout.chain applied.prog chain in
   let rel_of =
@@ -121,7 +121,15 @@ let attack (applied : Defenses.Defense.applied) ~seed =
     ]
   with
   | chunks ->
-      let outcome, stats = Runner.run_chunks applied ~seed ~chunks in
-      Attacks.Verdict.classify outcome
-        ~goal_met:(Dopkit.goal_in_output granted stats)
-  | exception Invalid_argument _ -> Attacks.Verdict.No_effect
+      let outcome, stats =
+        Runner.run_chunks ?backend ?arm applied ~seed ~chunks
+      in
+      ( Attacks.Verdict.classify outcome
+          ~goal_met:(Dopkit.goal_in_output granted stats),
+        Some stats,
+        List.length chunks )
+  | exception Invalid_argument _ -> (Attacks.Verdict.No_effect, None, 0)
+
+let attack applied ~seed =
+  let verdict, _, _ = attack_session applied ~seed in
+  verdict

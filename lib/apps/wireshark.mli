@@ -27,3 +27,13 @@ val benign_chunks : string list
 val attack : Defenses.Defense.applied -> seed:int64 -> Attacks.Verdict.t
 (** One attempt: binary-analysis offsets, Algorithm-1 guess against
     Smokestack. *)
+
+val attack_session :
+  ?backend:Machine.Backend.t ->
+  ?arm:(Machine.Exec.state -> unit) ->
+  Defenses.Defense.applied ->
+  seed:int64 ->
+  Attacks.Verdict.t * Machine.Exec.stats option * int
+(** Server-runtime form of {!attack}: identical craft and verdict, plus
+    engine selection, fault arming, the run's stats, and the number of
+    frames delivered ([(_, None, 0)] when the craft was impossible). *)

@@ -1,0 +1,64 @@
+type config = {
+  traffic : Server.Traffic.config;
+  dispatch : Server.Dispatch.config;
+  defense : Defenses.Defense.t;
+}
+
+let default =
+  {
+    traffic = Server.Traffic.default;
+    dispatch = Server.Dispatch.default;
+    defense = Defenses.Defense.Smokestack Smokestack.Config.default;
+  }
+
+type t = {
+  config : config;
+  tenants : Server.Tenant.t list;
+  scheduled : int * int * int;  (** (benign, attack, chaos) in the schedule *)
+  dispatch : Server.Dispatch.t;
+  summary : Server.Metrics.summary;
+}
+
+let run ?pool ?backend ?(config = default) () =
+  let tenants =
+    Server.Tenant.fleet ~defense:config.defense ~root:config.traffic.root ()
+  in
+  let specs = Server.Traffic.generate config.traffic tenants in
+  let dispatch =
+    Server.Dispatch.run ?pool ?backend ~config:config.dispatch tenants specs
+  in
+  {
+    config;
+    tenants;
+    scheduled = Server.Traffic.census specs;
+    dispatch;
+    summary = Server.Metrics.of_dispatch dispatch;
+  }
+
+let summary_table t = Server.Metrics.table t.summary
+let tenant_table t = Server.Metrics.tenant_table t.tenants t.dispatch
+
+let to_markdown t =
+  let b = Buffer.create 2048 in
+  let benign, attack, chaos = t.scheduled in
+  Buffer.add_string b
+    "E15: server runtime — mixed benign+attack traffic under load\n\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "%d sessions over %d tenants (defense: %s): %d benign, %d attack, %d \
+        chaos; %d virtual handlers, queue capacity %d.\n\n"
+       t.summary.Server.Metrics.sessions (List.length t.tenants)
+       (Defenses.Defense.name t.config.defense)
+       benign attack chaos t.config.dispatch.Server.Dispatch.virtual_workers
+       t.config.dispatch.Server.Dispatch.queue_capacity);
+  Buffer.add_string b (Sutil.Texttable.render (summary_table t));
+  Buffer.add_string b "\nper tenant:\n\n";
+  Buffer.add_string b (Sutil.Texttable.render (tenant_table t));
+  Buffer.add_string b
+    (Printf.sprintf
+       "\nserved attack sessions carry the batch harness's verdict: %d/%d \
+        checked, %d mismatches.\n"
+       t.summary.Server.Metrics.batch_checked
+       t.summary.Server.Metrics.batch_checked
+       t.summary.Server.Metrics.batch_mismatches);
+  Buffer.contents b

@@ -1,3 +1,10 @@
+type counters = {
+  c_jobs_run : int Atomic.t;
+  c_retries : int Atomic.t;
+  c_timeouts : int Atomic.t;
+  c_peak_queue : int Atomic.t;
+}
+
 type t = {
   size : int;
   queue : (unit -> unit) Queue.t;
@@ -9,7 +16,38 @@ type t = {
   mutable active : int list;
       (* ids of domains currently executing a task of this pool, for
          nested-submission detection; guarded by [mutex] *)
+  counters : counters;
 }
+
+type stats = {
+  jobs_run : int;
+  retries : int;
+  timeouts : int;
+  peak_queue : int;
+}
+
+let fresh_counters () =
+  {
+    c_jobs_run = Atomic.make 0;
+    c_retries = Atomic.make 0;
+    c_timeouts = Atomic.make 0;
+    c_peak_queue = Atomic.make 0;
+  }
+
+let bump c n = ignore (Atomic.fetch_and_add c n)
+
+let rec raise_peak c depth =
+  let cur = Atomic.get c in
+  if depth > cur && not (Atomic.compare_and_set c cur depth) then
+    raise_peak c depth
+
+let stats t =
+  {
+    jobs_run = Atomic.get t.counters.c_jobs_run;
+    retries = Atomic.get t.counters.c_retries;
+    timeouts = Atomic.get t.counters.c_timeouts;
+    peak_queue = Atomic.get t.counters.c_peak_queue;
+  }
 
 let max_jobs = 128
 
@@ -86,6 +124,7 @@ let create ?jobs () =
       workers = [];
       closed = false;
       active = [];
+      counters = fresh_counters ();
     }
   in
   t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker_loop t));
@@ -103,6 +142,7 @@ let sequential =
     workers = [];
     closed = false;
     active = [];
+    counters = fresh_counters ();
   }
 
 let run_all (type a) t (batch : a Job.t list) : a list =
@@ -110,7 +150,12 @@ let run_all (type a) t (batch : a Job.t list) : a list =
   | [], _ | _, ([] | [ _ ]) ->
       (* the exact sequential path: in submission order, exceptions
          propagate eagerly from the failing job *)
-      List.map Job.run batch
+      List.map
+        (fun job ->
+          let r = Job.run job in
+          bump t.counters.c_jobs_run 1;
+          r)
+        batch
   | _ :: _, _ ->
       check_not_nested t "Sched.Pool.run_all";
       let arr = Array.of_list batch in
@@ -126,6 +171,7 @@ let run_all (type a) t (batch : a Job.t list) : a list =
           | v -> Ok v
           | exception e -> Error (e, Printexc.get_raw_backtrace ())
         in
+        bump t.counters.c_jobs_run 1;
         slots.(i) <- Some r;
         if Atomic.fetch_and_add remaining (-1) = 1 then begin
           Mutex.lock t.mutex;
@@ -137,6 +183,7 @@ let run_all (type a) t (batch : a Job.t list) : a list =
       for i = 0 to n - 1 do
         Queue.add (task i) t.queue
       done;
+      raise_peak t.counters.c_peak_queue (Queue.length t.queue);
       Condition.broadcast t.work_ready;
       Mutex.unlock t.mutex;
       (* the submitting domain participates until the batch drains *)
@@ -227,11 +274,13 @@ let run_all_outcomes (type a) ?timeout ?(retries = 0) ?(backoff = 0.01) t
     let spawn idx attempt =
       let cell = Atomic.make None in
       let job = arr.(idx) in
+      let counters = t.counters in
       let domain =
         Domain.spawn (fun () ->
             let r =
               match Job.run job with v -> Done v | exception e -> Raised e
             in
+            bump counters.c_jobs_run 1;
             Atomic.set cell (Some r))
       in
       running :=
@@ -282,7 +331,8 @@ let run_all_outcomes (type a) ?timeout ?(retries = 0) ?(backoff = 0.01) t
                 false
             | Some (Raised e) ->
                 Domain.join r.r_domain;
-                if r.r_attempt < retries then
+                if r.r_attempt < retries then begin
+                  bump t.counters.c_retries 1;
                   retryq :=
                     ( now
                       +. backoff_delay ~backoff ~seed:(Job.seed arr.(r.r_idx))
@@ -290,6 +340,7 @@ let run_all_outcomes (type a) ?timeout ?(retries = 0) ?(backoff = 0.01) t
                       r.r_idx,
                       r.r_attempt + 1 )
                     :: !retryq
+                end
                 else begin
                   out.(r.r_idx) <- Some (Job.Failed e);
                   incr completed
@@ -302,6 +353,7 @@ let run_all_outcomes (type a) ?timeout ?(retries = 0) ?(backoff = 0.01) t
                     (* abandon the domain: it cannot be interrupted;
                        its slot is reclaimed and its eventual write to
                        its private cell is discarded *)
+                    bump t.counters.c_timeouts 1;
                     out.(r.r_idx) <- Some Job.Timed_out;
                     incr completed;
                     progressed := true;
@@ -311,6 +363,8 @@ let run_all_outcomes (type a) ?timeout ?(retries = 0) ?(backoff = 0.01) t
       !progressed
     in
     while !completed < n do
+      raise_peak t.counters.c_peak_queue
+        (Queue.length pending + List.length !retryq);
       try_start ();
       let progressed = poll () in
       if (not progressed) && !completed < n then Unix.sleepf 0.0005

@@ -23,6 +23,24 @@
 
 type t
 
+type stats = {
+  jobs_run : int;
+      (** tasks executed to completion, including every supervised
+          attempt (a retried job counts once per attempt) *)
+  retries : int;  (** re-runs scheduled by {!run_all_outcomes} *)
+  timeouts : int;  (** jobs abandoned as [Timed_out] *)
+  peak_queue : int;
+      (** deepest backlog observed: queued-but-unclaimed tasks for
+          {!run_all}, pending + retry-waiting jobs for
+          {!run_all_outcomes} *)
+}
+(** Cumulative counters over the pool's lifetime, for attributing
+    saturation in timing footers.  {!val:sequential} accumulates across
+    everything ever run on it (it is a shared value). *)
+
+val stats : t -> stats
+(** Snapshot of the counters.  Domain-safe; cheap. *)
+
 val max_jobs : int
 (** Hard upper clamp on pool width (128). *)
 

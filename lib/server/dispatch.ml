@@ -1,0 +1,177 @@
+type config = {
+  virtual_workers : int;
+  queue_capacity : int;
+  shard : int;
+  timeout : float option;
+  retries : int;
+}
+
+let default =
+  { virtual_workers = 16; queue_capacity = 1024; shard = 32; timeout = None;
+    retries = 0 }
+
+type served = { outcome : Session.outcome; start : float; finish : float }
+
+let wait s = s.start -. s.outcome.Session.spec.Session.arrival
+let sojourn s = s.finish -. s.outcome.Session.spec.Session.arrival
+
+type t = {
+  served : served list;
+  shed : Session.outcome list;
+  dropped : Session.spec list;
+  peak_open : int;
+  makespan : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* A small float min-heap for tracking open sessions' finish times.    *)
+
+module Fheap = struct
+  type h = { mutable a : float array; mutable n : int }
+
+  let create () = { a = Array.make 64 0.; n = 0 }
+  let size h = h.n
+
+  let push h x =
+    if h.n = Array.length h.a then begin
+      let a = Array.make (2 * h.n) 0. in
+      Array.blit h.a 0 a 0 h.n;
+      h.a <- a
+    end;
+    let i = ref h.n in
+    h.a.(!i) <- x;
+    h.n <- h.n + 1;
+    while !i > 0 && h.a.((!i - 1) / 2) > h.a.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let min h = h.a.(0)
+
+  let pop h =
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < h.n && h.a.(l) < h.a.(!s) then s := l;
+      if r < h.n && h.a.(r) < h.a.(!s) then s := r;
+      if !s = !i then continue := false
+      else begin
+        let tmp = h.a.(!s) in
+        h.a.(!s) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !s
+      end
+    done
+end
+
+(* ------------------------------------------------------------------ *)
+(* Virtual-time admission and queueing.
+
+   Sessions are replayed through a deterministic FCFS simulation of
+   [virtual_workers] request handlers over the measured service times:
+   at each arrival, retire handlers whose session finished, count the
+   sessions that are open but not in service (the wait queue), and shed
+   the arrival if the queue is at capacity; otherwise the session
+   starts on the earliest-free handler.  Everything is computed from
+   (arrival, service_cycles) pairs — both bit-identical across engines
+   and pool widths — so the admission decisions, latencies and
+   throughput are too. *)
+
+let simulate cfg outcomes =
+  let workers = max 1 cfg.virtual_workers in
+  let free = Array.make workers 0. in
+  let open_finishes = Fheap.create () in
+  let served = ref [] in
+  let shed = ref [] in
+  let peak_open = ref 0 in
+  let makespan = ref 0. in
+  List.iter
+    (fun (o : Session.outcome) ->
+      let arrival = o.Session.spec.Session.arrival in
+      while Fheap.size open_finishes > 0 && Fheap.min open_finishes <= arrival do
+        Fheap.pop open_finishes
+      done;
+      let in_service = ref 0 in
+      Array.iter (fun f -> if f > arrival then incr in_service) free;
+      let waiting = Fheap.size open_finishes - !in_service in
+      if waiting >= cfg.queue_capacity then shed := o :: !shed
+      else begin
+        let k = ref 0 in
+        Array.iteri (fun i f -> if f < free.(!k) then k := i) free;
+        let start = Float.max arrival free.(!k) in
+        let finish = start +. o.Session.service_cycles in
+        free.(!k) <- finish;
+        Fheap.push open_finishes finish;
+        if Fheap.size open_finishes > !peak_open then
+          peak_open := Fheap.size open_finishes;
+        if finish > !makespan then makespan := finish;
+        served := { outcome = o; start; finish } :: !served
+      end)
+    outcomes;
+  (List.rev !served, List.rev !shed, !peak_open, !makespan)
+
+(* ------------------------------------------------------------------ *)
+
+let rec shards_of n = function
+  | [] -> []
+  | specs ->
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (k - 1) (x :: acc) rest
+      in
+      let shard, rest = take n [] specs in
+      shard :: shards_of n rest
+
+let prepared lease (tenant : Tenant.t) =
+  Sched.Lease.acquire lease ~key:tenant.Tenant.name ~build:(fun () ->
+      Tenant.prepare tenant)
+
+let run ?(pool = Sched.Pool.sequential) ?backend ?(config = default) tenants
+    specs =
+  let lease = Sched.Lease.create () in
+  (* Build every tenant instance up front, on the submitting domain:
+     jobs then lease read-only hits instead of serializing on builds. *)
+  List.iter (fun t -> ignore (prepared lease t)) tenants;
+  let shards = shards_of (max 1 config.shard) specs in
+  let jobs =
+    List.mapi
+      (fun i shard ->
+        Sched.Job.v ~id:(Printf.sprintf "serve/shard-%04d" i) (fun () ->
+            List.map
+              (fun (s : Session.spec) ->
+                let applied = prepared lease s.Session.tenant in
+                Session.run ?backend ~applied s)
+              shard))
+      shards
+  in
+  let outcomes =
+    match (config.timeout, config.retries) with
+    | None, 0 ->
+        (* no supervision requested: run on the pool's queue workers
+           (run_all_outcomes spawns a fresh domain per attempt, which
+           oversubscribes the host and thrashes the multicore GC) *)
+        List.map (fun r -> Sched.Job.Ok r) (Sched.Pool.run_all pool jobs)
+    | _ ->
+        Sched.Pool.run_all_outcomes ?timeout:config.timeout
+          ~retries:config.retries pool jobs
+  in
+  let executed, dropped =
+    List.fold_left2
+      (fun (ex, dr) shard outcome ->
+        match outcome with
+        | Sched.Job.Ok os -> (os :: ex, dr)
+        | Sched.Job.Timed_out | Sched.Job.Failed _ -> (ex, shard :: dr))
+      ([], []) shards outcomes
+  in
+  let executed = List.concat (List.rev executed) in
+  let dropped = List.concat (List.rev dropped) in
+  let served, shed, peak_open, makespan = simulate config executed in
+  { served; shed; dropped; peak_open; makespan }

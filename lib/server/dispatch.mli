@@ -1,0 +1,62 @@
+(** The session scheduler: multiplexes a traffic schedule over prepared
+    tenant instances on a {!Sched.Pool}, then replays the measured
+    service times through a deterministic virtual-time admission queue.
+
+    Execution and queueing are deliberately decoupled:
+
+    - {b Execution} shards the schedule (preserving sid order) into
+      pool jobs, each serving its sessions sequentially against the
+      tenant's leased instance.  Supervision ({!Sched.Pool.run_all_outcomes})
+      bounds each shard with an optional wall-clock timeout and retry
+      budget; a shard that dies or hangs loses only its own sessions
+      (reported as dropped), never the run.
+    - {b Queueing} replays [(arrival, service_cycles)] through an FCFS
+      simulation of [virtual_workers] request handlers with a bounded
+      wait queue: an arrival finding [queue_capacity] sessions already
+      waiting is {e shed} (backpressure by load-shedding, the classic
+      overload policy).  Admission decisions, per-session latencies,
+      throughput and peak concurrency are all derived from the
+      cycle-accurate VM's numbers, which are bit-identical across
+      engines and pool widths — so the whole report is too, and shed
+      sessions still carry verdicts (they executed) for the security
+      bookkeeping. *)
+
+type config = {
+  virtual_workers : int;  (** simulated request handlers (default 16) *)
+  queue_capacity : int;
+      (** waiting sessions admitted before shedding (default 1024) *)
+  shard : int;  (** sessions per pool job (default 32) *)
+  timeout : float option;  (** per-shard wall-clock timeout, seconds *)
+  retries : int;  (** per-shard retry budget on failure *)
+}
+
+val default : config
+
+type served = { outcome : Session.outcome; start : float; finish : float }
+
+val wait : served -> float
+(** Cycles spent in the wait queue. *)
+
+val sojourn : served -> float
+(** Arrival-to-finish latency in cycles — what the client experiences. *)
+
+type t = {
+  served : served list;  (** admitted sessions, admission order *)
+  shed : Session.outcome list;
+      (** refused admission (they still executed; counted for security
+          stats, excluded from latency/throughput) *)
+  dropped : Session.spec list;  (** lost to shard timeout/failure *)
+  peak_open : int;  (** most sessions simultaneously open *)
+  makespan : float;  (** last finish time, cycles *)
+}
+
+val run :
+  ?pool:Sched.Pool.t ->
+  ?backend:Machine.Backend.t ->
+  ?config:config ->
+  Tenant.t list ->
+  Session.spec list ->
+  t
+(** Prepare every tenant (sequentially, cached via {!Sched.Lease}),
+    execute the schedule on the pool, and queue-simulate the result.
+    Byte-identical output at any pool width for a fixed schedule. *)

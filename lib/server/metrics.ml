@@ -1,0 +1,206 @@
+type summary = {
+  sessions : int;
+  served : int;
+  shed : int;
+  dropped : int;
+  benign : int;
+  attacks : int;
+  chaos : int;
+  requests : int;
+  total_cycles : float;
+  makespan : float;
+  rps : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  mean_wait : float;
+  shed_rate : float;
+  attack_sessions : int;
+  detected : int;
+  successes : int;
+  detection_rate : float;
+  batch_checked : int;
+  batch_mismatches : int;
+  chaos_fired : int;
+  peak_open : int;
+}
+
+(* Nearest-rank percentile over a sorted array. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (Float.ceil (q /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(* The virtual clock ticks VM cycles; reporting throughput as
+   requests/sec prices them at a nominal 1 GHz, the same convention the
+   overhead experiments use for cycle counts.  Wall-clock throughput is
+   a property of the host and goes to stderr, never into the report. *)
+let ghz = 1e9
+
+let of_dispatch (d : Dispatch.t) =
+  let executed =
+    List.map (fun (s : Dispatch.served) -> s.Dispatch.outcome) d.Dispatch.served
+    @ d.Dispatch.shed
+  in
+  let count p l = List.length (List.filter p l) in
+  let kind_is k (o : Session.outcome) =
+    String.equal (Session.kind_label o.Session.spec.Session.kind) k
+  in
+  let attacks_x = List.filter (kind_is "attack") executed in
+  let sojourns =
+    Array.of_list (List.map Dispatch.sojourn d.Dispatch.served)
+  in
+  Array.sort compare sojourns;
+  let served = List.length d.Dispatch.served in
+  let shed = List.length d.Dispatch.shed in
+  let dropped = List.length d.Dispatch.dropped in
+  let sessions = served + shed + dropped in
+  let sum f l = List.fold_left (fun acc x -> acc +. f x) 0. l in
+  let sumi f l = List.fold_left (fun acc x -> acc + f x) 0 l in
+  {
+    sessions;
+    served;
+    shed;
+    dropped;
+    benign = count (kind_is "benign") executed;
+    attacks = List.length attacks_x;
+    chaos = count (kind_is "chaos") executed;
+    requests =
+      sumi
+        (fun (s : Dispatch.served) -> s.Dispatch.outcome.Session.requests)
+        d.Dispatch.served;
+    total_cycles =
+      sum
+        (fun (s : Dispatch.served) -> s.Dispatch.outcome.Session.service_cycles)
+        d.Dispatch.served;
+    makespan = d.Dispatch.makespan;
+    rps =
+      (if d.Dispatch.makespan <= 0. then 0.
+       else float_of_int served *. ghz /. d.Dispatch.makespan);
+    p50 = percentile sojourns 50.;
+    p95 = percentile sojourns 95.;
+    p99 = percentile sojourns 99.;
+    mean_wait =
+      (if served = 0 then 0.
+       else sum Dispatch.wait d.Dispatch.served /. float_of_int served);
+    shed_rate =
+      (if sessions = 0 then 0.
+       else float_of_int shed /. float_of_int sessions);
+    attack_sessions = List.length attacks_x;
+    detected = count Session.detected attacks_x;
+    successes =
+      count
+        (fun (o : Session.outcome) -> o.Session.verdict = Attacks.Verdict.Success)
+        attacks_x;
+    detection_rate =
+      (if attacks_x = [] then 0.
+       else
+         float_of_int (count Session.detected attacks_x)
+         /. float_of_int (List.length attacks_x));
+    batch_checked =
+      count (fun (o : Session.outcome) -> o.Session.batch_match <> None)
+        executed;
+    batch_mismatches =
+      count
+        (fun (o : Session.outcome) -> o.Session.batch_match = Some false)
+        executed;
+    chaos_fired = sumi (fun (o : Session.outcome) -> o.Session.fired) executed;
+    peak_open = d.Dispatch.peak_open;
+  }
+
+let fmt_cycles c =
+  if c >= 1e6 then Printf.sprintf "%.2fM" (c /. 1e6)
+  else if c >= 1e3 then Printf.sprintf "%.1fk" (c /. 1e3)
+  else Printf.sprintf "%.0f" c
+
+let table s =
+  let tbl =
+    Sutil.Texttable.create
+      ~columns:Sutil.Texttable.[ ("metric", Left); ("value", Right) ]
+  in
+  let row k v = Sutil.Texttable.add_row tbl [ k; v ] in
+  row "sessions" (string_of_int s.sessions);
+  row "served" (string_of_int s.served);
+  row "shed" (string_of_int s.shed);
+  row "dropped" (string_of_int s.dropped);
+  row "mix benign/attack/chaos"
+    (Printf.sprintf "%d/%d/%d" s.benign s.attacks s.chaos);
+  row "requests served" (string_of_int s.requests);
+  row "peak concurrent sessions" (string_of_int s.peak_open);
+  row "throughput (rps @1GHz)" (Printf.sprintf "%.0f" s.rps);
+  row "latency p50 (cycles)" (fmt_cycles s.p50);
+  row "latency p95 (cycles)" (fmt_cycles s.p95);
+  row "latency p99 (cycles)" (fmt_cycles s.p99);
+  row "mean queue wait (cycles)" (fmt_cycles s.mean_wait);
+  row "shed rate" (Sutil.Texttable.fmt_pct (100. *. s.shed_rate));
+  row "attack sessions" (string_of_int s.attack_sessions);
+  row "detected" (string_of_int s.detected);
+  row "attack successes" (string_of_int s.successes);
+  row "detection rate" (Sutil.Texttable.fmt_pct (100. *. s.detection_rate));
+  row "batch-verdict mismatches"
+    (Printf.sprintf "%d/%d" s.batch_mismatches s.batch_checked);
+  row "chaos injections fired" (string_of_int s.chaos_fired);
+  tbl
+
+let tenant_table tenants (d : Dispatch.t) =
+  let tbl =
+    Sutil.Texttable.create
+      ~columns:
+        Sutil.Texttable.
+          [
+            ("tenant", Left);
+            ("defense", Left);
+            ("served", Right);
+            ("shed", Right);
+            ("requests", Right);
+            ("attacks", Right);
+            ("detected", Right);
+            ("success", Right);
+          ]
+  in
+  List.iter
+    (fun (t : Tenant.t) ->
+      let mine (o : Session.outcome) =
+        o.Session.spec.Session.tenant.Tenant.id = t.Tenant.id
+      in
+      let served =
+        List.filter
+          (fun (s : Dispatch.served) -> mine s.Dispatch.outcome)
+          d.Dispatch.served
+      in
+      let executed =
+        List.map (fun (s : Dispatch.served) -> s.Dispatch.outcome) served
+        @ List.filter mine d.Dispatch.shed
+      in
+      let attacks =
+        List.filter
+          (fun (o : Session.outcome) ->
+            match o.Session.spec.Session.kind with
+            | Session.Attack _ -> true
+            | _ -> false)
+          executed
+      in
+      Sutil.Texttable.add_row tbl
+        [
+          t.Tenant.name;
+          Defenses.Defense.name t.Tenant.defense;
+          string_of_int (List.length served);
+          string_of_int (List.length (List.filter mine d.Dispatch.shed));
+          string_of_int
+            (List.fold_left
+               (fun acc (s : Dispatch.served) ->
+                 acc + s.Dispatch.outcome.Session.requests)
+               0 served);
+          string_of_int (List.length attacks);
+          string_of_int (List.length (List.filter Session.detected attacks));
+          string_of_int
+            (List.length
+               (List.filter
+                  (fun (o : Session.outcome) ->
+                    o.Session.verdict = Attacks.Verdict.Success)
+                  attacks));
+        ])
+    tenants;
+  tbl

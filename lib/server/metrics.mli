@@ -1,0 +1,45 @@
+(** Aggregation of a dispatch run into the server report: throughput,
+    latency percentiles, shedding, and the security ledger.
+
+    Latency and throughput cover {e served} sessions only (what an
+    admitted client experiences); the security columns — detections,
+    attack successes, batch-verdict mismatches, chaos injections —
+    cover every session that executed, shed or not, because an attack
+    refused admission was still an attack the fleet faced.  Throughput
+    prices virtual cycles at a nominal 1 GHz; wall-clock numbers are
+    host properties and belong in the stderr timing footer, never in
+    the (byte-reproducible) report. *)
+
+type summary = {
+  sessions : int;
+  served : int;
+  shed : int;
+  dropped : int;
+  benign : int;  (** executed sessions by kind *)
+  attacks : int;
+  chaos : int;
+  requests : int;  (** request chunks across served sessions *)
+  total_cycles : float;
+  makespan : float;  (** virtual time from first arrival to last finish *)
+  rps : float;  (** served sessions per virtual second at 1 GHz *)
+  p50 : float;  (** sojourn-latency percentiles, cycles *)
+  p95 : float;
+  p99 : float;
+  mean_wait : float;
+  shed_rate : float;  (** shed / (served + shed + dropped) *)
+  attack_sessions : int;
+  detected : int;
+  successes : int;
+  detection_rate : float;
+  batch_checked : int;
+  batch_mismatches : int;
+      (** served-vs-batch verdict disagreements — the server harness's
+          headline security invariant is that this is zero *)
+  chaos_fired : int;
+  peak_open : int;
+}
+
+val of_dispatch : Dispatch.t -> summary
+val table : summary -> Sutil.Texttable.t
+val tenant_table : Tenant.t list -> Dispatch.t -> Sutil.Texttable.t
+val fmt_cycles : float -> string

@@ -1,0 +1,25 @@
+type t = {
+  id : int;
+  name : string;
+  app : Apps.Sessions.app;
+  defense : Defenses.Defense.t;
+  tseed : int64;
+}
+
+let make ~root ~id ~defense (app : Apps.Sessions.app) =
+  let name = Printf.sprintf "t%02d:%s" id app.Apps.Sessions.sname in
+  {
+    id;
+    name;
+    app;
+    defense;
+    tseed = Sutil.Simrng.split_seed ~root ~id:("tenant/" ^ name);
+  }
+
+let fleet ?(defense = Defenses.Defense.Smokestack Smokestack.Config.default)
+    ?(apps = Apps.Sessions.apps) ~root () =
+  List.mapi (fun id app -> make ~root ~id ~defense app) apps
+
+let prepare t =
+  Defenses.Defense.apply ~seed:t.tseed t.defense
+    (Lazy.force t.app.Apps.Sessions.sprogram)

@@ -1,0 +1,64 @@
+type config = {
+  sessions : int;
+  attack_pct : int;
+  chaos_pct : int;
+  mean_gap : int;
+  root : int64;
+}
+
+let default =
+  { sessions = 1300; attack_pct = 12; chaos_pct = 6; mean_gap = 120; root = 11L }
+
+(* RNG-source plans arm as no-ops without a generator handle (the
+   session path does not thread one); re-draw until the plan lands on a
+   family that actually bites — memory flips or intrinsic corruption. *)
+let rec non_rng_plan seed =
+  let p = Fault.Plan.random ~seed in
+  if String.equal (Fault.Plan.family p) "rng" then
+    non_rng_plan (Int64.add seed 0x9E3779B97F4A7C15L)
+  else p
+
+let session_spec c tenants sid ~arrival =
+  let rng =
+    Sutil.Simrng.stream ~root:c.root ~id:(Printf.sprintf "session-%06d" sid)
+  in
+  let tenant = tenants.(Sutil.Simrng.int rng ~bound:(Array.length tenants)) in
+  let roll = Sutil.Simrng.int rng ~bound:100 in
+  let kind =
+    if roll < c.attack_pct then
+      let attacks = tenant.Tenant.app.Apps.Sessions.sattacks in
+      let atk =
+        List.nth attacks (Sutil.Simrng.int rng ~bound:(List.length attacks))
+      in
+      Session.Attack atk.Apps.Sessions.aname
+    else
+      let flow = tenant.Tenant.app.Apps.Sessions.benign rng in
+      if roll < c.attack_pct + c.chaos_pct then
+        Session.Chaotic (flow, non_rng_plan (Sutil.Simrng.next_u64 rng))
+      else Session.Benign flow
+  in
+  let sseed = Sutil.Simrng.next_u64 rng in
+  let gap = 1 + Sutil.Simrng.int rng ~bound:((2 * c.mean_gap) - 1) in
+  ( { Session.sid; tenant; kind; sseed; arrival = arrival +. float_of_int gap },
+    arrival +. float_of_int gap )
+
+let generate c tenants =
+  if tenants = [] then invalid_arg "Server.Traffic.generate: no tenants";
+  let tenants = Array.of_list tenants in
+  let specs = ref [] in
+  let arrival = ref 0. in
+  for sid = 0 to c.sessions - 1 do
+    let spec, next = session_spec c tenants sid ~arrival:!arrival in
+    specs := spec :: !specs;
+    arrival := next
+  done;
+  List.rev !specs
+
+let census specs =
+  List.fold_left
+    (fun (b, a, ch) (s : Session.spec) ->
+      match s.Session.kind with
+      | Session.Benign _ -> (b + 1, a, ch)
+      | Session.Attack _ -> (b, a + 1, ch)
+      | Session.Chaotic _ -> (b, a, ch + 1))
+    (0, 0, 0) specs

@@ -1,0 +1,33 @@
+(** Deterministic mixed benign+attack traffic generator.
+
+    Every session's tenant, kind, request flow, seed and virtual
+    arrival time are drawn from a keyed stream
+    ([Simrng.stream ~root ~id:"session-NNNNNN"]), so a schedule is a
+    pure function of the config — the same config replays the same
+    byte-for-byte workload on any engine, at any pool width, in any
+    execution order.
+
+    The mix interleaves three session kinds: benign request flows
+    (drawn from each app's legitimate vocabulary), attack sessions
+    (uniformly over the tenant app's batch-harness cases), and chaos
+    sessions (benign flows served under an armed mem/intr fault plan).
+    Arrivals are spaced by uniform gaps with mean [mean_gap] cycles;
+    with the default config arrivals far outpace service, driving the
+    dispatcher to its admission limit — the overload regime the
+    backpressure policy is meant for. *)
+
+type config = {
+  sessions : int;  (** schedule length (default 1300) *)
+  attack_pct : int;  (** percent of sessions that are attacks *)
+  chaos_pct : int;  (** percent served under an armed fault plan *)
+  mean_gap : int;  (** mean inter-arrival gap, VM cycles *)
+  root : int64;  (** the single seed everything derives from *)
+}
+
+val default : config
+
+val generate : config -> Tenant.t list -> Session.spec list
+(** The full schedule, in sid (= arrival) order. *)
+
+val census : Session.spec list -> int * int * int
+(** [(benign, attack, chaos)] counts. *)

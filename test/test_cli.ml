@@ -79,7 +79,9 @@ let test_exit_2_usage () =
   check_code "rng chaos without --harden" 2
     (run_cli [ "run"; "--chaos"; "rng:ones@1"; src ]);
   check_code "bad seeds" 2 (run_cli [ "run"; "--seeds"; "0"; src ]);
-  check_code "bad timeout" 2 (run_cli [ "run"; "--timeout"; "0"; src ])
+  check_code "bad timeout" 2 (run_cli [ "run"; "--timeout"; "0"; src ]);
+  check_code "bad jobs" 2 (run_cli [ "run"; "--jobs"; "0"; src ]);
+  check_code "garbage jobs" 2 (run_cli [ "run"; "--jobs"; "many"; src ])
 
 let test_exit_3_parse_error () =
   let src = write_temp "int main( { return 0 }" in
@@ -199,6 +201,78 @@ let test_lint_selective () =
   check_code "lint --selective" 0 (code, output);
   Alcotest.(check bool) "elided count reported" true (contains output "elided")
 
+(* --- serve --------------------------------------------------------- *)
+
+(* stdout only: the serve report must be byte-identical across --jobs,
+   while stderr carries the host-dependent timing footer *)
+let run_cli_stdout args =
+  let out = Filename.temp_file "smokestackc_out" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> /dev/null" (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in_bin out in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, text)
+
+let serve_small = [ "serve"; "--sessions"; "60"; "--seed"; "7" ]
+
+let test_serve_small_run () =
+  let code, output = run_cli (serve_small @ [ "--jobs"; "2"; "--tenants" ]) in
+  check_code "serve run" 0 (code, output);
+  Alcotest.(check bool) "summary table present" true
+    (contains output "batch-verdict mismatches");
+  Alcotest.(check bool) "tenant table present" true
+    (contains output "per-tenant service and security");
+  Alcotest.(check bool) "pool footer on stderr" true (contains output "pool:")
+
+let test_serve_stdout_identical_across_jobs () =
+  let j1 = run_cli_stdout (serve_small @ [ "--jobs"; "1" ]) in
+  let j3 = run_cli_stdout (serve_small @ [ "--jobs"; "3" ]) in
+  check_code "serve --jobs 1" 0 j1;
+  check_code "serve --jobs 3" 0 j3;
+  Alcotest.(check string) "stdout byte-identical across --jobs" (snd j1)
+    (snd j3);
+  let bc = run_cli_stdout (serve_small @ [ "--engine"; "bytecode" ]) in
+  check_code "serve --engine bytecode" 0 bc;
+  Alcotest.(check string) "stdout byte-identical across engines" (snd j1)
+    (snd bc)
+
+let test_serve_json () =
+  let json = Filename.temp_file "smokestackc_serve" ".json" in
+  let code, output = run_cli (serve_small @ [ "--json"; json ]) in
+  check_code "serve --json" 0 (code, output);
+  let ic = open_in_bin json in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove json)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Sutil.Json.of_string text with
+  | Error e -> Alcotest.failf "serve --json output does not parse: %s" e
+  | Ok _ -> ()
+
+let test_serve_usage_errors () =
+  check_code "serve --sessions 0" 2 (run_cli [ "serve"; "--sessions"; "0" ]);
+  check_code "serve --jobs 0" 2 (run_cli [ "serve"; "--jobs"; "0" ]);
+  check_code "serve garbage jobs" 2 (run_cli [ "serve"; "--jobs"; "lots" ]);
+  check_code "serve percentages over 100" 2
+    (run_cli [ "serve"; "--attack-pct"; "80"; "--chaos-pct"; "30" ]);
+  check_code "serve --capacity 0" 2 (run_cli [ "serve"; "--capacity"; "0" ]);
+  check_code "serve --workers 0" 2 (run_cli [ "serve"; "--workers"; "0" ]);
+  check_code "serve --timeout 0" 2 (run_cli [ "serve"; "--timeout"; "0" ]);
+  check_code "serve --mean-gap 0" 2 (run_cli [ "serve"; "--mean-gap"; "0" ])
+
 let () =
   Alcotest.run "cli"
     [
@@ -227,5 +301,13 @@ let () =
           Alcotest.test_case "mutations caught" `Slow test_lint_mutate_caught;
           Alcotest.test_case "usage errors" `Quick test_lint_usage_errors;
           Alcotest.test_case "selective" `Quick test_lint_selective;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "small run" `Quick test_serve_small_run;
+          Alcotest.test_case "stdout identical across jobs/engines" `Quick
+            test_serve_stdout_identical_across_jobs;
+          Alcotest.test_case "json report" `Quick test_serve_json;
+          Alcotest.test_case "usage errors" `Quick test_serve_usage_errors;
         ] );
     ]

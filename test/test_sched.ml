@@ -332,6 +332,58 @@ let test_outcomes_validates_arguments () =
            [ Sched.Job.v ~id:"x" (fun () -> 1) ]))
 
 (* ------------------------------------------------------------------ *)
+(* Stats counters *)
+
+let test_stats_counts_jobs_and_peak () =
+  Sched.Pool.with_pool ~jobs:2 @@ fun pool ->
+  let before = Sched.Pool.stats pool in
+  Alcotest.(check int) "fresh pool ran nothing" 0 before.Sched.Pool.jobs_run;
+  ignore
+    (Sched.Pool.run_all pool
+       (List.init 12 (fun i -> Sched.Job.v ~id:(string_of_int i) (fun () -> i))));
+  ignore
+    (Sched.Pool.run_all pool
+       (List.init 5 (fun i -> Sched.Job.v ~id:(string_of_int i) (fun () -> i))));
+  let st = Sched.Pool.stats pool in
+  Alcotest.(check int) "jobs_run accumulates across batches" 17
+    st.Sched.Pool.jobs_run;
+  Alcotest.(check bool) "a backlog was observed" true (st.Sched.Pool.peak_queue >= 1);
+  Alcotest.(check int) "no retries without supervision" 0 st.Sched.Pool.retries;
+  Alcotest.(check int) "no timeouts without supervision" 0 st.Sched.Pool.timeouts
+
+let test_stats_counts_retries_and_timeouts () =
+  Sched.Pool.with_pool ~jobs:2 @@ fun pool ->
+  let attempts = Atomic.make 0 in
+  let outcomes =
+    Sched.Pool.run_all_outcomes ~retries:2 ~backoff:0.001 pool
+      [
+        Sched.Job.v ~id:"flaky" (fun () ->
+            if Atomic.fetch_and_add attempts 1 < 2 then raise (Boom "flaky");
+            1);
+      ]
+  in
+  (match outcomes with
+  | [ Sched.Job.Ok 1 ] -> ()
+  | _ -> Alcotest.fail "expected Ok after retries");
+  let st = Sched.Pool.stats pool in
+  Alcotest.(check int) "two retries counted" 2 st.Sched.Pool.retries;
+  Alcotest.(check int) "every attempt counts as a job" 3 st.Sched.Pool.jobs_run;
+  let release = Atomic.make false in
+  (match
+     Sched.Pool.run_all_outcomes ~timeout:0.1 pool
+       [
+         Sched.Job.v ~id:"hang" (fun () ->
+             while not (Atomic.get release) do
+               Unix.sleepf 0.01
+             done);
+       ]
+   with
+  | [ Sched.Job.Timed_out ] -> ()
+  | _ -> Alcotest.fail "hung job must report Timed_out");
+  Atomic.set release true;
+  Alcotest.(check int) "timeout counted" 1 (Sched.Pool.stats pool).Sched.Pool.timeouts
+
+(* ------------------------------------------------------------------ *)
 (* The end-to-end property: parallel == sequential, byte for byte *)
 
 let test_experiment_output_identical_parallel_vs_sequential () =
@@ -405,6 +457,13 @@ let () =
             test_outcomes_deterministic_across_widths;
           Alcotest.test_case "argument validation" `Quick
             test_outcomes_validates_arguments;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "jobs and peak queue" `Quick
+            test_stats_counts_jobs_and_peak;
+          Alcotest.test_case "retries and timeouts" `Quick
+            test_stats_counts_retries_and_timeouts;
         ] );
       ( "determinism",
         [

@@ -1,0 +1,315 @@
+(* Tests for the multi-tenant server runtime (lib/server): traffic
+   determinism, the virtual-time admission queue, the security ledger
+   (served attack verdicts must reproduce the batch harness's), and the
+   property the subsystem exists for — reports byte-identical across
+   pool widths and engines, checked over 100+ roots. *)
+
+let ref_backend = Machine.Backend.reference
+let bc_backend = Engine.Backend.backend
+
+(* A small, cheap fleet for the many-seed property tests: hardening two
+   synthetic apps per run keeps 100 roots affordable. *)
+let small_apps =
+  List.map
+    (fun n -> Option.get (Apps.Sessions.find n))
+    [ "synth-stack-direct"; "synth-data-indirect" ]
+
+(* ------------------------------------------------------------------ *)
+(* Traffic generation *)
+
+let kind_repr = function
+  | Server.Session.Benign chunks -> "b:" ^ String.concat "," chunks
+  | Server.Session.Attack name -> "a:" ^ name
+  | Server.Session.Chaotic (chunks, plan) ->
+      Printf.sprintf "c:%s@%s" (String.concat "," chunks)
+        (Fault.Plan.to_spec plan)
+
+let spec_repr (s : Server.Session.spec) =
+  Printf.sprintf "%d|%s|%s|%Ld|%.0f" s.sid s.tenant.Server.Tenant.name
+    (kind_repr s.kind) s.sseed s.arrival
+
+let schedule_digest specs =
+  Digest.to_hex (Digest.string (String.concat ";" (List.map spec_repr specs)))
+
+let test_traffic_replays_over_100_roots () =
+  for root = 0 to 119 do
+    let root = Int64.of_int root in
+    let tenants = Server.Tenant.fleet ~root () in
+    let config = { Server.Traffic.default with sessions = 40; root } in
+    let a = schedule_digest (Server.Traffic.generate config tenants) in
+    let b = schedule_digest (Server.Traffic.generate config tenants) in
+    Alcotest.(check string)
+      (Printf.sprintf "schedule replays for root %Ld" root)
+      a b
+  done
+
+let test_traffic_shape () =
+  let tenants = Server.Tenant.fleet ~root:7L () in
+  let config = { Server.Traffic.default with sessions = 400; root = 7L } in
+  let specs = Server.Traffic.generate config tenants in
+  Alcotest.(check int) "schedule length" 400 (List.length specs);
+  (* sids dense and arrivals monotone: the schedule is in arrival order *)
+  List.iteri
+    (fun i (s : Server.Session.spec) ->
+      Alcotest.(check int) "dense sid" i s.sid)
+    specs;
+  ignore
+    (List.fold_left
+       (fun prev (s : Server.Session.spec) ->
+         Alcotest.(check bool) "arrivals strictly increase" true
+           (s.Server.Session.arrival > prev);
+         s.Server.Session.arrival)
+       (-1.) specs);
+  let benign, attack, chaos = Server.Traffic.census specs in
+  Alcotest.(check int) "census sums to the schedule" 400
+    (benign + attack + chaos);
+  (* the mix follows the percentages, loosely (it is a random draw) *)
+  Alcotest.(check bool) "attack share near 12%" true
+    (attack > 20 && attack < 80);
+  Alcotest.(check bool) "chaos share near 6%" true (chaos > 5 && chaos < 50);
+  (* every attack name resolves in the session registry *)
+  List.iter
+    (fun (s : Server.Session.spec) ->
+      match s.kind with
+      | Server.Session.Attack name ->
+          Alcotest.(check bool)
+            (Printf.sprintf "attack %s is registered" name)
+            true
+            (Option.is_some (Apps.Sessions.find_attack name))
+      | _ -> ())
+    specs
+
+(* ------------------------------------------------------------------ *)
+(* The admission queue *)
+
+let dispatch_once ?(queue_capacity = 1024) ?(virtual_workers = 16) ~root
+    ~sessions () =
+  let tenants = Server.Tenant.fleet ~apps:small_apps ~root () in
+  let traffic =
+    { Server.Traffic.default with sessions; root; mean_gap = 60 }
+  in
+  let specs = Server.Traffic.generate traffic tenants in
+  let config =
+    {
+      Server.Dispatch.default with
+      Server.Dispatch.queue_capacity;
+      virtual_workers;
+      shard = 4;
+    }
+  in
+  (specs, Server.Dispatch.run ~config tenants specs)
+
+let test_queue_invariants () =
+  let specs, d = dispatch_once ~root:3L ~sessions:60 () in
+  Alcotest.(check int) "nothing lost" (List.length specs)
+    (List.length d.Server.Dispatch.served
+    + List.length d.Server.Dispatch.shed
+    + List.length d.Server.Dispatch.dropped);
+  Alcotest.(check int) "nothing dropped without supervision" 0
+    (List.length d.Server.Dispatch.dropped);
+  List.iter
+    (fun (s : Server.Dispatch.served) ->
+      let arrival = s.outcome.Server.Session.spec.Server.Session.arrival in
+      Alcotest.(check bool) "start after arrival" true (s.start >= arrival);
+      Alcotest.(check bool) "wait non-negative" true
+        (Server.Dispatch.wait s >= 0.);
+      Alcotest.(check (float 1e-6)) "finish = start + service"
+        (s.start +. s.outcome.Server.Session.service_cycles)
+        s.finish;
+      Alcotest.(check bool) "sojourn covers the wait" true
+        (Server.Dispatch.sojourn s >= Server.Dispatch.wait s))
+    d.Server.Dispatch.served;
+  Alcotest.(check bool) "makespan is the last finish" true
+    (List.for_all
+       (fun (s : Server.Dispatch.served) ->
+         s.finish <= d.Server.Dispatch.makespan)
+       d.Server.Dispatch.served)
+
+let test_backpressure_sheds_under_overload () =
+  (* one handler, a two-deep queue, bursty arrivals: must shed *)
+  let _, tight =
+    dispatch_once ~queue_capacity:2 ~virtual_workers:1 ~root:3L ~sessions:60 ()
+  in
+  Alcotest.(check bool) "tight queue sheds" true
+    (List.length tight.Server.Dispatch.shed > 0);
+  Alcotest.(check bool) "peak open bounded by capacity + workers" true
+    (tight.Server.Dispatch.peak_open <= 2 + 1);
+  (* an effectively unbounded queue never sheds the same schedule *)
+  let _, wide =
+    dispatch_once ~queue_capacity:100_000 ~virtual_workers:1 ~root:3L
+      ~sessions:60 ()
+  in
+  Alcotest.(check int) "unbounded queue sheds nothing" 0
+    (List.length wide.Server.Dispatch.shed)
+
+(* ------------------------------------------------------------------ *)
+(* The security ledger *)
+
+let test_served_attacks_match_batch_verdicts () =
+  let tenants = Server.Tenant.fleet ~root:11L () in
+  let traffic =
+    { Server.Traffic.default with sessions = 150; root = 11L }
+  in
+  let specs = Server.Traffic.generate traffic tenants in
+  let d = Server.Dispatch.run tenants specs in
+  let summary = Server.Metrics.of_dispatch d in
+  Alcotest.(check bool) "schedule contains attacks" true
+    (summary.Server.Metrics.attack_sessions > 0);
+  Alcotest.(check int) "every executed attack is checked"
+    summary.Server.Metrics.attack_sessions
+    summary.Server.Metrics.batch_checked;
+  Alcotest.(check int) "zero batch-verdict mismatches" 0
+    summary.Server.Metrics.batch_mismatches;
+  let outcomes =
+    List.map (fun (s : Server.Dispatch.served) -> s.outcome)
+      d.Server.Dispatch.served
+    @ d.Server.Dispatch.shed
+  in
+  List.iter
+    (fun (o : Server.Session.outcome) ->
+      match (o.spec.Server.Session.kind, o.batch_match) with
+      | Server.Session.Attack _, Some true -> ()
+      | Server.Session.Attack name, _ ->
+          Alcotest.failf "attack %s diverged from its batch verdict" name
+      | _, None -> ()
+      | _, Some _ ->
+          Alcotest.fail "non-attack sessions have no batch verdict")
+    outcomes
+
+let test_summary_accounting () =
+  let tenants = Server.Tenant.fleet ~apps:small_apps ~root:5L () in
+  let traffic = { Server.Traffic.default with sessions = 80; root = 5L } in
+  let specs = Server.Traffic.generate traffic tenants in
+  let d = Server.Dispatch.run tenants specs in
+  let s = Server.Metrics.of_dispatch d in
+  Alcotest.(check int) "sessions = served + shed + dropped"
+    s.Server.Metrics.sessions
+    (s.Server.Metrics.served + s.Server.Metrics.shed
+   + s.Server.Metrics.dropped);
+  Alcotest.(check int) "kinds partition the executed sessions"
+    (s.Server.Metrics.served + s.Server.Metrics.shed)
+    (s.Server.Metrics.benign + s.Server.Metrics.attacks
+   + s.Server.Metrics.chaos);
+  Alcotest.(check bool) "latency percentiles are ordered" true
+    (s.Server.Metrics.p50 <= s.Server.Metrics.p95
+    && s.Server.Metrics.p95 <= s.Server.Metrics.p99);
+  Alcotest.(check bool) "detections bounded by attacks" true
+    (s.Server.Metrics.detected <= s.Server.Metrics.attack_sessions)
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity: engines x pool widths, 100+ roots *)
+
+let outcome_repr (o : Server.Session.outcome) =
+  Printf.sprintf "%d:%s:%.0f:%d:%d:%s"
+    o.spec.Server.Session.sid
+    (Attacks.Verdict.to_string o.verdict)
+    o.Server.Session.service_cycles o.requests o.fired
+    (match o.batch_match with
+    | None -> "-"
+    | Some b -> string_of_bool b)
+
+let dispatch_digest (d : Server.Dispatch.t) =
+  let served =
+    List.map
+      (fun (s : Server.Dispatch.served) ->
+        Printf.sprintf "%s@%.0f-%.0f" (outcome_repr s.outcome) s.start
+          s.finish)
+      d.served
+  in
+  let shed = List.map outcome_repr d.shed in
+  Digest.to_hex
+    (Digest.string
+       (String.concat ";" served ^ "|" ^ String.concat ";" shed
+      ^ Printf.sprintf "|peak=%d|mk=%.0f" d.peak_open d.makespan))
+
+let test_replay_identical_across_engines_and_widths () =
+  (* the ISSUE's acceptance property: for 100+ roots, the full dispatch
+     digest is identical on the reference engine at jobs=1, on the
+     reference engine at jobs=8, and on the bytecode engine *)
+  Sched.Pool.with_pool ~jobs:8 @@ fun pool ->
+  let config =
+    {
+      Server.Dispatch.default with
+      Server.Dispatch.virtual_workers = 2;
+      queue_capacity = 3;
+      shard = 2;
+    }
+  in
+  for root = 0 to 103 do
+    let root = Int64.of_int root in
+    let tenants = Server.Tenant.fleet ~apps:small_apps ~root () in
+    let traffic =
+      { Server.Traffic.default with sessions = 6; root; mean_gap = 40 }
+    in
+    let specs = Server.Traffic.generate traffic tenants in
+    let seq_ref =
+      dispatch_digest
+        (Server.Dispatch.run ~backend:ref_backend ~config tenants specs)
+    in
+    let par_ref =
+      dispatch_digest
+        (Server.Dispatch.run ~pool ~backend:ref_backend ~config tenants specs)
+    in
+    let seq_bc =
+      dispatch_digest
+        (Server.Dispatch.run ~backend:bc_backend ~config tenants specs)
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "root %Ld: jobs=8 == jobs=1" root)
+      seq_ref par_ref;
+    Alcotest.(check string)
+      (Printf.sprintf "root %Ld: bytecode == reference" root)
+      seq_ref seq_bc
+  done
+
+let test_full_harness_report_identical () =
+  (* the whole E15 report — tables and markdown — through Harness.Serve *)
+  let config =
+    {
+      Harness.Serve.default with
+      Harness.Serve.traffic =
+        { Server.Traffic.default with sessions = 120; root = 11L };
+    }
+  in
+  let render t = Harness.Serve.to_markdown t in
+  let seq = render (Harness.Serve.run ~backend:ref_backend ~config ()) in
+  let par =
+    Sched.Pool.with_pool ~jobs:6 (fun pool ->
+        render (Harness.Serve.run ~pool ~backend:ref_backend ~config ()))
+  in
+  let bc = render (Harness.Serve.run ~backend:bc_backend ~config ()) in
+  Alcotest.(check string) "report identical at jobs=6" seq par;
+  Alcotest.(check string) "report identical on bytecode" seq bc
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "traffic",
+        [
+          Alcotest.test_case "replays over 120 roots" `Quick
+            test_traffic_replays_over_100_roots;
+          Alcotest.test_case "schedule shape" `Quick test_traffic_shape;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "invariants" `Quick test_queue_invariants;
+          Alcotest.test_case "backpressure sheds" `Quick
+            test_backpressure_sheds_under_overload;
+        ] );
+      ( "security",
+        [
+          Alcotest.test_case "batch verdicts reproduced" `Quick
+            test_served_attacks_match_batch_verdicts;
+          Alcotest.test_case "summary accounting" `Quick
+            test_summary_accounting;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "104 roots, engines x widths" `Quick
+            test_replay_identical_across_engines_and_widths;
+          Alcotest.test_case "full E15 report" `Quick
+            test_full_harness_report_identical;
+        ] );
+    ]
