@@ -10,7 +10,7 @@
      dune exec bench/main.exe -- table1 fig4 micro
      dune exec bench/main.exe -- --jobs=8 fig3
    Experiments: table1 fig3 fig4 bypass pentest realvuln brute rngsec
-   rerand ablation analysis selective chaos serve micro engine
+   rerand ablation analysis selective chaos serve campaign micro engine
 
    --jobs=N runs each paper-table experiment's cells on N domains;
    tables are identical for every N.  The wall-clock benchmarks (micro,
@@ -31,9 +31,7 @@ let emit ?title ~name tbl =
   | Some dir ->
       let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
       let oc = open_out path in
-      output_string oc
-        (Sutil.Json.to_string ~indent:true (Sutil.Texttable.to_json ?title tbl));
-      output_char oc '\n';
+      Sutil.Json.doc_to_channel ~indent:true oc (Sutil.Texttable.to_json ?title tbl);
       close_out oc;
       say "wrote %s" path
 
@@ -225,6 +223,76 @@ let run_serve pool =
     wall st.Sched.Pool.jobs_run st.Sched.Pool.retries st.Sched.Pool.timeouts
     st.Sched.Pool.peak_queue
 
+(* ------------------------------------------------------------------ *)
+(* Store-backed campaign: cold vs warm cost of the artifact store       *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let run_campaign pool =
+  Engine.Backend.install ();
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "smokestack-bench-store-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then rm_rf dir;
+  let store = Store.Cache.open_disk dir in
+  let config = Store.Campaign.config ~seed:1000L ~count:400 () in
+  let phase label =
+    Store.Cache.reset_stats store;
+    let t0 = Unix.gettimeofday () in
+    let report = Store.Campaign.run ~pool ~store config in
+    let wall = Unix.gettimeofday () -. t0 in
+    let st = Store.Cache.stats store in
+    let lookups = st.Store.Cache.hits + st.Store.Cache.misses in
+    ( label,
+      wall,
+      float_of_int config.Store.Campaign.count /. Float.max wall 1e-9,
+      (if lookups = 0 then 0.
+       else 100. *. float_of_int st.Store.Cache.hits /. float_of_int lookups),
+      report )
+  in
+  let cold = phase "cold" in
+  let warm = phase "warm" in
+  let tbl =
+    Sutil.Texttable.create
+      ~columns:
+        [
+          ("phase", Sutil.Texttable.Left);
+          ("wall s", Sutil.Texttable.Right);
+          ("programs/s", Sutil.Texttable.Right);
+          ("hit rate", Sutil.Texttable.Right);
+          ("digest", Sutil.Texttable.Left);
+        ]
+  in
+  List.iter
+    (fun (label, wall, rate, hit_rate, (report : Store.Campaign.report)) ->
+      Sutil.Texttable.add_row tbl
+        [
+          label;
+          Printf.sprintf "%.2f" wall;
+          Printf.sprintf "%.0f" rate;
+          Printf.sprintf "%.1f%%" hit_rate;
+          report.Store.Campaign.digest;
+        ])
+    [ cold; warm ];
+  emit ~name:"campaign"
+    ~title:
+      "Campaign store: 400 progen programs, cold (execute + record) vs warm \
+       (replay from store)"
+    tbl;
+  let (_, cold_wall, _, _, cold_r) = cold and (_, warm_wall, _, _, warm_r) = warm in
+  say "warm/cold speedup: %.1fx; digests %s" (cold_wall /. Float.max warm_wall 1e-9)
+    (if String.equal cold_r.Store.Campaign.digest warm_r.Store.Campaign.digest
+     then "identical"
+     else "DIVERGE");
+  rm_rf dir
+
 let run_micro () =
   let open Bechamel in
   say "Bechamel micro-benchmarks (wall-clock per iteration):";
@@ -348,6 +416,7 @@ let experiments =
     ("selective", run_selective);
     ("chaos", run_chaos);
     ("serve", run_serve);
+    ("campaign", run_campaign);
     (* wall-clock benchmarks: always sequential, the pool is unused *)
     ("micro", fun (_ : Sched.Pool.t) -> run_micro ());
     ("engine", fun (_ : Sched.Pool.t) -> run_engine ());

@@ -475,9 +475,8 @@ let analyze_cmd =
         Fun.protect
           ~finally:(fun () -> close_out oc)
           (fun () ->
-            output_string oc
-              (Sutil.Json.to_string ~indent:true (Analysis.Report.to_json report));
-            output_char oc '\n')
+            Sutil.Json.doc_to_channel ~indent:true oc
+              (Analysis.Report.to_json report))
     | None -> ());
     print_string (Analysis.Report.to_text report)
   in
@@ -610,9 +609,7 @@ let lint_cmd =
         let oc = open_out path in
         Fun.protect
           ~finally:(fun () -> close_out oc)
-          (fun () ->
-            output_string oc (J.to_string ~indent:true (J.Obj fields));
-            output_char oc '\n')
+          (fun () -> J.doc_to_channel ~indent:true oc (J.Obj fields))
     | None -> ());
     List.iter
       (fun v ->
@@ -745,12 +742,21 @@ let serve_cmd =
         Fun.protect
           ~finally:(fun () -> close_out oc)
           (fun () ->
-            output_string oc
-              (Sutil.Json.to_string ~indent:true
-                 (Sutil.Texttable.to_json
-                    ~title:"server runtime — mixed benign+attack traffic"
-                    (Harness.Serve.summary_table t)));
-            output_char oc '\n')
+            (* the table fields are deterministic; "pool" carries this
+               run's scheduler counters (host-dependent, asserted on by
+               CI's saturation checks) *)
+            let doc =
+              match
+                Sutil.Texttable.to_json
+                  ~title:"server runtime — mixed benign+attack traffic"
+                  (Harness.Serve.summary_table t)
+              with
+              | Sutil.Json.Obj fields ->
+                  Sutil.Json.Obj
+                    (fields @ [ ("pool", Sched.Pool.stats_to_json stats) ])
+              | other -> other
+            in
+            Sutil.Json.doc_to_channel ~indent:true oc doc)
     | None -> ());
     (* host-dependent numbers go to stderr, never into the report *)
     Printf.eprintf
@@ -831,6 +837,154 @@ let serve_cmd =
       $ workers_arg $ capacity_arg $ seed_arg $ jobs_arg $ engine_arg
       $ timeout_arg $ json_arg $ tenants_flag)
 
+let campaign_cmd =
+  let action progen store_dir resume seed exec_seed harden scheme no_fid
+      engine fuel jobs json_path =
+    if progen < 1 then usage_fail "campaign: --progen must be >= 1";
+    if fuel < 1 then usage_fail "campaign: --fuel must be >= 1";
+    (match jobs with
+    | Some j when j < 1 -> usage_fail "campaign: --jobs must be >= 1"
+    | _ -> ());
+    if String.equal store_dir "" then
+      usage_fail "campaign: --store must name a directory";
+    if
+      resume
+      && not
+           (Sys.file_exists (Filename.concat store_dir "manifest.json")
+           && Sys.file_exists store_dir)
+    then
+      usage_fail
+        "campaign: --resume needs an existing store at %s (nothing to resume \
+         — run once without --resume, or point --store at the interrupted \
+         campaign's directory)"
+        store_dir;
+    let store =
+      (* a corrupt or foreign store directory is a usage error: the fix
+         (pick another directory, or delete it) is the caller's *)
+      try Store.Cache.open_disk store_dir with
+      | Store.Cache.Incompatible msg -> usage_fail "campaign: %s" msg
+      | Sys_error msg -> usage_fail "campaign: --store %s" msg
+    in
+    let config =
+      Store.Campaign.config ~seed ~exec_seed
+        ?harden:(if harden then Some (config_of scheme no_fid) else None)
+        ~engine ~fuel ~count:progen ()
+    in
+    if resume then
+      Printf.eprintf "campaign: resuming: %d of %d program(s) still to run\n%!"
+        (Store.Campaign.remaining ~store config)
+        progen;
+    let width =
+      match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let report, pool_stats =
+      Sched.Pool.with_pool ~jobs:width @@ fun pool ->
+      let r = Store.Campaign.run ~pool ~store config in
+      (r, Sched.Pool.stats pool)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let store_stats = Store.Cache.stats store in
+    Sutil.Texttable.print
+      ~title:
+        (Printf.sprintf "campaign — %d progen program(s) from seed %Ld (%s%s)"
+           progen seed
+           (Machine.Backend.kind_to_string engine)
+           (if harden then ", hardened" else ""))
+      (Store.Campaign.report_table report);
+    (match json_path with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            (* "report" and "digest" are deterministic; "store" and
+               "pool" are this run's counters and may differ between a
+               cold and a warm invocation *)
+            Sutil.Json.doc_to_channel ~indent:true oc
+              (Sutil.Json.Obj
+                 [
+                   ("report", Store.Campaign.report_to_json report);
+                   ("digest", Sutil.Json.String report.Store.Campaign.digest);
+                   ("store", Store.Cache.stats_to_json store_stats);
+                   ("pool", Sched.Pool.stats_to_json pool_stats);
+                 ]))
+    | None -> ());
+    (* host-dependent numbers go to stderr, never into the report *)
+    Printf.eprintf
+      "campaign: %.1f s wall, %.0f program(s)/s; store: %d hit(s), %d \
+       miss(es), %d write(s), %d evicted; pool: %d jobs, peak queue %d\n"
+      wall
+      (float_of_int progen /. Float.max wall 1e-9)
+      store_stats.Store.Cache.hits store_stats.Store.Cache.misses
+      store_stats.Store.Cache.writes store_stats.Store.Cache.evicted
+      pool_stats.Sched.Pool.jobs_run pool_stats.Sched.Pool.peak_queue
+  in
+  let progen_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "progen" ] ~docv:"N"
+          ~doc:"Number of Progen programs to run (seeds seed, seed+1, ...)")
+  in
+  let store_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Artifact store directory (created if absent).  Results are \
+             keyed on program, configuration, engine and seed; re-running \
+             against a populated store replays cached observables without \
+             executing anything.")
+  in
+  let resume_flag =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Require an existing store and report how many programs remain \
+             before continuing an interrupted campaign (the final report is \
+             byte-identical to an uninterrupted run)")
+  in
+  let seed_first =
+    Arg.(
+      value & opt int64 1000L
+      & info [ "seed" ] ~docv:"SEED" ~doc:"First Progen seed of the range")
+  in
+  let exec_seed_arg =
+    Arg.(
+      value & opt int64 7L
+      & info [ "exec-seed" ] ~docv:"SEED"
+          ~doc:"Entropy seed for the (hardened) runs; part of every store key")
+  in
+  let fuel_arg =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "fuel" ] ~docv:"N" ~doc:"Instruction budget per program")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Also write the report (deterministic) plus this run's store and \
+             pool counters (host-dependent) as JSON to $(docv)")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a store-backed execution campaign over a Progen seed range.  \
+          Every program's observables are cached in $(b,--store) keyed on \
+          (source, config, engine, seed); warm re-runs and $(b,--resume) \
+          after a kill replay cached results and render the byte-identical \
+          report at any $(b,--jobs) width.")
+    Term.(
+      const action $ progen_arg $ store_arg $ resume_flag $ seed_first
+      $ exec_seed_arg $ harden_flag $ scheme_arg $ no_fid $ engine_arg
+      $ fuel_arg $ jobs_arg $ json_arg)
+
 let () =
   (* force the engine library to link so --engine=bytecode resolves *)
   Engine.Backend.install ();
@@ -857,6 +1011,7 @@ let () =
              analyze_cmd;
              lint_cmd;
              serve_cmd;
+             campaign_cmd;
            ])
     with e ->
       Printf.eprintf "smokestackc: error: %s\n" (one_line (Printexc.to_string e));

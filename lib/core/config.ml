@@ -33,6 +33,27 @@ let with_scheme scheme t = { t with scheme }
 let with_exclude exclude t = { t with exclude }
 let with_selective selective t = { t with selective }
 
+(* Every field participates: two configs fingerprint equally iff they
+   harden identically, which is what content-addressed caching keys on.
+   The rendering is explicit (field=value, fixed order) rather than a
+   hash, so a mismatched cache key is diagnosable by eye. *)
+let fingerprint t =
+  String.concat ","
+    [
+      "scheme=" ^ Rng.Scheme.name t.scheme;
+      Printf.sprintf "pow2=%b" t.pow2_pbox;
+      Printf.sprintf "share=%b" t.share_tables;
+      Printf.sprintf "roundup=%b" t.round_up_allocs;
+      Printf.sprintf "maxvars=%d" t.max_exhaustive_vars;
+      Printf.sprintf "fid=%b" t.fid_checks;
+      Printf.sprintf "vlapad=%b" t.vla_padding;
+      Printf.sprintf "vlamax=%d" t.vla_pad_max;
+      Printf.sprintf "rekey=%d" t.rekey_interval;
+      "exclude=" ^ String.concat "+" t.exclude;
+      Printf.sprintf "redraw=%d" t.redraw_interval;
+      Printf.sprintf "selective=%b" t.selective;
+    ]
+
 let validate t =
   if t.max_exhaustive_vars < 1 || t.max_exhaustive_vars > 8 then
     Error

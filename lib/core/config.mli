@@ -63,3 +63,8 @@ val with_selective : bool -> t -> t
 val validate : t -> (t, string) result
 (** Checks ranges ([max_exhaustive_vars] within factorial limits, VLA
     pad bound positive, AES rounds in range). *)
+
+val fingerprint : t -> string
+(** Canonical, human-readable rendering of every field in a fixed
+    order — [fingerprint a = fingerprint b] iff [a] and [b] harden
+    identically.  The configuration component of [Store.Key]. *)

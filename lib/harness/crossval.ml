@@ -42,7 +42,7 @@ let synth_cases () =
         | `Data, `Indirect | `Heap, `Indirect ->
             [ ("serve", "*", "serve", "auth") ]
       in
-      (v.vname, Lazy.force v.program, v.attack, witnesses))
+      (v.vname, v.source, Lazy.force v.program, v.attack, witnesses))
     Apps.Synth.variants
 
 let realvuln_cases () =
@@ -57,10 +57,12 @@ let realvuln_cases () =
   in
   [
     ( "librelp/key-leak",
+      Apps.Librelp.source,
       librelp,
       Apps.Librelp.attack_static,
       [ ("relpTcpChkPeerName", "allNames", "relpTcpLstnInit", "keyPtr") ] );
     ( "wireshark/CVE-2014-2299",
+      Apps.Wireshark.source,
       wireshark,
       Apps.Wireshark.attack,
       [
@@ -77,11 +79,12 @@ let realvuln_cases () =
           "packet_list_dissect_and_cache_record",
           "packet_list" );
       ] );
-    ("proftpd/key-extraction", proftpd, Apps.Proftpd.attack_key_extraction,
+    ("proftpd/key-extraction", Apps.Proftpd.source, proftpd,
+     Apps.Proftpd.attack_key_extraction, proftpd_witness);
+    ("proftpd/bot", Apps.Proftpd.source, proftpd, Apps.Proftpd.attack_bot,
      proftpd_witness);
-    ("proftpd/bot", proftpd, Apps.Proftpd.attack_bot, proftpd_witness);
-    ("proftpd/mem-permissions", proftpd, Apps.Proftpd.attack_memperm,
-     proftpd_witness);
+    ("proftpd/mem-permissions", Apps.Proftpd.source, proftpd,
+     Apps.Proftpd.attack_memperm, proftpd_witness);
   ]
 
 let cases () = synth_cases () @ realvuln_cases ()
@@ -99,7 +102,53 @@ let find_witness pairs witnesses =
       else None)
     witnesses
 
-let run ?(pool = Sched.Pool.sequential) ?(trials = 6) () =
+(* Verdicts cross the store as (tag, detail) pairs — Store.Entry keeps
+   no dependency on lib/attacks, so the conversion lives with the
+   producer.  Decoding is total over what encoding emits; an unknown
+   tag (a future verdict constructor read by an old binary) makes the
+   whole cached list unusable, which the callers treat as a miss. *)
+let verdict_to_pair = function
+  | Attacks.Verdict.Success -> ("success", "")
+  | Attacks.Verdict.Crashed d -> ("crashed", d)
+  | Attacks.Verdict.Detected d -> ("detected", d)
+  | Attacks.Verdict.No_effect -> ("no-effect", "")
+
+let verdict_of_pair = function
+  | "success", _ -> Some Attacks.Verdict.Success
+  | "crashed", d -> Some (Attacks.Verdict.Crashed d)
+  | "detected", d -> Some (Attacks.Verdict.Detected d)
+  | "no-effect", _ -> Some Attacks.Verdict.No_effect
+  | _ -> None
+
+let cached_verdicts ?store ~source ~config ~extra thunk =
+  match store with
+  | None -> thunk ()
+  | Some store -> (
+      let key =
+        Store.Key.of_source ~source_text:source ~config
+          ~engine:(Machine.Backend.default ()).Machine.Backend.kind ~seed:17L
+          ~extra ()
+      in
+      let cached =
+        match
+          Option.bind (Store.Cache.find store key) Store.Entry.verdicts_of_entry
+        with
+        | Some pairs ->
+            let vs = List.map verdict_of_pair pairs in
+            if List.for_all Option.is_some vs then
+              Some (List.filter_map Fun.id vs)
+            else None
+        | None -> None
+      in
+      match cached with
+      | Some verdicts -> verdicts
+      | None ->
+          let verdicts = thunk () in
+          Store.Cache.put store key
+            (Store.Entry.verdicts_entry (List.map verdict_to_pair verdicts));
+          verdicts)
+
+let run ?(pool = Sched.Pool.sequential) ?store ?(trials = 6) () =
   let cases = cases () in
   (* Static pass: once per distinct program (the proftpd exploits share
      one), in the submitting domain — the analysis is pure and fast
@@ -107,7 +156,7 @@ let run ?(pool = Sched.Pool.sequential) ?(trials = 6) () =
      identity. *)
   let static : (Ir.Prog.t * Analysis.Dop.pair list) list ref = ref [] in
   List.iter
-    (fun (_, prog, _, _) ->
+    (fun (_, _, prog, _, _) ->
       if not (List.exists (fun (p, _) -> p == prog) !static) then
         let funcans = Analysis.Funcan.analyze prog in
         static := (prog, Analysis.Dop.enumerate prog funcans) :: !static)
@@ -118,14 +167,19 @@ let run ?(pool = Sched.Pool.sequential) ?(trials = 6) () =
   let rows =
     Sched.Pool.run_all pool
       (List.map
-         (fun (cname, prog, attack, witnesses) ->
+         (fun (cname, source, prog, attack, witnesses) ->
            Sched.Job.v ~id:("crossval/" ^ cname) ~seed:3L (fun () ->
-               let applied =
-                 Defenses.Defense.apply ~seed:3L Defenses.Defense.No_defense
-                   prog
-               in
                let verdicts =
-                 Security.trials attack applied ~n:trials ~seed0:17
+                 cached_verdicts ?store ~source ~config:None
+                   ~extra:
+                     (Printf.sprintf "crossval;case=%s;trials=%d;seed0=17"
+                        cname trials)
+                   (fun () ->
+                     let applied =
+                       Defenses.Defense.apply ~seed:3L
+                         Defenses.Defense.No_defense prog
+                     in
+                     Security.trials attack applied ~n:trials ~seed0:17)
                in
                let dynamic_success =
                  List.exists (( = ) Attacks.Verdict.Success) verdicts
@@ -165,12 +219,16 @@ let selective_config =
    outcome and output.  Stats like cycles legitimately differ — the
    elided functions skip the permutation loads — so they are not
    compared. *)
-let run_selective ?(pool = Sched.Pool.sequential) ?(trials = 6)
+let run_selective ?(pool = Sched.Pool.sequential) ?store ?(trials = 6)
     ?(progen_seeds = 8) () =
   (* the elision oracle behind Config.selective lives in lib/analysis *)
   Analysis.Validate.install ();
   let full = Defenses.Defense.Smokestack Smokestack.Config.default in
   let sel = Defenses.Defense.Smokestack selective_config in
+  let config_of = function
+    | Defenses.Defense.Smokestack c -> Some c
+    | _ -> None
+  in
   let elided_count prog =
     List.length
       (Smokestack.Harden.harden ~seed:3L selective_config prog)
@@ -178,12 +236,18 @@ let run_selective ?(pool = Sched.Pool.sequential) ?(trials = 6)
   in
   let attack_jobs =
     List.map
-      (fun (cname, prog, attack, _) ->
+      (fun (cname, source, prog, attack, _) ->
         Sched.Job.v ~id:("selective/" ^ cname) ~seed:3L (fun () ->
             let verdicts_under d =
-              Security.trials attack
-                (Defenses.Defense.apply ~seed:3L d prog)
-                ~n:trials ~seed0:17
+              cached_verdicts ?store ~source ~config:(config_of d)
+                ~extra:
+                  (Printf.sprintf
+                     "selective;case=%s;trials=%d;seed0=17;hseed=3" cname
+                     trials)
+                (fun () ->
+                  Security.trials attack
+                    (Defenses.Defense.apply ~seed:3L d prog)
+                    ~n:trials ~seed0:17)
             in
             let vf = verdicts_under full and vs = verdicts_under sel in
             let identical = vf = vs in
@@ -199,35 +263,58 @@ let run_selective ?(pool = Sched.Pool.sequential) ?(trials = 6)
       (cases ())
   in
   let progen_jobs =
-    List.init progen_seeds (fun i ->
-        let pseed = Int64.of_int (100 + i) in
+    List.map
+      (fun (pseed, psource) ->
         Sched.Job.v
           ~id:(Printf.sprintf "selective/progen-%Ld" pseed)
           ~seed:pseed
           (fun () ->
-            let prog =
-              Minic.Driver.compile (Minic.Progen.generate ~seed:pseed)
-            in
+            let prog = lazy (Minic.Driver.compile psource) in
             let run_under d =
-              Apps.Runner.run_chunks
-                (Defenses.Defense.apply ~seed:3L d prog)
-                ~seed:7L ~chunks:[]
+              let fresh () =
+                Store.Entry.exec_of_run
+                  (Apps.Runner.run_chunks
+                     (Defenses.Defense.apply ~seed:3L d
+                        (Lazy.force prog))
+                     ~seed:7L ~chunks:[])
+              in
+              match store with
+              | None -> fresh ()
+              | Some store -> (
+                  let key =
+                    Store.Key.of_source ~source_text:psource
+                      ~config:(config_of d)
+                      ~engine:
+                        (Machine.Backend.default ()).Machine.Backend.kind
+                      ~seed:7L ~extra:"selective;chunks=;hseed=3" ()
+                  in
+                  match
+                    Option.bind (Store.Cache.find store key)
+                      Store.Entry.exec_of_entry
+                  with
+                  | Some exec -> exec
+                  | None ->
+                      let exec = fresh () in
+                      Store.Cache.put store key (Store.Entry.exec_entry exec);
+                      exec)
             in
-            let out_f, st_f = run_under full and out_s, st_s = run_under sel in
+            let ef = run_under full and es = run_under sel in
             let identical =
-              out_f = out_s
-              && st_f.Machine.Exec.output = st_s.Machine.Exec.output
+              String.equal ef.Store.Entry.outcome es.Store.Entry.outcome
+              && String.equal ef.Store.Entry.stats.Machine.Exec.output
+                   es.Store.Entry.stats.Machine.Exec.output
             in
             {
               sname = Printf.sprintf "progen-%Ld" pseed;
-              elided = elided_count prog;
+              elided = elided_count (Lazy.force prog);
               identical;
               detail =
                 (if identical then
                    Printf.sprintf "outcome %s, output identical"
-                     (Machine.Exec.outcome_to_string out_f)
+                     ef.Store.Entry.outcome
                  else "outcome or output diverges");
             }))
+      (List.of_seq (Minic.Progen.range ~seed:100L progen_seeds))
   in
   let srows = Sched.Pool.run_all pool (attack_jobs @ progen_jobs) in
   { srows; all_identical = List.for_all (fun r -> r.identical) srows }

@@ -30,9 +30,13 @@ type row = {
 
 type t = { rows : row list; all_validated : bool }
 
-val run : ?pool:Sched.Pool.t -> ?trials:int -> unit -> t
+val run : ?pool:Sched.Pool.t -> ?store:Store.Cache.t -> ?trials:int -> unit -> t
 (** Static analysis runs once per distinct program in the submitting
-    domain; only the dynamic trials are parallelized. *)
+    domain; only the dynamic trials are parallelized.  With [?store],
+    each case's verdict list is served from (and recorded to) the store
+    keyed on its program source, the attack-case name and the trial
+    parameters — a warm run replays no attacks and reports
+    identically. *)
 
 val table : t -> Sutil.Texttable.t
 val to_markdown : t -> string
@@ -56,11 +60,18 @@ type selective_row = {
 type selective_t = { srows : selective_row list; all_identical : bool }
 
 val run_selective :
-  ?pool:Sched.Pool.t -> ?trials:int -> ?progen_seeds:int -> unit -> selective_t
+  ?pool:Sched.Pool.t ->
+  ?store:Store.Cache.t ->
+  ?trials:int ->
+  ?progen_seeds:int ->
+  unit ->
+  selective_t
 (** Installs the {!Analysis.Validate} elision oracle, then compares
     full vs selective hardening: verdict lists over [trials] attempts
     for each attack case, outcome + output for [progen_seeds] generated
-    programs. *)
+    programs.  With [?store], both legs of every comparison (full and
+    selective each have their own config-fingerprinted key) are served
+    from the store when present. *)
 
 val selective_table : selective_t -> Sutil.Texttable.t
 val selective_to_markdown : selective_t -> string

@@ -24,17 +24,19 @@ let report_to_string r =
       (String.concat "\n" (List.map mismatch_to_string r.mismatches))
 
 (* Compare field by field so a mismatch names the first observable that
-   diverged instead of a bare "stats differ". *)
-let compare_observables ~case (o1, (s1 : Machine.Exec.stats))
-    (o2, (s2 : Machine.Exec.stats)) =
+   diverged instead of a bare "stats differ".  The comparison runs on
+   Store.Entry.exec records — the same representation cached results
+   decode to — so a store-served leg goes through byte-for-byte the
+   comparison a fresh leg does (the exec codec keeps cycles bit-exact
+   and output verbatim). *)
+let compare_exec ~case (e1 : Store.Entry.exec) (e2 : Store.Entry.exec) =
+  let s1 = e1.stats and s2 = e2.stats in
   let diffs = ref [] in
   let check field expected actual =
     if not (String.equal expected actual) then
       diffs := { case; field; expected; actual } :: !diffs
   in
-  check "outcome"
-    (Machine.Exec.outcome_to_string o1)
-    (Machine.Exec.outcome_to_string o2);
+  check "outcome" e1.outcome e2.outcome;
   (* %h prints the exact bit pattern, so off-by-one-ulp cycle drift is
      caught and printed unambiguously *)
   check "cycles" (Printf.sprintf "%h" s1.cycles) (Printf.sprintf "%h" s2.cycles);
@@ -48,6 +50,9 @@ let compare_observables ~case (o1, (s1 : Machine.Exec.stats))
   check "rss_bytes" (string_of_int s1.rss_bytes) (string_of_int s2.rss_bytes);
   check "output" (String.escaped s1.output) (String.escaped s2.output);
   List.rev !diffs
+
+let compare_observables ~case run1 run2 =
+  compare_exec ~case (Store.Entry.exec_of_run run1) (Store.Entry.exec_of_run run2)
 
 let backends () =
   (* referencing the engine's backend value (not just the registry)
@@ -90,22 +95,47 @@ let check_apps ?(pool = Sched.Pool.sequential) ?fuel () =
   { cases = List.length Apps.Spec.all * List.length defenses_under_test;
     mismatches }
 
-let check_progen ?(pool = Sched.Pool.sequential) ?(fuel = 2_000_000) ~seed count =
+let check_progen ?(pool = Sched.Pool.sequential) ?store ?(fuel = 2_000_000)
+    ~seed count =
   let reference, bytecode = backends () in
   let mismatches =
     List.concat
       (Sched.Pool.run_all pool
-         (List.init count (fun i ->
-              let pseed = Int64.add seed (Int64.of_int i) in
+         (List.map
+            (fun (pseed, source) ->
               let case = Printf.sprintf "progen seed %Ld" pseed in
               Sched.Job.v ~id:("diffval/" ^ case) ~seed:pseed (fun () ->
-                  let prog =
-                    Minic.Driver.compile (Minic.Progen.generate ~seed:pseed)
+                  let prog = lazy (Minic.Driver.compile source) in
+                  let leg (backend : Machine.Backend.t) =
+                    let fresh () =
+                      Store.Entry.exec_of_run
+                        (backend.run ~fuel
+                           (Machine.Exec.prepare (Lazy.force prog)))
+                    in
+                    match store with
+                    | None -> fresh ()
+                    | Some store -> (
+                        (* each engine gets its own key: the store must
+                           never launder one engine's observables into
+                           the other's leg of the comparison *)
+                        let key =
+                          Store.Key.of_source ~source_text:source ~config:None
+                            ~engine:backend.kind ~seed:0L
+                            ~extra:(Printf.sprintf "diffval;fuel=%d" fuel)
+                            ()
+                        in
+                        match
+                          Option.bind (Store.Cache.find store key)
+                            Store.Entry.exec_of_entry
+                        with
+                        | Some exec -> exec
+                        | None ->
+                            let exec = fresh () in
+                            Store.Cache.put store key
+                              (Store.Entry.exec_entry exec);
+                            exec)
                   in
-                  let run (backend : Machine.Backend.t) =
-                    let st = Machine.Exec.prepare prog in
-                    backend.run ~fuel st
-                  in
-                  compare_observables ~case (run reference) (run bytecode)))))
+                  compare_exec ~case (leg reference) (leg bytecode)))
+            (List.of_seq (Minic.Progen.range ~seed count))))
   in
   { cases = count; mismatches }

@@ -21,6 +21,19 @@ val ok : report -> bool
 val mismatch_to_string : mismatch -> string
 val report_to_string : report -> string
 
+val compare_exec :
+  case:string -> Store.Entry.exec -> Store.Entry.exec -> mismatch list
+(** Field-by-field comparison on the store's exec records — the common
+    representation of fresh and cache-served runs, so a cached leg is
+    compared by exactly the code path a fresh leg is. *)
+
+val compare_observables :
+  case:string ->
+  Machine.Exec.outcome * Machine.Exec.stats ->
+  Machine.Exec.outcome * Machine.Exec.stats ->
+  mismatch list
+(** {!compare_exec} on two fresh runs. *)
+
 val check_applied :
   case:string ->
   ?fuel:int ->
@@ -36,7 +49,16 @@ val check_apps : ?pool:Sched.Pool.t -> ?fuel:int -> unit -> report
     default Smokestack configuration.  One job per (workload, defense)
     pair; mismatches are concatenated in submission order. *)
 
-val check_progen : ?pool:Sched.Pool.t -> ?fuel:int -> seed:int64 -> int -> report
+val check_progen :
+  ?pool:Sched.Pool.t ->
+  ?store:Store.Cache.t ->
+  ?fuel:int ->
+  seed:int64 ->
+  int ->
+  report
 (** [check_progen ~seed n] validates [n] Progen-generated programs with
     seeds [seed, seed+1, ...] (deterministic, input-free).  One job per
-    seed. *)
+    seed.  With [?store], each engine's leg is served from (and
+    recorded to) the store under its own engine-keyed entry, so warm
+    re-validation replays both legs without executing either — the
+    report is identical either way. *)

@@ -28,7 +28,7 @@ let pbox_saving_pct r =
    per workload measuring the full and selective hardened runs
    back-to-back (they share the compiled program, so splitting them
    into separate jobs would only duplicate the closure captures). *)
-let run ?(pool = Sched.Pool.sequential) ?(workloads = Apps.Spec.all)
+let run ?(pool = Sched.Pool.sequential) ?store ?(workloads = Apps.Spec.all)
     ?(seed = 1L) () =
   (* the elision oracle behind Config.selective lives in lib/analysis *)
   Analysis.Validate.install ();
@@ -40,7 +40,7 @@ let run ?(pool = Sched.Pool.sequential) ?(workloads = Apps.Spec.all)
       (List.map
          (fun (w : Apps.Spec.workload) ->
            Sched.Job.v ~id:("e14/baseline/" ^ w.wname) ~seed (fun () ->
-               Workbench.baseline ~seed w))
+               Workbench.baseline ?store ~seed w))
          workloads)
   in
   let rows =
@@ -54,7 +54,7 @@ let run ?(pool = Sched.Pool.sequential) ?(workloads = Apps.Spec.all)
                in
                let overhead_of config =
                  let stats, pbox_bytes =
-                   Workbench.smokestack_stats ~seed config w
+                   Workbench.smokestack_stats ?store ~seed config w
                  in
                  ( Sutil.Stats.percent_overhead ~baseline:base.cycles
                      ~measured:stats.cycles

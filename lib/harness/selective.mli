@@ -31,13 +31,17 @@ val pbox_saving_pct : row -> float
 
 val run :
   ?pool:Sched.Pool.t ->
+  ?store:Store.Cache.t ->
   ?workloads:Apps.Spec.workload list ->
   ?seed:int64 ->
   unit ->
   t
 (** Installs the {!Analysis.Validate} elision oracle, then runs each
     workload baseline / full / selective.  Parallel results are
-    identical to the sequential default. *)
+    identical to the sequential default.  [?store] is handed to
+    {!Workbench.baseline} and {!Workbench.smokestack_stats}, replacing
+    their process-local memo with the given (possibly on-disk)
+    store. *)
 
 val table : t -> Sutil.Texttable.t
 val to_markdown : t -> string

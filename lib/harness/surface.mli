@@ -25,9 +25,15 @@ type row = {
 
 type t = { rows : row list; defense_names : string list }
 
-val run : ?pool:Sched.Pool.t -> ?progen:int -> ?score:bool -> unit -> t
+val run :
+  ?pool:Sched.Pool.t -> ?store:Store.Cache.t -> ?progen:int -> ?score:bool ->
+  unit -> t
 (** [progen] (default 4) random programs from seeds 9001..; [score]
-    (default [true]) enables the sampled per-defense attempts. *)
+    (default [true]) enables the sampled per-defense attempts.  With
+    [?store], the progen rows are served from the store (keyed on the
+    generated source and the [score] flag; the attempt floats travel as
+    bit patterns, so cached rows render identically) and their
+    compilation + analysis is skipped when warm. *)
 
 val table : t -> Sutil.Texttable.t
 val to_markdown : t -> string

@@ -29,48 +29,71 @@ let force_programs workloads =
     (fun (w : Apps.Spec.workload) -> ignore (Lazy.force w.program))
     workloads
 
-(* Baseline stats memo.  The key includes the engine *kind* (the
-   registry identity, not the display label): without it a
-   reference-engine baseline could be served to a bytecode-engine
-   comparison.  Access is mutex-guarded so parallel Sched jobs can
-   share the memo; the guarded sections are lookups and inserts only —
-   the run itself happens unlocked, and since stats are deterministic
-   per key, two jobs racing on a miss waste one run but can never
-   produce a wrong or order-dependent answer. *)
-let baseline_cache : (string, Machine.Exec.stats) Hashtbl.t = Hashtbl.create 16
-let baseline_mutex = Mutex.create ()
+(* Workload stats are served from a Store cache rather than an ad-hoc
+   hashtable: the key is content-addressed over the workload source,
+   the hardening fingerprint, the engine *kind* (the registry identity,
+   not the display label — without it a reference-engine result could
+   be served to a bytecode-engine comparison), the run seed, and a
+   digest of the input bytes.  Store access is mutex-guarded inside
+   Cache, so parallel Sched jobs share the memo; the run itself happens
+   unlocked, and since stats are deterministic per key, two jobs racing
+   on a miss waste one run but can never produce a wrong or
+   order-dependent answer. *)
+let shared_store = Store.Cache.in_memory ()
 
-let baseline ?backend ?(seed = 1L) (w : Apps.Spec.workload) =
+let workbench_key ~config ~backend ~seed (w : Apps.Spec.workload) =
+  Store.Key.of_source ~source_text:w.source ~config
+    ~engine:backend.Machine.Backend.kind ~seed
+    ~extra:
+      (Printf.sprintf "workbench;input=%s;hseed=3" (Store.Hash.hex w.input))
+    ()
+
+(* Look up an exec entry, or run [thunk] and record its result.  Only
+   clean [run]s are ever stored (run raises otherwise), so a cached
+   entry never masks a workload crash. *)
+let cached_exec ~store ~key thunk =
+  let cached =
+    match Store.Cache.find store key with
+    | Some e -> Store.Entry.exec_of_entry e
+    | None -> None
+  in
+  match cached with
+  | Some exec -> exec
+  | None ->
+      let exec = thunk () in
+      Store.Cache.put store key (Store.Entry.exec_entry exec);
+      exec
+
+let baseline ?backend ?(store = shared_store) ?(seed = 1L)
+    (w : Apps.Spec.workload) =
   let backend =
     match backend with Some b -> b | None -> Machine.Backend.default ()
   in
-  let key =
-    Printf.sprintf "%s@%Ld@%s" w.wname seed
-      (Machine.Backend.kind_to_string backend.Machine.Backend.kind)
+  let key = workbench_key ~config:None ~backend ~seed w in
+  let exec =
+    cached_exec ~store ~key (fun () ->
+        let applied =
+          Defenses.Defense.apply Defenses.Defense.No_defense
+            (Lazy.force w.program)
+        in
+        Store.Entry.exec_of_run (run ~backend applied ~seed w))
   in
-  let cached =
-    Mutex.lock baseline_mutex;
-    let r = Hashtbl.find_opt baseline_cache key in
-    Mutex.unlock baseline_mutex;
-    r
-  in
-  match cached with
-  | Some stats -> stats
-  | None ->
-      let applied =
-        Defenses.Defense.apply Defenses.Defense.No_defense (Lazy.force w.program)
-      in
-      let _, stats = run ~backend applied ~seed w in
-      Mutex.lock baseline_mutex;
-      Hashtbl.replace baseline_cache key stats;
-      Mutex.unlock baseline_mutex;
-      stats
+  exec.Store.Entry.stats
 
-let smokestack_stats ?backend ?(seed = 1L) config (w : Apps.Spec.workload) =
-  let applied =
-    Defenses.Defense.apply ~seed:3L
-      (Defenses.Defense.Smokestack config)
-      (Lazy.force w.program)
+let smokestack_stats ?backend ?(store = shared_store) ?(seed = 1L) config
+    (w : Apps.Spec.workload) =
+  let backend =
+    match backend with Some b -> b | None -> Machine.Backend.default ()
   in
-  let _, stats = run ?backend applied ~seed w in
-  (stats, applied.pbox_bytes)
+  let key = workbench_key ~config:(Some config) ~backend ~seed w in
+  let exec =
+    cached_exec ~store ~key (fun () ->
+        let applied =
+          Defenses.Defense.apply ~seed:3L
+            (Defenses.Defense.Smokestack config)
+            (Lazy.force w.program)
+        in
+        Store.Entry.exec_of_run ~pbox_bytes:applied.pbox_bytes
+          (run ~backend applied ~seed w))
+  in
+  (exec.Store.Entry.stats, Option.value ~default:0 exec.Store.Entry.pbox_bytes)

@@ -27,22 +27,33 @@ val force_programs : Apps.Spec.workload list -> unit
     {!Sched.Pool}: forcing the same lazy concurrently from two domains
     is undefined in OCaml 5, so the force must happen sequentially. *)
 
+val shared_store : Store.Cache.t
+(** The process-wide in-memory store backing {!baseline} and
+    {!smokestack_stats} when no [?store] is passed.  Pass a
+    {!Store.Cache.open_disk} store instead to persist workload stats
+    across processes. *)
+
 val baseline :
   ?backend:Machine.Backend.t ->
+  ?store:Store.Cache.t ->
   ?seed:int64 ->
   Apps.Spec.workload ->
   Machine.Exec.stats
-(** No-defense run, memoized per (workload, seed, engine kind) — the
-    engine is part of the key so a reference baseline is never served
-    to a bytecode comparison.  The memo is mutex-guarded and safe to
-    call from parallel jobs; values are deterministic per key, so
-    parallel and sequential runs observe identical stats. *)
+(** No-defense run, served from the store keyed on (workload source ×
+    no-hardening × engine kind × seed × input digest) — the engine kind
+    is part of the key so a reference baseline is never served to a
+    bytecode comparison.  Safe to call from parallel jobs; values are
+    deterministic per key, so parallel, sequential, cold and warm runs
+    observe identical stats. *)
 
 val smokestack_stats :
   ?backend:Machine.Backend.t ->
+  ?store:Store.Cache.t ->
   ?seed:int64 ->
   Smokestack.Config.t ->
   Apps.Spec.workload ->
   Machine.Exec.stats * int
-(** Hardened run; also returns the P-BOX bytes of the hardened
-    binary. *)
+(** Hardened run; also returns the P-BOX bytes of the hardened binary.
+    Store-served like {!baseline}, with the config's
+    [Smokestack.Config.fingerprint] in the key, so any config change
+    (including selective hardening) gets its own entry. *)

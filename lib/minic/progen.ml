@@ -164,3 +164,12 @@ let generate ~seed =
 let generate_many ~seed n =
   let rng = Sutil.Simrng.create ~seed in
   List.init n (fun _ -> generate ~seed:(Sutil.Simrng.next_u64 rng))
+
+(* Campaign-scale corpora walk consecutive seeds through this lazy
+   sequence: each source is generated when the consumer reaches it and
+   dropped when the consumer moves on, so a 10^5-program range costs the
+   memory of one program, not the corpus. *)
+let range ~seed n =
+  Seq.init n (fun i ->
+      let pseed = Int64.add seed (Int64.of_int i) in
+      (pseed, generate ~seed:pseed))

@@ -17,3 +17,13 @@ val generate : seed:int64 -> string
     enumeration) something to separate. *)
 
 val generate_many : seed:int64 -> int -> string list
+(** [n] programs with seeds drawn from one stream rooted at [seed]
+    (the historical smoke-test corpus shape).  Materializes the list;
+    for campaign-scale ranges use {!range}. *)
+
+val range : seed:int64 -> int -> (int64 * string) Seq.t
+(** [range ~seed n] is the lazy stream
+    [(seed, generate ~seed); (seed+1, ...); ...] of [n] consecutive
+    seeds.  Sources are generated on demand as the sequence is
+    consumed, so a campaign over 10^4–10^5 programs never holds the
+    corpus in memory. *)

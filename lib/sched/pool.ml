@@ -49,6 +49,15 @@ let stats t =
     peak_queue = Atomic.get t.counters.c_peak_queue;
   }
 
+let stats_to_json s =
+  Sutil.Json.Obj
+    [
+      ("jobs_run", Sutil.Json.Int s.jobs_run);
+      ("retries", Sutil.Json.Int s.retries);
+      ("timeouts", Sutil.Json.Int s.timeouts);
+      ("peak_queue", Sutil.Json.Int s.peak_queue);
+    ]
+
 let max_jobs = 128
 
 let clamp jobs = max 1 (min max_jobs jobs)

@@ -41,6 +41,11 @@ type stats = {
 val stats : t -> stats
 (** Snapshot of the counters.  Domain-safe; cheap. *)
 
+val stats_to_json : stats -> Sutil.Json.t
+(** [{"jobs_run", "retries", "timeouts", "peak_queue"}] — the same
+    counters the stderr footers print, for the [--json] surfaces (CI
+    asserts on retry/timeout counts). *)
+
 val max_jobs : int
 (** Hard upper clamp on pool width (128). *)
 

@@ -1,0 +1,16 @@
+(** Content hashing for the store.
+
+    The store is a local, non-adversarial cache: the hash only needs to
+    be deterministic, fast, and collision-free in practice, so the
+    stdlib's 128-bit digest is used rather than a vendored
+    cryptographic hash (the repo's crypto library implements AES for
+    the {e defense}, not for storage).  Every entry file echoes its
+    full key, and {!Cache.find} verifies the echo, so even a hash
+    collision degrades to a miss, never to a wrong answer. *)
+
+val hex : string -> string
+(** 32-character lowercase hex digest of the bytes. *)
+
+val hex_of_parts : string list -> string
+(** Digest of the parts joined with an unambiguous length-prefixed
+    framing, so [["ab"; "c"]] and [["a"; "bc"]] hash differently. *)

@@ -10,21 +10,27 @@ type t =
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 
-let escape_string buf s =
-  Buffer.add_char buf '"';
+(* The printer writes through a sink so the same traversal serves both
+   the in-memory renderer (to_string) and the streaming channel writer
+   (to_channel) — multi-MB campaign reports never materialize as one
+   string. *)
+type sink = { str : string -> unit; chr : char -> unit }
+
+let escape_string sink s =
+  sink.chr '"';
   String.iter
     (fun c ->
       match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
+      | '"' -> sink.str "\\\""
+      | '\\' -> sink.str "\\\\"
+      | '\n' -> sink.str "\\n"
+      | '\r' -> sink.str "\\r"
+      | '\t' -> sink.str "\\t"
       | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
+          sink.str (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> sink.chr c)
     s;
-  Buffer.add_char buf '"'
+  sink.chr '"'
 
 let float_repr f =
   if Float.is_integer f && Float.abs f < 1e15 then
@@ -38,56 +44,66 @@ let float_repr f =
     let short = Printf.sprintf "%.12g" f in
     if float_of_string short = f then short else s
 
-let to_string ?(indent = false) v =
-  let buf = Buffer.create 256 in
-  let pad n = Buffer.add_string buf (String.make (2 * n) ' ') in
+let write sink ~indent v =
+  let pad n = sink.str (String.make (2 * n) ' ') in
   let rec go depth v =
     match v with
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int n -> Buffer.add_string buf (string_of_int n)
-    | Float f -> Buffer.add_string buf (float_repr f)
-    | String s -> escape_string buf s
-    | List [] -> Buffer.add_string buf "[]"
+    | Null -> sink.str "null"
+    | Bool b -> sink.str (if b then "true" else "false")
+    | Int n -> sink.str (string_of_int n)
+    | Float f -> sink.str (float_repr f)
+    | String s -> escape_string sink s
+    | List [] -> sink.str "[]"
     | List items ->
-        Buffer.add_char buf '[';
+        sink.chr '[';
         List.iteri
           (fun i item ->
-            if i > 0 then Buffer.add_char buf ',';
+            if i > 0 then sink.chr ',';
             if indent then begin
-              Buffer.add_char buf '\n';
+              sink.chr '\n';
               pad (depth + 1)
             end;
             go (depth + 1) item)
           items;
         if indent then begin
-          Buffer.add_char buf '\n';
+          sink.chr '\n';
           pad depth
         end;
-        Buffer.add_char buf ']'
-    | Obj [] -> Buffer.add_string buf "{}"
+        sink.chr ']'
+    | Obj [] -> sink.str "{}"
     | Obj fields ->
-        Buffer.add_char buf '{';
+        sink.chr '{';
         List.iteri
           (fun i (k, item) ->
-            if i > 0 then Buffer.add_char buf ',';
+            if i > 0 then sink.chr ',';
             if indent then begin
-              Buffer.add_char buf '\n';
+              sink.chr '\n';
               pad (depth + 1)
             end;
-            escape_string buf k;
-            Buffer.add_char buf ':';
-            if indent then Buffer.add_char buf ' ';
+            escape_string sink k;
+            sink.chr ':';
+            if indent then sink.chr ' ';
             go (depth + 1) item)
           fields;
         if indent then begin
-          Buffer.add_char buf '\n';
+          sink.chr '\n';
           pad depth
         end;
-        Buffer.add_char buf '}'
+        sink.chr '}'
   in
-  go 0 v;
+  go 0 v
+
+let to_string ?(indent = false) v =
+  let buf = Buffer.create 256 in
+  write { str = Buffer.add_string buf; chr = Buffer.add_char buf } ~indent v;
   Buffer.contents buf
+
+let to_channel ?(indent = false) oc v =
+  write { str = output_string oc; chr = output_char oc } ~indent v
+
+let doc_to_channel ?indent oc v =
+  to_channel ?indent oc v;
+  output_char oc '\n'
 
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)

@@ -24,6 +24,15 @@ val to_string : ?indent:bool -> t -> string
 (** [to_string v] renders [v]; [~indent:true] pretty-prints with
     two-space indentation (deterministic — object order preserved). *)
 
+val to_channel : ?indent:bool -> out_channel -> t -> unit
+(** Streams the same bytes {!to_string} would produce directly to a
+    channel, never materializing the whole document — the writer for
+    multi-MB campaign and bench reports. *)
+
+val doc_to_channel : ?indent:bool -> out_channel -> t -> unit
+(** {!to_channel} followed by a terminating newline — the convention
+    every [--json PATH] emitter in the repo uses. *)
+
 val of_string : string -> (t, string) result
 (** Strict parse of a complete JSON document (trailing whitespace ok,
     trailing garbage is an error). *)

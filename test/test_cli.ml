@@ -260,7 +260,10 @@ let test_serve_json () =
   in
   match Sutil.Json.of_string text with
   | Error e -> Alcotest.failf "serve --json output does not parse: %s" e
-  | Ok _ -> ()
+  | Ok j -> (
+      match Sutil.Json.member "pool" j with
+      | Some (Sutil.Json.Obj _) -> ()
+      | _ -> Alcotest.failf "serve --json lacks pool counters: %s" text)
 
 let test_serve_usage_errors () =
   check_code "serve --sessions 0" 2 (run_cli [ "serve"; "--sessions"; "0" ]);
@@ -272,6 +275,134 @@ let test_serve_usage_errors () =
   check_code "serve --workers 0" 2 (run_cli [ "serve"; "--workers"; "0" ]);
   check_code "serve --timeout 0" 2 (run_cli [ "serve"; "--timeout"; "0" ]);
   check_code "serve --mean-gap 0" 2 (run_cli [ "serve"; "--mean-gap"; "0" ])
+
+(* --- campaign ------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_store_dir f =
+  (* reserve a unique path, then hand the (absent) directory to the CLI,
+     which creates the store in it *)
+  let dir = Filename.temp_file "smokestackc_store" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let campaign_small dir = [ "campaign"; "--progen"; "25"; "--store"; dir ]
+
+let test_campaign_cold_then_warm_identical () =
+  with_store_dir @@ fun dir ->
+  let cold = run_cli_stdout (campaign_small dir) in
+  let warm = run_cli_stdout (campaign_small dir @ [ "--jobs"; "3" ]) in
+  check_code "cold campaign" 0 cold;
+  check_code "warm campaign" 0 warm;
+  Alcotest.(check bool) "summary table present" true
+    (contains (snd cold) "digest");
+  Alcotest.(check string)
+    "warm stdout byte-identical to cold (across --jobs)" (snd cold) (snd warm)
+
+let test_campaign_resume () =
+  with_store_dir @@ fun dir ->
+  let half = run_cli_stdout ([ "campaign"; "--progen"; "12"; "--store"; dir ]) in
+  check_code "half campaign" 0 half;
+  let resumed =
+    run_cli
+      [ "campaign"; "--progen"; "25"; "--store"; dir; "--resume" ]
+  in
+  check_code "resumed campaign" 0 resumed;
+  let uninterrupted = run_cli_stdout (campaign_small dir) in
+  check_code "uninterrupted warm replay" 0 uninterrupted;
+  (* the resumed run's stdout must equal a from-scratch run's; compare
+     via the warm replay, which serves both from the same store *)
+  with_store_dir @@ fun fresh ->
+  let scratch = run_cli_stdout (campaign_small fresh) in
+  check_code "from-scratch campaign" 0 scratch;
+  Alcotest.(check string) "resume converges on the from-scratch report"
+    (snd scratch) (snd uninterrupted)
+
+let test_campaign_json () =
+  with_store_dir @@ fun dir ->
+  ignore (run_cli (campaign_small dir));
+  let json = Filename.temp_file "smokestackc_campaign" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove json) @@ fun () ->
+  let code, output = run_cli (campaign_small dir @ [ "--json"; json ]) in
+  check_code "campaign --json" 0 (code, output);
+  let ic = open_in_bin json in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Sutil.Json.of_string text with
+  | Error e -> Alcotest.failf "campaign --json output does not parse: %s" e
+  | Ok j -> (
+      (match Sutil.Json.member "digest" j with
+      | Some (Sutil.Json.String d) ->
+          Alcotest.(check bool) "digest non-empty" true (String.length d > 0)
+      | _ -> Alcotest.failf "campaign JSON lacks digest: %s" text);
+      (match Sutil.Json.member "report" j with
+      | Some (Sutil.Json.Obj _) -> ()
+      | _ -> Alcotest.failf "campaign JSON lacks report: %s" text);
+      (match Sutil.Json.member "pool" j with
+      | Some (Sutil.Json.Obj _) -> ()
+      | _ -> Alcotest.failf "campaign JSON lacks pool counters: %s" text);
+      match Sutil.Json.member "store" j with
+      | Some store -> (
+          (* second run over a populated store: every key hits *)
+          match Sutil.Json.member "hits" store with
+          | Some (Sutil.Json.Int 25) -> ()
+          | _ -> Alcotest.failf "warm run did not hit every key: %s" text)
+      | None -> Alcotest.failf "campaign JSON lacks store counters: %s" text)
+
+let test_campaign_usage_errors () =
+  with_store_dir @@ fun dir ->
+  check_code "campaign without --progen" 2
+    (run_cli [ "campaign"; "--store"; dir ]);
+  check_code "campaign without --store" 2
+    (run_cli [ "campaign"; "--progen"; "5" ]);
+  check_code "campaign --progen 0" 2
+    (run_cli [ "campaign"; "--progen"; "0"; "--store"; dir ]);
+  check_code "campaign garbage progen" 2
+    (run_cli [ "campaign"; "--progen"; "lots"; "--store"; dir ]);
+  check_code "campaign --jobs 0" 2
+    (run_cli (campaign_small dir @ [ "--jobs"; "0" ]));
+  check_code "campaign --fuel 0" 2
+    (run_cli (campaign_small dir @ [ "--fuel"; "0" ]));
+  check_code "campaign --resume with nothing to resume" 2
+    (run_cli (campaign_small dir @ [ "--resume" ]))
+
+let test_campaign_rejects_broken_store () =
+  (* a file where the store directory should be *)
+  let file = Filename.temp_file "smokestackc_store" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) (fun () ->
+      check_code "store path is a file" 2 (run_cli (campaign_small file)));
+  (* a directory written by a future format version *)
+  with_store_dir @@ fun dir ->
+  Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir "manifest.json") in
+  output_string oc "{\"smokestack-store\": 999}\n";
+  close_out oc;
+  let code, output = run_cli (campaign_small dir) in
+  check_code "version-mismatched store" 2 (code, output);
+  Alcotest.(check bool)
+    "diagnostic names the version mismatch" true
+    (contains output "version");
+  (* a pre-existing non-store directory *)
+  with_store_dir @@ fun dir2 ->
+  Sys.mkdir dir2 0o755;
+  let oc = open_out (Filename.concat dir2 "unrelated.txt") in
+  output_string oc "hands off\n";
+  close_out oc;
+  let code, output = run_cli (campaign_small dir2) in
+  check_code "foreign directory" 2 (code, output);
+  Alcotest.(check bool)
+    "diagnostic says it is not a store" true
+    (contains output "manifest")
 
 let () =
   Alcotest.run "cli"
@@ -309,5 +440,16 @@ let () =
             test_serve_stdout_identical_across_jobs;
           Alcotest.test_case "json report" `Quick test_serve_json;
           Alcotest.test_case "usage errors" `Quick test_serve_usage_errors;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "cold then warm identical" `Quick
+            test_campaign_cold_then_warm_identical;
+          Alcotest.test_case "resume converges" `Quick test_campaign_resume;
+          Alcotest.test_case "json report and counters" `Quick
+            test_campaign_json;
+          Alcotest.test_case "usage errors" `Quick test_campaign_usage_errors;
+          Alcotest.test_case "broken store diagnostics" `Quick
+            test_campaign_rejects_broken_store;
         ] );
     ]

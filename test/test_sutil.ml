@@ -231,6 +231,74 @@ let test_json_control_roundtrip () =
   | Ok v' -> check_bool "round-trips" true (v = v')
   | Error e -> Alcotest.failf "parse failed: %s" e
 
+(* to_channel must stream exactly the bytes to_string materializes —
+   the store's entry writer and every --json emitter rely on that. *)
+let channel_bytes ?indent v =
+  let path = Filename.temp_file "smokestack-json" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out_bin path in
+  Sutil.Json.to_channel ?indent oc v;
+  close_out oc;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let gnarly_doc =
+  Sutil.Json.(
+    Obj
+      [
+        ("null", Null);
+        ("bools", List [ Bool true; Bool false ]);
+        ("ints", List [ Int 0; Int (-42); Int max_int ]);
+        ("floats", List [ Float 0.30000000000000004; Float (-0.) ]);
+        ( "strings",
+          List
+            [
+              String "";
+              String "plain";
+              String "esc \" \\ \n \t \x01 \x1f";
+              String "unicode \xE2\x98\x83 \xF0\x9F\x99\x82";
+            ] );
+        ("empty_obj", Obj []);
+        ("empty_list", List []);
+        ("nested", Obj [ ("deep", List [ Obj [ ("x", Int 1) ]; Null ]) ]);
+      ])
+
+let test_json_to_channel_matches_to_string () =
+  List.iter
+    (fun v ->
+      Alcotest.(check string)
+        "compact bytes identical"
+        (Sutil.Json.to_string v) (channel_bytes v);
+      Alcotest.(check string)
+        "indented bytes identical"
+        (Sutil.Json.to_string ~indent:true v)
+        (channel_bytes ~indent:true v))
+    [
+      gnarly_doc;
+      Sutil.Json.Null;
+      Sutil.Json.String "solo";
+      Sutil.Json.List [ Sutil.Json.Int 1 ];
+    ]
+
+let test_json_doc_to_channel_appends_newline () =
+  let path = Filename.temp_file "smokestack-json" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out_bin path in
+  Sutil.Json.doc_to_channel ~indent:true oc gnarly_doc;
+  close_out oc;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string)
+    "document is to_string plus newline"
+    (Sutil.Json.to_string ~indent:true gnarly_doc ^ "\n")
+    s;
+  match Sutil.Json.of_string s with
+  | Ok v -> Alcotest.(check bool) "and still parses" true (v = gnarly_doc)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -277,5 +345,9 @@ let () =
             test_json_unicode_escapes;
           Alcotest.test_case "control round-trip" `Quick
             test_json_control_roundtrip;
+          Alcotest.test_case "to_channel matches to_string" `Quick
+            test_json_to_channel_matches_to_string;
+          Alcotest.test_case "doc_to_channel appends newline" `Quick
+            test_json_doc_to_channel_appends_newline;
         ] );
     ]
