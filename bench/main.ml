@@ -10,7 +10,8 @@
      dune exec bench/main.exe -- table1 fig4 micro
      dune exec bench/main.exe -- --jobs=8 fig3
    Experiments: table1 fig3 fig4 bypass pentest realvuln brute rngsec
-   rerand ablation analysis selective chaos serve campaign micro engine
+   rerand ablation analysis selective chaos serve campaign attack micro
+   engine
 
    --jobs=N runs each paper-table experiment's cells on N domains;
    tables are identical for every N.  The wall-clock benchmarks (micro,
@@ -223,6 +224,27 @@ let run_serve pool =
     wall st.Sched.Pool.jobs_run st.Sched.Pool.retries st.Sched.Pool.timeouts
     st.Sched.Pool.peak_queue
 
+let run_attack pool =
+  Engine.Backend.install ();
+  let t = Harness.Offense.run ~pool ~progen:10 () in
+  emit ~name:"offense"
+    ~title:"E17: synthesized attack chains vs defenses (successes/trials)"
+    (Harness.Offense.chain_table t);
+  emit ~name:"offense_synth" ~title:"E17: attack-compiler synthesis summary"
+    (Harness.Offense.synth_table t);
+  emit ~name:"offense_entropy"
+    ~title:
+      "E17: brute-force entropy under full hardening, synthesized vs \
+       hand-written"
+    (Harness.Offense.entropy_table t);
+  emit ~name:"offense_feedback"
+    ~title:"E17: static grounding of landing chains"
+    (Harness.Offense.feedback_table t);
+  say
+    "chains landing undefended: %d; full-hardening successes: %d; all landing \
+     chains grounded: %b"
+    t.landed_unhardened t.full_successes t.all_grounded
+
 (* ------------------------------------------------------------------ *)
 (* Store-backed campaign: cold vs warm cost of the artifact store       *)
 
@@ -417,6 +439,7 @@ let experiments =
     ("chaos", run_chaos);
     ("serve", run_serve);
     ("campaign", run_campaign);
+    ("attack", run_attack);
     (* wall-clock benchmarks: always sequential, the pool is unused *)
     ("micro", fun (_ : Sched.Pool.t) -> run_micro ());
     ("engine", fun (_ : Sched.Pool.t) -> run_engine ());

@@ -985,6 +985,183 @@ let campaign_cmd =
       $ exec_seed_arg $ harden_flag $ scheme_arg $ no_fid $ engine_arg
       $ fuel_arg $ jobs_arg $ json_arg)
 
+let attack_cmd =
+  let action workloads progen chains trials budget store_dir engine jobs
+      json_path =
+    if progen < 0 then usage_fail "attack: --progen must be non-negative";
+    if chains < 1 then usage_fail "attack: --chains must be >= 1";
+    if trials < 1 then usage_fail "attack: --trials must be >= 1";
+    if budget < 1 then usage_fail "attack: --budget must be >= 1";
+    (match jobs with
+    | Some j when j < 1 -> usage_fail "attack: --jobs must be >= 1"
+    | _ -> ());
+    (* chain synthesis probes on the reference engine regardless; the
+       process default decides what executes the attacks (and is part
+       of every store key) *)
+    Machine.Backend.set_default engine;
+    let avail = Harness.Offense.available_workloads () in
+    List.iter
+      (fun w ->
+        if not (List.mem w avail) then
+          usage_fail "attack: unknown workload %S (available: %s)" w
+            (String.concat ", " avail))
+      workloads;
+    let workloads = match workloads with [] -> None | ws -> Some ws in
+    let store =
+      Option.map
+        (fun dir ->
+          try Store.Cache.open_disk dir with
+          | Store.Cache.Incompatible msg -> usage_fail "attack: %s" msg
+          | Sys_error msg -> usage_fail "attack: --store %s" msg)
+        store_dir
+    in
+    let width =
+      match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let t, pool_stats =
+      Sched.Pool.with_pool ~jobs:width @@ fun pool ->
+      let t =
+        Harness.Offense.run ~pool ?store ~trials ~brute_budget:budget
+          ~max_chains:chains ?workloads ~progen ()
+      in
+      (t, Sched.Pool.stats pool)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Sutil.Texttable.print ~title:"attack compiler — synthesis summary"
+      (Harness.Offense.synth_table t);
+    Sutil.Texttable.print
+      ~title:"synthesized chains vs defenses (successes/trials)"
+      (Harness.Offense.chain_table t);
+    Sutil.Texttable.print
+      ~title:
+        "brute-force entropy under full hardening, synthesized vs \
+         hand-written"
+      (Harness.Offense.entropy_table t);
+    Sutil.Texttable.print ~title:"static grounding of landing chains"
+      (Harness.Offense.feedback_table t);
+    Printf.printf
+      "chains landing undefended: %d; full-hardening successes: %d; all \
+       landing chains grounded: %b\n"
+      t.Harness.Offense.landed_unhardened t.Harness.Offense.full_successes
+      t.Harness.Offense.all_grounded;
+    (match json_path with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            (* the four tables and the summary are deterministic at any
+               --jobs, engine and store temperature; "pool" carries this
+               run's scheduler counters (host-dependent) *)
+            let module J = Sutil.Json in
+            J.doc_to_channel ~indent:true oc
+              (J.Obj
+                 [
+                   ( "synthesis",
+                     Sutil.Texttable.to_json (Harness.Offense.synth_table t) );
+                   ( "chains",
+                     Sutil.Texttable.to_json (Harness.Offense.chain_table t) );
+                   ( "entropy",
+                     Sutil.Texttable.to_json (Harness.Offense.entropy_table t)
+                   );
+                   ( "feedback",
+                     Sutil.Texttable.to_json (Harness.Offense.feedback_table t)
+                   );
+                   ( "summary",
+                     J.Obj
+                       [
+                         ( "landed_unhardened",
+                           J.Int t.Harness.Offense.landed_unhardened );
+                         ("full_successes", J.Int t.Harness.Offense.full_successes);
+                         ("all_grounded", J.Bool t.Harness.Offense.all_grounded);
+                         ("trials", J.Int t.Harness.Offense.trials);
+                       ] );
+                 ]))
+    | None -> ());
+    (* host-dependent numbers go to stderr, never into the report *)
+    Printf.eprintf "attack: %.1f s wall; pool: %d jobs, peak queue %d\n" wall
+      pool_stats.Sched.Pool.jobs_run pool_stats.Sched.Pool.peak_queue;
+    (* a machine-synthesized chain landing without static grounding is
+       an analyzer soundness bug — make it impossible to miss in CI *)
+    if not t.Harness.Offense.all_grounded then begin
+      Printf.eprintf
+        "smokestackc: attack: a landing chain has no static DOP pair\n";
+      exit 1
+    end
+  in
+  let workload_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Attack only this workload (repeatable); default: every \
+             built-in target — the six synthetic pentest variants plus the \
+             $(b,proftpd-io) and $(b,wireshark-io) request loops")
+  in
+  let progen_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "progen" ] ~docv:"N"
+          ~doc:
+            "Also synthesize against N Progen-generated programs (seeds \
+             9001, 9002, ...); input-free programs honestly yield zero \
+             deliverable chains and appear only in the synthesis table")
+  in
+  let chains_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "chains" ] ~docv:"N"
+          ~doc:"Cap the synthesized chain set per target")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "trials" ] ~docv:"N"
+          ~doc:"Fresh-process attempts per (chain, defense) cell")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 600
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Restart-after-crash attempts per brute-force entropy \
+             measurement")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Artifact store directory (created if absent): every cell's \
+             verdict list is keyed on (chain, config, engine, parameters); \
+             a warm re-run replays cached verdicts and reports identically")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Also write the four tables and the summary (all deterministic) \
+             as JSON to $(docv)")
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:
+         "Run the automated DOP-attack compiler: synthesize gadget chains \
+          from static analysis plus semantic probing of an unhardened \
+          replica, execute them against undefended, selectively hardened \
+          and fully hardened builds, and report survival, brute-force \
+          entropy vs the hand-written corpus, and static grounding of \
+          every landing chain.  The report is byte-identical at any \
+          $(b,--jobs), on either engine, and on a warm store re-run; exit 1 \
+          if a landing chain has no static DOP pair.")
+    Term.(
+      const action $ workload_arg $ progen_arg $ chains_arg $ trials_arg
+      $ budget_arg $ store_arg $ engine_arg $ jobs_arg $ json_arg)
+
 let () =
   (* force the engine library to link so --engine=bytecode resolves *)
   Engine.Backend.install ();
@@ -1012,6 +1189,7 @@ let () =
              lint_cmd;
              serve_cmd;
              campaign_cmd;
+             attack_cmd;
            ])
     with e ->
       Printf.eprintf "smokestackc: error: %s\n" (one_line (Printexc.to_string e));

@@ -1,6 +1,7 @@
 type kind = Same_frame | Cross_frame | Wild_write
 
 type pair = {
+  pair_id : string;
   kind : kind;
   buf_func : string;
   buf_slot : string;
@@ -16,6 +17,47 @@ let kind_to_string = function
   | Same_frame -> "same-frame"
   | Cross_frame -> "cross-frame"
   | Wild_write -> "wild-write"
+
+(* Length-prefixed framing (a field containing ";" or an empty field
+   cannot collide with a neighbouring one), MD5 via the stdlib so
+   lib/analysis keeps zero store dependencies, truncated to 12 hex
+   chars — 48 bits, far beyond any program's pair count. *)
+let compute_pair_id ~kind ~buf_func ~buf_slot ~victim_func ~victim_slot
+    ~static_distance ~path =
+  let b = Buffer.create 64 in
+  let field s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+  in
+  field (kind_to_string kind);
+  field buf_func;
+  field buf_slot;
+  field victim_func;
+  field victim_slot;
+  field
+    (match static_distance with Some d -> string_of_int d | None -> "-");
+  List.iter field path;
+  String.sub (Digest.to_hex (Digest.string (Buffer.contents b))) 0 12
+
+(* [mk] is the one pair constructor: every enumerated pair gets its id
+   from the same digest. *)
+let mk ~kind ~buf_func ~buf_slot ~victim_func ~victim_slot ~static_distance
+    ~path ~victim_roles ~reasons =
+  {
+    pair_id =
+      compute_pair_id ~kind ~buf_func ~buf_slot ~victim_func ~victim_slot
+        ~static_distance ~path;
+    kind;
+    buf_func;
+    buf_slot;
+    victim_func;
+    victim_slot;
+    static_distance;
+    path;
+    victim_roles;
+    reasons;
+  }
 
 (* functions whose address is taken anywhere in the program: the
    conservative indirect-call target set *)
@@ -98,17 +140,10 @@ let enumerate (prog : Ir.Prog.t) (ans : Funcan.t list) =
                 (* overflows write upward: victim above the buffer *)
                 if v.reg <> b.reg && v.offset > b.offset then
                   push
-                    {
-                      kind = Same_frame;
-                      buf_func = a.fname;
-                      buf_slot = b.name;
-                      victim_func = a.fname;
-                      victim_slot = v.name;
-                      static_distance = Some (v.offset - b.offset);
-                      path = [];
-                      victim_roles = v.roles;
-                      reasons = b.overflow;
-                    })
+                    (mk ~kind:Same_frame ~buf_func:a.fname ~buf_slot:b.name
+                       ~victim_func:a.fname ~victim_slot:v.name
+                       ~static_distance:(Some (v.offset - b.offset))
+                       ~path:[] ~victim_roles:v.roles ~reasons:b.overflow))
               (victims a))
         a.slots)
     ans;
@@ -171,17 +206,12 @@ let enumerate (prog : Ir.Prog.t) (ans : Funcan.t list) =
                               with
                               | Some d when d > 0 ->
                                   push
-                                    {
-                                      kind = Cross_frame;
-                                      buf_func = a.fname;
-                                      buf_slot = b.name;
-                                      victim_func = g;
-                                      victim_slot = v.name;
-                                      static_distance = Some d;
-                                      path;
-                                      victim_roles = v.roles;
-                                      reasons = b.overflow;
-                                    }
+                                    (mk ~kind:Cross_frame ~buf_func:a.fname
+                                       ~buf_slot:b.name ~victim_func:g
+                                       ~victim_slot:v.name
+                                       ~static_distance:(Some d) ~path
+                                       ~victim_roles:v.roles
+                                       ~reasons:b.overflow)
                               | _ -> ())
                             vs)
                         bufs)
@@ -193,17 +223,9 @@ let enumerate (prog : Ir.Prog.t) (ans : Funcan.t list) =
       if a.wild_stores > 0 then begin
         let wild_pair (g : string) (v : Funcan.slot) =
           push
-            {
-              kind = Wild_write;
-              buf_func = a.fname;
-              buf_slot = "*";
-              victim_func = g;
-              victim_slot = v.name;
-              static_distance = None;
-              path = [];
-              victim_roles = v.roles;
-              reasons = [];
-            }
+            (mk ~kind:Wild_write ~buf_func:a.fname ~buf_slot:"*"
+               ~victim_func:g ~victim_slot:v.name ~static_distance:None
+               ~path:[] ~victim_roles:v.roles ~reasons:[])
         in
         List.iter (wild_pair a.fname) (victims a);
         List.iter

@@ -22,6 +22,12 @@
 type kind = Same_frame | Cross_frame | Wild_write
 
 type pair = {
+  pair_id : string;
+      (** stable content digest of the identifying tuple (kind, buffer,
+          victim, distance, path) — the handle chain synthesis, store
+          keys and crossval feedback use to reference a pair without
+          re-deriving the tuple.  Deterministic across runs, engines and
+          platforms; 12 hex characters. *)
   kind : kind;
   buf_func : string;
   buf_slot : string;  (** ["*"] for {!Wild_write} *)
@@ -38,6 +44,20 @@ type pair = {
 }
 
 val kind_to_string : kind -> string
+
+val compute_pair_id :
+  kind:kind ->
+  buf_func:string ->
+  buf_slot:string ->
+  victim_func:string ->
+  victim_slot:string ->
+  static_distance:int option ->
+  path:string list ->
+  string
+(** The digest {!enumerate} stores in [pair_id]: length-prefixed
+    framing over the identifying fields, hashed and truncated.  Exposed
+    so consumers (report decoding, tests) can recompute and verify
+    ids. *)
 
 val enumerate : Ir.Prog.t -> Funcan.t list -> pair list
 (** Deterministic order: buffer functions in analysis order, then

@@ -238,6 +238,7 @@ let pair_to_json sp =
   let p = sp.pair in
   J.Obj
     [
+      ("pair_id", J.String p.pair_id);
       ("kind", J.String (Dop.kind_to_string p.kind));
       ("buf_func", J.String p.buf_func);
       ("buf_slot", J.String p.buf_slot);
@@ -395,11 +396,23 @@ let pair_of_json j =
           kvs
     | _ -> Ok []
   in
+  (* Documents written before pair ids existed lack the field; the
+     digest is a pure function of the tuple, so recomputing it is both
+     the backward-compatible path and a consistency check for documents
+     that do carry one. *)
+  let pair_id =
+    match J.member "pair_id" j with
+    | Some (J.String id) -> id
+    | _ ->
+        Dop.compute_pair_id ~kind ~buf_func ~buf_slot ~victim_func
+          ~victim_slot ~static_distance ~path
+  in
   Ok
     {
       pair =
         {
-          Dop.kind;
+          Dop.pair_id;
+          kind;
           buf_func;
           buf_slot;
           victim_func;

@@ -41,6 +41,28 @@ val run : ?pool:Sched.Pool.t -> ?store:Store.Cache.t -> ?trials:int -> unit -> t
 val table : t -> Sutil.Texttable.t
 val to_markdown : t -> string
 
+(** {2 Store plumbing shared with the offense harness}
+
+    Verdicts cross the store as [(tag, detail)] pairs so {!Store.Entry}
+    keeps no dependency on [lib/attacks]; an unknown tag decodes to
+    [None] and the whole cached list counts as a miss. *)
+
+val verdict_to_pair : Attacks.Verdict.t -> string * string
+val verdict_of_pair : string * string -> Attacks.Verdict.t option
+
+val cached_verdicts :
+  ?store:Store.Cache.t ->
+  source:string ->
+  config:Smokestack.Config.t option ->
+  extra:string ->
+  (unit -> Attacks.Verdict.t list) ->
+  Attacks.Verdict.t list
+(** Serve a verdict list from the store when warm, else run the thunk
+    and record it.  The key is content-addressed on the program source,
+    the hardening config, the default engine kind and [extra] (which
+    must carry every further determinism input: case name, trial count,
+    seeds). *)
+
 (** {2 Selective-hardening differential (E14 acceptance)}
 
     Elision is draw-preserving, so selective hardening must be

@@ -1,0 +1,69 @@
+let run_chunks_probed ?backend ?fuel (applied : Defenses.Defense.applied)
+    ~seed ~chunks ~globals =
+  let backend =
+    match backend with Some b -> b | None -> Machine.Backend.default ()
+  in
+  let entropy = Crypto.Entropy.create ~seed in
+  let st = applied.fresh_state entropy in
+  let remaining = ref chunks in
+  Machine.Exec.set_input st (fun _st max ->
+      match !remaining with
+      | [] -> ""
+      | chunk :: rest ->
+          remaining := rest;
+          if String.length chunk > max then String.sub chunk 0 max else chunk);
+  let outcome, stats = backend.Machine.Backend.run ?fuel st in
+  let finals =
+    List.map
+      (fun g ->
+        ( g,
+          Machine.Memory.load_unchecked st.Machine.Exec.mem ~width:8
+            (Machine.Exec.global_addr st g) ))
+      globals
+  in
+  (outcome, stats, finals)
+
+let run_chain ?backend (applied : Defenses.Defense.applied) (chain : Chain.t)
+    ~seed =
+  match Payload.lower applied chain ~seed with
+  | exception Invalid_argument _ -> Attacks.Verdict.No_effect
+  | chunks -> (
+      let globals =
+        match chain.goal with Chain.Flip_global (g, _) -> [ g ] | _ -> []
+      in
+      match run_chunks_probed ?backend applied ~seed ~chunks ~globals with
+      | exception Invalid_argument _ ->
+          (* a goal global the build doesn't define *)
+          Attacks.Verdict.No_effect
+      | outcome, stats, finals ->
+          let goal_met =
+            match chain.goal with
+            | Chain.Flip_global (g, c) -> List.assoc_opt g finals = Some c
+            | Chain.Output_contains m -> Apps.Dopkit.goal_in_output m stats
+            | Chain.Output_differs ->
+                let benign =
+                  List.map (fun c -> String.make (String.length c) 'A') chunks
+                in
+                let _, bstats, _ =
+                  run_chunks_probed ?backend applied ~seed ~chunks:benign
+                    ~globals:[]
+                in
+                not
+                  (String.equal stats.Machine.Exec.output
+                     bstats.Machine.Exec.output)
+          in
+          Attacks.Verdict.classify outcome ~goal_met)
+
+let trials ?backend applied chain ~n ~seed0 =
+  List.init n (fun i ->
+      run_chain ?backend applied chain ~seed:(Int64.of_int (seed0 + (1000 * i))))
+
+let brute ?backend applied chain ~budget ~seed0 =
+  let rec go i acc =
+    if i >= budget then List.rev acc
+    else
+      let v = run_chain ?backend applied chain ~seed:(Int64.of_int (seed0 + i)) in
+      let acc = v :: acc in
+      if v = Attacks.Verdict.Success then List.rev acc else go (i + 1) acc
+  in
+  go 0 []

@@ -1,0 +1,56 @@
+(** Chain executor — step 4 of the attack compiler: run a synthesized
+    chain against one defense-applied build and judge it.
+
+    Unlike {!Apps.Runner} this runner keeps the final machine state, so
+    a {!Chain.Flip_global} goal is judged from the global's actual
+    in-memory value after the run — the semantic witness — rather than
+    from program output.  Everything reported is derived from the
+    outcome, the output and final memory, all of which the engine
+    contract keeps bit-identical across backends. *)
+
+val run_chunks_probed :
+  ?backend:Machine.Backend.t ->
+  ?fuel:int ->
+  Defenses.Defense.applied ->
+  seed:int64 ->
+  chunks:string list ->
+  globals:string list ->
+  Machine.Exec.outcome * Machine.Exec.stats * (string * int64) list
+(** One service process: fresh state from [seed]-derived entropy, each
+    [read_input] consumes the next chunk (truncated to the callee's
+    limit, empty once exhausted), then the named globals' final 8-byte
+    values are read back from memory. *)
+
+val run_chain :
+  ?backend:Machine.Backend.t ->
+  Defenses.Defense.applied ->
+  Chain.t ->
+  seed:int64 ->
+  Attacks.Verdict.t
+(** Lower, deliver, judge.  An impossible layout guess wastes the
+    attempt ({!Attacks.Verdict.No_effect}); a defense check firing is
+    {!Attacks.Verdict.Detected}; {!Chain.Output_differs} runs the
+    benign length-matched baseline under the same seed. *)
+
+val trials :
+  ?backend:Machine.Backend.t ->
+  Defenses.Defense.applied ->
+  Chain.t ->
+  n:int ->
+  seed0:int ->
+  Attacks.Verdict.t list
+(** [n] independent attempts with seeds [seed0 + 1000*i] (the
+    {!Harness.Security.trials} convention), in trial order. *)
+
+val brute :
+  ?backend:Machine.Backend.t ->
+  Defenses.Defense.applied ->
+  Chain.t ->
+  budget:int ->
+  seed0:int ->
+  Attacks.Verdict.t list
+(** Restart-after-crash brute force: attempts with seeds [seed0 + i]
+    until the first success or the budget is spent.  Returns every
+    attempt's verdict (the list length is the attempts consumed);
+    [attempts-to-success] is the index of the first
+    {!Attacks.Verdict.Success} plus one. *)

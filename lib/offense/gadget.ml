@@ -1,0 +1,280 @@
+type op = Add | Sub | Mov
+
+let op_to_string = function Add -> "add" | Sub -> "sub" | Mov -> "mov"
+
+type kind =
+  | Deliver
+  | Branch_flip of int64 list
+  | Ptr_aim
+  | Wild_value
+  | Leak
+  | Call_redirect
+  | Arith of { aop : op; sel_slot : string; sel_value : int64; dst_first : bool }
+
+type t = {
+  gid : string;
+  kind : kind;
+  func : string;
+  slot : string;
+  pair_ids : string list;
+}
+
+let kind_to_string = function
+  | Deliver -> "deliver"
+  | Branch_flip cs ->
+      "branch-flip"
+      ^
+      if cs = [] then ""
+      else "{" ^ String.concat "," (List.map Int64.to_string cs) ^ "}"
+  | Ptr_aim -> "ptr-aim"
+  | Wild_value -> "wild-value"
+  | Leak -> "leak"
+  | Call_redirect -> "call-redirect"
+  | Arith { aop; sel_slot; sel_value; dst_first } ->
+      Printf.sprintf "arith{%s;%s=%Ld;%s}" (op_to_string aop) sel_slot
+        sel_value
+        (if dst_first then "p1<-p2" else "p2<-p1")
+
+(* Same length-prefixed framing + truncated MD5 as Analysis.Dop pair
+   ids, so every offense identifier renders uniformly. *)
+let digest_fields fields =
+  let b = Buffer.create 64 in
+  List.iter
+    (fun s ->
+      Buffer.add_string b (string_of_int (String.length s));
+      Buffer.add_char b ':';
+      Buffer.add_string b s)
+    fields;
+  String.sub (Digest.to_hex (Digest.string (Buffer.contents b))) 0 12
+
+let mk kind func slot pair_ids =
+  { gid = digest_fields [ kind_to_string kind; func; slot ]; kind; func;
+    slot; pair_ids }
+
+let v kind ~func ~slot ~pair_ids = mk kind func slot pair_ids
+
+(* ------------------------------------------------------------------ *)
+(* IR miners *)
+
+(* Per-function context: register definitions and alloca names, enough
+   to walk the -O0 load/compare/branch idiom backwards. *)
+let defs_of (f : Ir.Func.t) =
+  let defs = Hashtbl.create 64 in
+  Ir.Func.iter_instrs f (fun i ->
+      match Ir.Instr.defined_reg i with
+      | Some r -> Hashtbl.replace defs r i
+      | None -> ());
+  defs
+
+(* What address does an operand denote?  One Gep hop with constant
+   offset 0 and no index is transparent (taking a slot's address). *)
+let rec resolve_addr defs fuel (op : Ir.Instr.operand) =
+  match op with
+  | Ir.Instr.Global g -> `Glob g
+  | Ir.Instr.Reg r when fuel > 0 -> (
+      match Hashtbl.find_opt defs r with
+      | Some (Ir.Instr.Alloca { name; _ }) -> `Slot name
+      | Some (Ir.Instr.Gep { base; offset = 0; index = None; _ }) ->
+          resolve_addr defs (fuel - 1) base
+      | _ -> `Other)
+  | _ -> `Other
+
+(* Whose loaded value is this operand?  Sext/Trunc hops are
+   transparent (narrow locals compared as i64). *)
+let rec resolve_val defs fuel (op : Ir.Instr.operand) =
+  match op with
+  | Ir.Instr.Reg r when fuel > 0 -> (
+      match Hashtbl.find_opt defs r with
+      | Some (Ir.Instr.Load { addr; _ }) -> resolve_addr defs 4 addr
+      | Some (Ir.Instr.Sext { value; _ }) | Some (Ir.Instr.Trunc { value; _ })
+        ->
+          resolve_val defs (fuel - 1) value
+      | _ -> `Other)
+  | _ -> `Other
+
+(* Registers that decide control flow: Cond_br and Select conditions,
+   propagated backwards through the [icmp ne x, 0] normalization the
+   front end wraps every condition in. *)
+let branch_conds (f : Ir.Func.t) defs =
+  let conds = Hashtbl.create 16 in
+  let add = function
+    | Ir.Instr.Reg r -> Hashtbl.replace conds r ()
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : Ir.Func.block) ->
+      match b.term with
+      | Ir.Instr.Cond_br { cond; _ } -> add cond
+      | _ -> ())
+    f.blocks;
+  Ir.Func.iter_instrs f (function
+    | Ir.Instr.Select { cond; _ } -> add cond
+    | _ -> ());
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun r () ->
+        match Hashtbl.find_opt defs r with
+        | Some
+            (Ir.Instr.Icmp
+               { op = Ir.Instr.Ne; lhs = Ir.Instr.Reg x; rhs = Ir.Instr.Imm 0L; _ })
+        | Some
+            (Ir.Instr.Icmp
+               { op = Ir.Instr.Ne; lhs = Ir.Instr.Imm 0L; rhs = Ir.Instr.Reg x; _ })
+          ->
+            if not (Hashtbl.mem conds x) then begin
+              Hashtbl.replace conds x ();
+              changed := true
+            end
+        | _ -> ())
+      (Hashtbl.copy conds)
+  done;
+  conds
+
+(* Every (what, constant) with [what == c] / [what != c] feeding a
+   branch, in program order. *)
+let equality_tests (f : Ir.Func.t) =
+  let defs = defs_of f in
+  let conds = branch_conds f defs in
+  let out = ref [] in
+  Ir.Func.iter_instrs f (function
+    | Ir.Instr.Icmp { dst; op = Ir.Instr.Eq | Ir.Instr.Ne; lhs; rhs }
+      when Hashtbl.mem conds dst -> (
+        let classify imm other =
+          match resolve_val defs 4 other with
+          | `Slot s -> out := (`Slot s, imm) :: !out
+          | `Glob g -> out := (`Glob g, imm) :: !out
+          | `Other -> ()
+        in
+        match (lhs, rhs) with
+        | Ir.Instr.Imm c, x | x, Ir.Instr.Imm c -> classify c x
+        | _ -> ())
+    | _ -> ());
+  List.rev !out
+
+let dedup_consts cs =
+  List.rev
+    (List.fold_left (fun acc c -> if List.mem c acc then acc else c :: acc) [] cs)
+
+let mined_slot_consts (f : Ir.Func.t) =
+  let tests = equality_tests f in
+  List.filter_map
+    (fun (_, _, _, name) ->
+      let cs =
+        List.filter_map
+          (function `Slot s, c when s = name -> Some c | _ -> None)
+          tests
+      in
+      if cs = [] then None else Some (name, dedup_consts cs))
+    (Ir.Func.allocas f)
+
+(* Initial value of a writable scalar global, from its padded init
+   bytes (little-endian, zero-extended). *)
+let global_init (prog : Ir.Prog.t) g =
+  match Ir.Prog.find_global prog g with
+  | Some { gwritable = true; gty; ginit; _ } when Ir.Ty.size gty <= 8 ->
+      let size = Ir.Ty.size gty in
+      let v = ref 0L in
+      for i = size - 1 downto 0 do
+        let byte =
+          if i < String.length ginit then Char.code ginit.[i] else 0
+        in
+        v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int byte)
+      done;
+      Some !v
+  | _ -> None
+
+let mined_global_flips (prog : Ir.Prog.t) =
+  let out = ref [] in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      List.iter
+        (fun (what, c) ->
+          match what with
+          | `Glob g -> (
+              match global_init prog g with
+              | Some init
+                when init <> c
+                     && not
+                          (List.exists
+                             (fun (g', _, c') -> g' = g && c' = c)
+                             !out) ->
+                  out := (g, init, c) :: !out
+              | _ -> ())
+          | `Slot _ -> ())
+        (equality_tests f))
+    prog.funcs;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Classification *)
+
+let harvest (prog : Ir.Prog.t) (ans : Analysis.Funcan.t list)
+    (pairs : Analysis.Dop.pair list) =
+  let consts_of =
+    let cache = Hashtbl.create 8 in
+    fun fname slot ->
+      let table =
+        match Hashtbl.find_opt cache fname with
+        | Some t -> t
+        | None ->
+            let t =
+              match Ir.Prog.find_func prog fname with
+              | Some f -> mined_slot_consts f
+              | None -> []
+            in
+            Hashtbl.replace cache fname t;
+            t
+      in
+      Option.value ~default:[] (List.assoc_opt slot table)
+  in
+  (* merged by (kind, func, slot), first-seen order; a plain assoc
+     accumulator keeps the output independent of hashing and gadget
+     counts are small *)
+  let acc : ((string * string * string) * (kind * string * string * string list ref)) list ref =
+    ref []
+  in
+  let push kind func slot pid =
+    let key = (kind_to_string kind, func, slot) in
+    match List.assoc_opt key !acc with
+    | Some (_, _, _, ids) -> if not (List.mem pid !ids) then ids := !ids @ [ pid ]
+    | None -> acc := !acc @ [ (key, (kind, func, slot, ref [ pid ])) ]
+  in
+  List.iter
+    (fun (a : Analysis.Funcan.t) ->
+      List.iter
+        (fun (s : Analysis.Funcan.slot) ->
+          if
+            List.exists
+              (function
+                | Analysis.Funcan.Unbounded_intrinsic "read_input" -> true
+                | _ -> false)
+              s.overflow
+          then
+            List.iter
+              (fun (p : Analysis.Dop.pair) ->
+                if p.buf_func = a.fname && p.buf_slot = s.name then
+                  push Deliver a.fname s.name p.pair_id)
+              pairs)
+        a.slots)
+    ans;
+  List.iter
+    (fun (p : Analysis.Dop.pair) ->
+      List.iter
+        (fun role ->
+          let kind =
+            match role with
+            | Analysis.Funcan.Branch_feed ->
+                Branch_flip (consts_of p.victim_func p.victim_slot)
+            | Analysis.Funcan.Mem_addr -> Ptr_aim
+            | Analysis.Funcan.Wild_data -> Wild_value
+            | Analysis.Funcan.Call_arg -> Leak
+            | Analysis.Funcan.Call_target -> Call_redirect
+          in
+          push kind p.victim_func p.victim_slot p.pair_id)
+        p.victim_roles)
+    pairs;
+  List.map
+    (fun (_, (kind, func, slot, ids)) -> mk kind func slot !ids)
+    !acc

@@ -1,0 +1,42 @@
+let layout (applied : Defenses.Defense.applied) ~func ~buffer ~vars ~slots
+    ~seed =
+  match Apps.Dopkit.binary_offsets applied.prog ~func ~buffer ~vars with
+  | Some l -> l
+  | None -> Apps.Dopkit.guessed_offsets ~slots ~buffer ~vars ~fid_slot:true ~seed
+
+let resolve_value (applied : Defenses.Defense.applied) = function
+  | Chain.Const v -> v
+  | Chain.Addr_of_global g -> (
+      match List.assoc_opt g (Attacks.Layout.global_addrs applied.prog) with
+      | Some a -> Int64.of_int a
+      | None -> invalid_arg ("Offense.Payload: no global " ^ g))
+
+let lower (applied : Defenses.Defense.applied) (chain : Chain.t) ~seed =
+  let vars =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (s : Chain.step) ->
+           List.map (fun (w : Chain.write) -> w.target) s.writes)
+         chain.steps)
+  in
+  let l =
+    layout applied ~func:chain.func ~buffer:chain.buffer ~vars
+      ~slots:chain.slots ~seed
+  in
+  let offset_of target =
+    match List.assoc_opt target l with
+    | Some o -> o
+    | None ->
+        (* the binary revealed the frame but not this slot — as
+           impossible a geometry as a colliding guess *)
+        invalid_arg ("Offense.Payload: no offset for slot " ^ target)
+  in
+  List.map
+    (fun (s : Chain.step) ->
+      Attacks.Overflow.craft ~len:1
+        (List.map
+           (fun (w : Chain.write) ->
+             Attacks.Overflow.u64 ~label:w.target (offset_of w.target)
+               (resolve_value applied w.value))
+           s.writes))
+    chain.steps

@@ -16,16 +16,38 @@ let test_craft_basic () =
   Alcotest.(check string) "u32 LE" "\x04\x03\x02\x01" (String.sub chunk 10 4)
 
 let test_craft_rejects_overlap () =
+  (* unlabeled writes still name their byte ranges *)
   Alcotest.check_raises "overlap"
-    (Invalid_argument "Attacks.Overflow.craft: overlapping write at 7") (fun () ->
+    (Invalid_argument
+       "Attacks.Overflow.craft: write[7..15) overlaps write[4..12)")
+    (fun () ->
       ignore
         (Attacks.Overflow.craft ~len:1
            [ Attacks.Overflow.u64 4 1L; Attacks.Overflow.u64 7 2L ]))
 
+let test_craft_overlap_names_slots () =
+  (* labeled writes: the diagnostic names the colliding slots, which is
+     what a synthesized chain surfaces when a layout guess is
+     geometrically impossible *)
+  Alcotest.check_raises "labeled overlap"
+    (Invalid_argument
+       "Attacks.Overflow.craft: stamp[8..16) overlaps seen[4..12)")
+    (fun () ->
+      ignore
+        (Attacks.Overflow.craft ~len:1
+           [
+             Attacks.Overflow.u64 ~label:"seen" 4 1L;
+             Attacks.Overflow.u64 ~label:"stamp" 8 2L;
+           ]))
+
 let test_craft_rejects_negative () =
   Alcotest.check_raises "negative"
-    (Invalid_argument "Attacks.Overflow.craft: negative offset") (fun () ->
-      ignore (Attacks.Overflow.craft ~len:1 [ Attacks.Overflow.u64 (-1) 1L ]))
+    (Invalid_argument
+       "Attacks.Overflow.craft: negative offset in ctr[-1..7)")
+    (fun () ->
+      ignore
+        (Attacks.Overflow.craft ~len:1
+           [ Attacks.Overflow.u64 ~label:"ctr" (-1) 1L ]))
 
 let prop_craft_writes_land =
   QCheck2.Test.make ~count:100 ~name:"every write lands at its offset"
@@ -187,6 +209,8 @@ let () =
         [
           Alcotest.test_case "craft basic" `Quick test_craft_basic;
           Alcotest.test_case "rejects overlap" `Quick test_craft_rejects_overlap;
+          Alcotest.test_case "overlap names slots" `Quick
+            test_craft_overlap_names_slots;
           Alcotest.test_case "rejects negative" `Quick test_craft_rejects_negative;
           qt prop_craft_writes_land;
         ] );
