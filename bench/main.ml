@@ -10,8 +10,8 @@
      dune exec bench/main.exe -- table1 fig4 micro
      dune exec bench/main.exe -- --jobs=8 fig3
    Experiments: table1 fig3 fig4 bypass pentest realvuln brute rngsec
-   rerand ablation analysis selective chaos serve campaign attack micro
-   engine
+   rerand ablation analysis selective chaos serve campaign attack
+   resilience micro engine
 
    --jobs=N runs each paper-table experiment's cells on N domains;
    tables are identical for every N.  The wall-clock benchmarks (micro,
@@ -245,6 +245,28 @@ let run_attack pool =
      chains grounded: %b"
     t.landed_unhardened t.full_successes t.all_grounded
 
+let run_resilience pool =
+  Engine.Backend.install ();
+  let t0 = Unix.gettimeofday () in
+  let t = Harness.Resilience.run ~pool () in
+  let wall = Unix.gettimeofday () -. t0 in
+  emit ~name:"resilience"
+    ~title:
+      "E18: brute-force cost vs full hardening, session affinity off vs \
+       breakers on"
+    (Harness.Resilience.cost_table t);
+  emit ~name:"resilience_fleet"
+    ~title:"E18: fleet under a fault storm, FCFS baseline vs control plane"
+    (Harness.Resilience.fleet_table t);
+  emit ~name:"resilience_classes"
+    ~title:"E18: per-class service in the resilient cell"
+    (Harness.Resilience.class_table t);
+  say
+    "hand-written cost strictly higher: %b; synthesized: %b; benign p99 \
+     ratio: %.3f; mismatches: %d"
+    t.hand_higher t.synth_higher t.benign_p99_ratio t.mismatches;
+  Printf.eprintf "resilience: %.1f s wall\n" wall
+
 (* ------------------------------------------------------------------ *)
 (* Store-backed campaign: cold vs warm cost of the artifact store       *)
 
@@ -440,6 +462,7 @@ let experiments =
     ("serve", run_serve);
     ("campaign", run_campaign);
     ("attack", run_attack);
+    ("resilience", run_resilience);
     (* wall-clock benchmarks: always sequential, the pool is unused *)
     ("micro", fun (_ : Sched.Pool.t) -> run_micro ());
     ("engine", fun (_ : Sched.Pool.t) -> run_engine ());

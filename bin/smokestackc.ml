@@ -689,7 +689,7 @@ let lint_cmd =
 
 let serve_cmd =
   let action sessions attack_pct chaos_pct mean_gap workers capacity seed jobs
-      engine timeout json_path show_tenants =
+      engine timeout json_path show_tenants affinity classes breaker storm =
     if sessions < 1 then usage_fail "serve: --sessions must be >= 1";
     if attack_pct < 0 || chaos_pct < 0 || attack_pct + chaos_pct > 100 then
       usage_fail
@@ -704,18 +704,51 @@ let serve_cmd =
     (match timeout with
     | Some t when t <= 0. -> usage_fail "serve: --timeout must be positive"
     | _ -> ());
+    (match breaker with
+    | Some _ when not affinity ->
+        usage_fail "serve: --breaker only makes sense with --affinity"
+    | Some (base, trips) when base <= 0. || trips < 0 ->
+        usage_fail "serve: --breaker wants BASE>0 and TRIPS>=0"
+    | _ -> ());
+    let policy =
+      if affinity then
+        let b =
+          match breaker with
+          | None -> Server.Policy.default_breaker
+          | Some (base_backoff, max_trips) ->
+              { Server.Policy.default_breaker with base_backoff; max_trips }
+        in
+        Some { Server.Policy.affinity = true; breaker = b }
+      else None
+    in
     let config =
       {
         Harness.Serve.default with
         traffic =
-          { Server.Traffic.sessions; attack_pct; chaos_pct; mean_gap;
-            root = seed };
+          {
+            Server.Traffic.default with
+            Server.Traffic.sessions;
+            attack_pct;
+            chaos_pct;
+            mean_gap;
+            root = seed;
+            storm =
+              (if storm then Some (Fault.Storm.plan ~root:seed ~sessions ())
+               else None);
+          };
         dispatch =
           {
             Server.Dispatch.default with
             Server.Dispatch.virtual_workers = workers;
             queue_capacity = capacity;
             timeout;
+            discipline =
+              (if classes then Server.Dispatch.Wfq else Server.Dispatch.Fcfs);
+            policy;
+            degradation =
+              (if classes || affinity then
+                 Some Server.Dispatch.default_degradation
+               else None);
           };
       }
     in
@@ -733,6 +766,9 @@ let serve_cmd =
     Sutil.Texttable.print
       ~title:"server runtime — mixed benign+attack traffic under load"
       (Harness.Serve.summary_table t);
+    if classes then
+      Sutil.Texttable.print ~title:"per-class service and latency"
+        (Harness.Serve.class_table t);
     if show_tenants then
       Sutil.Texttable.print ~title:"per-tenant service and security"
         (Harness.Serve.tenant_table t);
@@ -742,9 +778,10 @@ let serve_cmd =
         Fun.protect
           ~finally:(fun () -> close_out oc)
           (fun () ->
-            (* the table fields are deterministic; "pool" carries this
-               run's scheduler counters (host-dependent, asserted on by
-               CI's saturation checks) *)
+            (* the table fields are deterministic; "tenants" embeds the
+               per-tenant breakdown so dashboards need not re-parse the
+               text table; "pool" carries this run's scheduler counters
+               (host-dependent, asserted on by CI's saturation checks) *)
             let doc =
               match
                 Sutil.Texttable.to_json
@@ -753,7 +790,16 @@ let serve_cmd =
               with
               | Sutil.Json.Obj fields ->
                   Sutil.Json.Obj
-                    (fields @ [ ("pool", Sched.Pool.stats_to_json stats) ])
+                    (fields
+                    @ [ ("tenants",
+                          Sutil.Texttable.to_json
+                            (Harness.Serve.tenant_table t)) ]
+                    @ (if classes then
+                         [ ("classes",
+                             Sutil.Texttable.to_json
+                               (Harness.Serve.class_table t)) ]
+                       else [])
+                    @ [ ("pool", Sched.Pool.stats_to_json stats) ])
               | other -> other
             in
             Sutil.Json.doc_to_channel ~indent:true oc doc)
@@ -823,19 +869,60 @@ let serve_cmd =
       value & flag
       & info [ "tenants" ] ~doc:"Also print the per-tenant breakdown")
   in
+  let affinity_flag =
+    Arg.(
+      value & flag
+      & info [ "affinity" ]
+          ~doc:
+            "Enable session affinity: per-client circuit breakers with \
+             exponential virtual-time backoff and quarantine (see \
+             $(b,--breaker))")
+  in
+  let classes_flag =
+    Arg.(
+      value & flag
+      & info [ "classes" ]
+          ~doc:
+            "Enable priority classes: weighted-fair queueing over \
+             paying/standard/suspect traffic, class-aware shedding, and \
+             graceful degradation under fault storms")
+  in
+  let breaker_arg =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' float int)) None
+      & info [ "breaker" ] ~docv:"BASE:TRIPS"
+          ~doc:
+            "Breaker tuning for $(b,--affinity): base backoff in virtual \
+             cycles and trips before permanent quarantine (default \
+             20000:3)")
+  in
+  let storm_flag =
+    Arg.(
+      value & flag
+      & info [ "storm" ]
+          ~doc:
+            "Overlay a deterministic fault storm on the schedule: burst \
+             windows of elevated attack and chaos rates, derived from the \
+             seed")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the hardened multi-tenant server harness: a deterministic \
           mixed benign+attack traffic schedule dispatched over a worker \
           pool, reporting throughput, latency percentiles, shed rate and \
-          the security ledger.  The report is byte-identical at any \
-          $(b,--jobs) and on either engine; exit 1 if any served attack's \
-          verdict diverges from the batch harness.")
+          the security ledger.  $(b,--affinity), $(b,--classes) and \
+          $(b,--storm) enable the resilience control plane: per-client \
+          circuit breakers, weighted-fair priority scheduling and \
+          graceful degradation under fault storms.  The report is \
+          byte-identical at any $(b,--jobs) and on either engine; exit 1 \
+          if any served attack's verdict diverges from the batch harness.")
     Term.(
       const action $ sessions_arg $ attack_arg $ chaos_arg $ gap_arg
       $ workers_arg $ capacity_arg $ seed_arg $ jobs_arg $ engine_arg
-      $ timeout_arg $ json_arg $ tenants_flag)
+      $ timeout_arg $ json_arg $ tenants_flag $ affinity_flag $ classes_flag
+      $ breaker_arg $ storm_flag)
 
 let campaign_cmd =
   let action progen store_dir resume seed exec_seed harden scheme no_fid

@@ -37,6 +37,7 @@ let run ?pool ?backend ?(config = default) () =
 
 let summary_table t = Server.Metrics.table t.summary
 let tenant_table t = Server.Metrics.tenant_table t.tenants t.dispatch
+let class_table t = Server.Metrics.class_table t.dispatch
 
 let to_markdown t =
   let b = Buffer.create 2048 in

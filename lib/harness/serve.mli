@@ -41,4 +41,9 @@ val run :
 
 val summary_table : t -> Sutil.Texttable.t
 val tenant_table : t -> Sutil.Texttable.t
+
+val class_table : t -> Sutil.Texttable.t
+(** Per-priority-class latency/shed breakdown (see
+    {!Server.Metrics.class_table}). *)
+
 val to_markdown : t -> string

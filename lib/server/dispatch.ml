@@ -1,121 +1,309 @@
+type discipline = Fcfs | Wfq
+
+type degradation = {
+  window : float;
+  storm_failures : int;
+  reserve : float;
+}
+
+let default_degradation =
+  { window = 50_000.; storm_failures = 8; reserve = 0.5 }
+
 type config = {
   virtual_workers : int;
   queue_capacity : int;
   shard : int;
   timeout : float option;
   retries : int;
+  discipline : discipline;
+  weights : int * int * int;
+  policy : Policy.config option;
+  degradation : degradation option;
 }
 
 let default =
-  { virtual_workers = 16; queue_capacity = 1024; shard = 32; timeout = None;
-    retries = 0 }
+  {
+    virtual_workers = 16;
+    queue_capacity = 1024;
+    shard = 32;
+    timeout = None;
+    retries = 0;
+    discipline = Fcfs;
+    weights = (4, 2, 1);
+    policy = None;
+    degradation = None;
+  }
 
-type served = { outcome : Session.outcome; start : float; finish : float }
+type served = {
+  outcome : Session.outcome;
+  start : float;
+  finish : float;
+  cls : Policy.cls;
+}
 
 let wait s = s.start -. s.outcome.Session.spec.Session.arrival
 let sojourn s = s.finish -. s.outcome.Session.spec.Session.arrival
 
+type refusal = Backoff | Quarantine
+
+let refusal_label = function Backoff -> "backoff" | Quarantine -> "quarantine"
+
 type t = {
   served : served list;
-  shed : Session.outcome list;
+  shed : (Session.outcome * Policy.cls) list;
+  rejected : (Session.outcome * refusal) list;
   dropped : Session.spec list;
   peak_open : int;
   makespan : float;
+  degraded : int;
+  policy : Policy.stats option;
 }
-
-(* ------------------------------------------------------------------ *)
-(* A small float min-heap for tracking open sessions' finish times.    *)
-
-module Fheap = struct
-  type h = { mutable a : float array; mutable n : int }
-
-  let create () = { a = Array.make 64 0.; n = 0 }
-  let size h = h.n
-
-  let push h x =
-    if h.n = Array.length h.a then begin
-      let a = Array.make (2 * h.n) 0. in
-      Array.blit h.a 0 a 0 h.n;
-      h.a <- a
-    end;
-    let i = ref h.n in
-    h.a.(!i) <- x;
-    h.n <- h.n + 1;
-    while !i > 0 && h.a.((!i - 1) / 2) > h.a.(!i) do
-      let p = (!i - 1) / 2 in
-      let tmp = h.a.(p) in
-      h.a.(p) <- h.a.(!i);
-      h.a.(!i) <- tmp;
-      i := p
-    done
-
-  let min h = h.a.(0)
-
-  let pop h =
-    h.n <- h.n - 1;
-    h.a.(0) <- h.a.(h.n);
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let s = ref !i in
-      if l < h.n && h.a.(l) < h.a.(!s) then s := l;
-      if r < h.n && h.a.(r) < h.a.(!s) then s := r;
-      if !s = !i then continue := false
-      else begin
-        let tmp = h.a.(!s) in
-        h.a.(!s) <- h.a.(!i);
-        h.a.(!i) <- tmp;
-        i := !s
-      end
-    done
-end
 
 (* ------------------------------------------------------------------ *)
 (* Virtual-time admission and queueing.
 
-   Sessions are replayed through a deterministic FCFS simulation of
-   [virtual_workers] request handlers over the measured service times:
-   at each arrival, retire handlers whose session finished, count the
-   sessions that are open but not in service (the wait queue), and shed
-   the arrival if the queue is at capacity; otherwise the session
-   starts on the earliest-free handler.  Everything is computed from
-   (arrival, service_cycles) pairs — both bit-identical across engines
-   and pool widths — so the admission decisions, latencies and
-   throughput are too. *)
+   Sessions are replayed, in arrival order, through a deterministic
+   event-driven simulation of [virtual_workers] request handlers over
+   the measured service times.  An arrival is first screened by the
+   optional per-client {!Policy} (breaker rejections never reach the
+   queue), then classified (paying / standard / suspect), then either
+   started on an idle handler, enqueued, or shed.  The wait queue is
+   FCFS or weighted-fair (SCFQ: each enqueue stamps a finish tag
+   [max(vclock, class tag) + service/weight]; dequeues take the lowest
+   tag and advance the virtual clock to it), and under WFQ a full queue
+   sheds by class: an arrival that outranks the lowest-class queued
+   session evicts it instead of being refused.
 
-let simulate cfg outcomes =
+   Everything is computed from (arrival, service_cycles, verdict)
+   triples — all bit-identical across engines and pool widths — so the
+   admission decisions, breaker state, latencies and throughput are
+   too. *)
+
+type entry = {
+  e_outcome : Session.outcome;
+  e_cls : Policy.cls;
+  e_seq : int;
+  e_tag : float;  (* SCFQ finish tag (Wfq); enqueue sequence (Fcfs) *)
+  s : served option ref;  (* filled at start time, admission order kept *)
+}
+
+let cls_of policy (o : Session.outcome) =
+  let is_suspect =
+    match policy with
+    | Some p -> Policy.suspect p ~client:o.Session.spec.Session.client
+    | None -> false
+  in
+  if is_suspect then Policy.Suspect
+  else if o.Session.spec.Session.paying then Policy.Paying
+  else Policy.Standard
+
+let admit ?(dropped = []) cfg outcomes =
   let workers = max 1 cfg.virtual_workers in
-  let free = Array.make workers 0. in
-  let open_finishes = Fheap.create () in
-  let served = ref [] in
+  let policy = Option.map Policy.create cfg.policy in
+  let wp, ws, wu = cfg.weights in
+  let weight = function
+    | Policy.Paying -> float_of_int (max 1 wp)
+    | Policy.Standard -> float_of_int (max 1 ws)
+    | Policy.Suspect -> float_of_int (max 1 wu)
+  in
+  (* busy handlers: (finish, seq, entry), ascending by (finish, seq) *)
+  let busy = ref [] in
+  let nbusy = ref 0 in
+  let queue = ref [] in
+  let nqueue = ref 0 in
+  let order = ref [] in  (* admitted entries, admission order (reversed) *)
   let shed = ref [] in
+  let rejected = ref [] in
+  let seq = ref 0 in
+  let vclock = ref 0. in
+  let class_tag = [| 0.; 0.; 0. |] in
+  let fail_times = ref [] in
   let peak_open = ref 0 in
   let makespan = ref 0. in
+  let degraded_arrivals = ref 0 in
+  let next_seq () =
+    incr seq;
+    !seq
+  in
+  let rec insert_busy x = function
+    | [] -> [ x ]
+    | ((f, s, _) as y) :: rest ->
+        let fx, sx, _ = x in
+        if (fx, sx) < (f, s) then x :: y :: rest else y :: insert_busy x rest
+  in
+  let start_session ~at e =
+    let finish = at +. e.e_outcome.Session.service_cycles in
+    busy := insert_busy (finish, e.e_seq, e) !busy;
+    incr nbusy;
+    e.s := Some { outcome = e.e_outcome; start = at; finish; cls = e.e_cls };
+    if finish > !makespan then makespan := finish
+  in
+  let enqueue ~svc e =
+    let e =
+      match cfg.discipline with
+      | Fcfs -> { e with e_tag = float_of_int e.e_seq }
+      | Wfq ->
+          let i = 2 - Policy.cls_rank e.e_cls in
+          let tag =
+            Float.max !vclock class_tag.(i) +. (svc /. weight e.e_cls)
+          in
+          class_tag.(i) <- tag;
+          { e with e_tag = tag }
+    in
+    let rec ins = function
+      | [] -> [ e ]
+      | y :: rest ->
+          if (e.e_tag, e.e_seq) < (y.e_tag, y.e_seq) then e :: y :: rest
+          else y :: ins rest
+    in
+    queue := ins !queue;
+    incr nqueue
+  in
+  let dequeue () =
+    match !queue with
+    | [] -> None
+    | e :: rest ->
+        queue := rest;
+        decr nqueue;
+        if cfg.discipline = Wfq then vclock := e.e_tag;
+        Some e
+  in
+  (* evict the lowest-ranked queued session, latest-served first among
+     equals; only strictly lower-ranked sessions are eviction fodder *)
+  let evict_below cls =
+    let victim =
+      List.fold_left
+        (fun acc e ->
+          if Policy.cls_rank e.e_cls >= Policy.cls_rank cls then acc
+          else
+            match acc with
+            | None -> Some e
+            | Some v ->
+                if
+                  Policy.cls_rank e.e_cls < Policy.cls_rank v.e_cls
+                  || Policy.cls_rank e.e_cls = Policy.cls_rank v.e_cls
+                     && (e.e_tag, e.e_seq) > (v.e_tag, v.e_seq)
+                then Some e
+                else acc)
+        None !queue
+    in
+    match victim with
+    | None -> None
+    | Some v ->
+        queue := List.filter (fun e -> e.e_seq <> v.e_seq) !queue;
+        decr nqueue;
+        Some v
+  in
+  let record_completion finish (e : entry) =
+    let failure = Policy.failure_verdict e.e_outcome.Session.verdict in
+    (match policy with
+    | Some p ->
+        Policy.observe p ~client:e.e_outcome.Session.spec.Session.client
+          ~now:finish ~failure
+    | None -> ());
+    if failure && cfg.degradation <> None then
+      fail_times := finish :: !fail_times
+  in
+  let rec advance t =
+    match !busy with
+    | (finish, _, e) :: rest when finish <= t ->
+        busy := rest;
+        decr nbusy;
+        record_completion finish e;
+        (match dequeue () with
+        | Some q -> start_session ~at:finish q
+        | None -> ());
+        advance t
+    | _ -> ()
+  in
+  let degraded_at t =
+    match cfg.degradation with
+    | None -> false
+    | Some d ->
+        fail_times := List.filter (fun f -> f > t -. d.window) !fail_times;
+        List.length !fail_times >= d.storm_failures
+  in
+  let class_capacity ~degraded d cls =
+    if not degraded then cfg.queue_capacity
+    else
+      match cls with
+      | Policy.Paying -> cfg.queue_capacity
+      | Policy.Standard ->
+          int_of_float (float_of_int cfg.queue_capacity *. d.reserve)
+      | Policy.Suspect -> 0
+  in
   List.iter
     (fun (o : Session.outcome) ->
-      let arrival = o.Session.spec.Session.arrival in
-      while Fheap.size open_finishes > 0 && Fheap.min open_finishes <= arrival do
-        Fheap.pop open_finishes
-      done;
-      let in_service = ref 0 in
-      Array.iter (fun f -> if f > arrival then incr in_service) free;
-      let waiting = Fheap.size open_finishes - !in_service in
-      if waiting >= cfg.queue_capacity then shed := o :: !shed
-      else begin
-        let k = ref 0 in
-        Array.iteri (fun i f -> if f < free.(!k) then k := i) free;
-        let start = Float.max arrival free.(!k) in
-        let finish = start +. o.Session.service_cycles in
-        free.(!k) <- finish;
-        Fheap.push open_finishes finish;
-        if Fheap.size open_finishes > !peak_open then
-          peak_open := Fheap.size open_finishes;
-        if finish > !makespan then makespan := finish;
-        served := { outcome = o; start; finish } :: !served
-      end)
+      let t = o.Session.spec.Session.arrival in
+      advance t;
+      let degraded = degraded_at t in
+      if degraded then incr degraded_arrivals;
+      let decision =
+        match policy with
+        | None -> Policy.Admit
+        | Some p ->
+            Policy.decide p ~client:o.Session.spec.Session.client ~now:t
+      in
+      (match decision with
+      | Policy.Reject_quarantine -> rejected := (o, Quarantine) :: !rejected
+      | Policy.Reject_backoff _ -> rejected := (o, Backoff) :: !rejected
+      | Policy.Admit ->
+          let cls = cls_of policy o in
+          let e =
+            {
+              e_outcome = o;
+              e_cls = cls;
+              e_seq = next_seq ();
+              e_tag = 0.;
+              s = ref None;
+            }
+          in
+          if !nbusy < workers then begin
+            order := e :: !order;
+            start_session ~at:t e
+          end
+          else begin
+            let cap =
+              match cfg.degradation with
+              | Some d -> class_capacity ~degraded d cls
+              | None -> cfg.queue_capacity
+            in
+            if !nqueue < cap then begin
+              order := e :: !order;
+              enqueue ~svc:o.Session.service_cycles e
+            end
+            else if cfg.discipline = Wfq then
+              match evict_below cls with
+              | Some v ->
+                  shed := (v.e_outcome, v.e_cls) :: !shed;
+                  order := e :: !order;
+                  enqueue ~svc:o.Session.service_cycles e
+              | None -> shed := (o, cls) :: !shed
+            else shed := (o, cls) :: !shed
+          end);
+      let open_now = !nbusy + !nqueue in
+      if open_now > !peak_open then peak_open := open_now)
     outcomes;
-  (List.rev !served, List.rev !shed, !peak_open, !makespan)
+  advance Float.infinity;
+  let served =
+    List.rev !order
+    |> List.filter_map (fun e ->
+           match !(e.s) with
+           | Some s -> Some s
+           | None ->
+               (* evicted from the queue: already recorded as shed *)
+               None)
+  in
+  {
+    served;
+    shed = List.rev !shed;
+    rejected = List.rev !rejected;
+    dropped;
+    peak_open = !peak_open;
+    makespan = !makespan;
+    degraded = !degraded_arrivals;
+    policy = Option.map Policy.stats policy;
+  }
 
 (* ------------------------------------------------------------------ *)
 
@@ -134,8 +322,8 @@ let prepared lease (tenant : Tenant.t) =
   Sched.Lease.acquire lease ~key:tenant.Tenant.name ~build:(fun () ->
       Tenant.prepare tenant)
 
-let run ?(pool = Sched.Pool.sequential) ?backend ?(config = default) tenants
-    specs =
+let execute ?(pool = Sched.Pool.sequential) ?backend ?(config = default)
+    tenants specs =
   let lease = Sched.Lease.create () in
   (* Build every tenant instance up front, on the submitting domain:
      jobs then lease read-only hits instead of serializing on builds. *)
@@ -171,7 +359,8 @@ let run ?(pool = Sched.Pool.sequential) ?backend ?(config = default) tenants
         | Sched.Job.Timed_out | Sched.Job.Failed _ -> (ex, shard :: dr))
       ([], []) shards outcomes
   in
-  let executed = List.concat (List.rev executed) in
-  let dropped = List.concat (List.rev dropped) in
-  let served, shed, peak_open, makespan = simulate config executed in
-  { served; shed; dropped; peak_open; makespan }
+  (List.concat (List.rev executed), List.concat (List.rev dropped))
+
+let run ?pool ?backend ?(config = default) tenants specs =
+  let executed, dropped = execute ?pool ?backend ~config tenants specs in
+  admit ~dropped config executed

@@ -2,6 +2,7 @@ type summary = {
   sessions : int;
   served : int;
   shed : int;
+  rejected : int;
   dropped : int;
   benign : int;
   attacks : int;
@@ -15,7 +16,9 @@ type summary = {
   p99 : float;
   mean_wait : float;
   shed_rate : float;
+  drop_rate : float;
   attack_sessions : int;
+  attacks_admitted : int;
   detected : int;
   successes : int;
   detection_rate : float;
@@ -23,6 +26,12 @@ type summary = {
   batch_mismatches : int;
   chaos_fired : int;
   peak_open : int;
+  degraded : int;
+  rejected_backoff : int;
+  rejected_quarantine : int;
+  breaker_trips : int;
+  quarantined_clients : int;
+  policy_delay : float;
 }
 
 (* Nearest-rank percentile over a sorted array. *)
@@ -42,7 +51,8 @@ let ghz = 1e9
 let of_dispatch (d : Dispatch.t) =
   let executed =
     List.map (fun (s : Dispatch.served) -> s.Dispatch.outcome) d.Dispatch.served
-    @ d.Dispatch.shed
+    @ List.map fst d.Dispatch.shed
+    @ List.map fst d.Dispatch.rejected
   in
   let count p l = List.length (List.filter p l) in
   let kind_is k (o : Session.outcome) =
@@ -55,14 +65,18 @@ let of_dispatch (d : Dispatch.t) =
   Array.sort compare sojourns;
   let served = List.length d.Dispatch.served in
   let shed = List.length d.Dispatch.shed in
+  let rejected = List.length d.Dispatch.rejected in
   let dropped = List.length d.Dispatch.dropped in
-  let sessions = served + shed + dropped in
+  let sessions = served + shed + rejected + dropped in
+  let admission = served + shed + rejected in
   let sum f l = List.fold_left (fun acc x -> acc +. f x) 0. l in
   let sumi f l = List.fold_left (fun acc x -> acc + f x) 0 l in
+  let pstats = d.Dispatch.policy in
   {
     sessions;
     served;
     shed;
+    rejected;
     dropped;
     benign = count (kind_is "benign") executed;
     attacks = List.length attacks_x;
@@ -86,9 +100,17 @@ let of_dispatch (d : Dispatch.t) =
       (if served = 0 then 0.
        else sum Dispatch.wait d.Dispatch.served /. float_of_int served);
     shed_rate =
+      (if admission = 0 then 0.
+       else float_of_int shed /. float_of_int admission);
+    drop_rate =
       (if sessions = 0 then 0.
-       else float_of_int shed /. float_of_int sessions);
+       else float_of_int dropped /. float_of_int sessions);
     attack_sessions = List.length attacks_x;
+    attacks_admitted =
+      count
+        (fun (s : Dispatch.served) -> kind_is "attack" s.Dispatch.outcome)
+        d.Dispatch.served
+      + count (fun (o, _) -> kind_is "attack" o) d.Dispatch.shed;
     detected = count Session.detected attacks_x;
     successes =
       count
@@ -108,6 +130,19 @@ let of_dispatch (d : Dispatch.t) =
         executed;
     chaos_fired = sumi (fun (o : Session.outcome) -> o.Session.fired) executed;
     peak_open = d.Dispatch.peak_open;
+    degraded = d.Dispatch.degraded;
+    rejected_backoff =
+      (match pstats with Some p -> p.Policy.rejected_backoff | None -> 0);
+    rejected_quarantine =
+      (match pstats with Some p -> p.Policy.rejected_quarantine | None -> 0);
+    breaker_trips =
+      (match pstats with Some p -> p.Policy.breaker_trips | None -> 0);
+    quarantined_clients =
+      (match pstats with
+      | Some p -> List.length p.Policy.quarantined
+      | None -> 0);
+    policy_delay =
+      (match pstats with Some p -> p.Policy.added_delay | None -> 0.);
   }
 
 let fmt_cycles c =
@@ -124,6 +159,7 @@ let table s =
   row "sessions" (string_of_int s.sessions);
   row "served" (string_of_int s.served);
   row "shed" (string_of_int s.shed);
+  row "rejected (breaker)" (string_of_int s.rejected);
   row "dropped" (string_of_int s.dropped);
   row "mix benign/attack/chaos"
     (Printf.sprintf "%d/%d/%d" s.benign s.attacks s.chaos);
@@ -135,13 +171,74 @@ let table s =
   row "latency p99 (cycles)" (fmt_cycles s.p99);
   row "mean queue wait (cycles)" (fmt_cycles s.mean_wait);
   row "shed rate" (Sutil.Texttable.fmt_pct (100. *. s.shed_rate));
+  row "drop rate" (Sutil.Texttable.fmt_pct (100. *. s.drop_rate));
+  row "degraded arrivals" (string_of_int s.degraded);
   row "attack sessions" (string_of_int s.attack_sessions);
+  row "attack sessions admitted" (string_of_int s.attacks_admitted);
   row "detected" (string_of_int s.detected);
   row "attack successes" (string_of_int s.successes);
   row "detection rate" (Sutil.Texttable.fmt_pct (100. *. s.detection_rate));
   row "batch-verdict mismatches"
     (Printf.sprintf "%d/%d" s.batch_mismatches s.batch_checked);
   row "chaos injections fired" (string_of_int s.chaos_fired);
+  if s.rejected > 0 || s.breaker_trips > 0 || s.quarantined_clients > 0 then begin
+    row "breaker trips" (string_of_int s.breaker_trips);
+    row "rejected backoff/quarantine"
+      (Printf.sprintf "%d/%d" s.rejected_backoff s.rejected_quarantine);
+    row "quarantined clients" (string_of_int s.quarantined_clients);
+    row "imposed backoff delay (cycles)" (fmt_cycles s.policy_delay)
+  end;
+  tbl
+
+let class_table (d : Dispatch.t) =
+  let tbl =
+    Sutil.Texttable.create
+      ~columns:
+        Sutil.Texttable.
+          [
+            ("class", Left);
+            ("served", Right);
+            ("shed", Right);
+            ("rejected", Right);
+            ("p50", Right);
+            ("p95", Right);
+            ("p99", Right);
+            ("mean wait", Right);
+          ]
+  in
+  List.iter
+    (fun cls ->
+      let served =
+        List.filter (fun (s : Dispatch.served) -> s.Dispatch.cls = cls)
+          d.Dispatch.served
+      in
+      let shed = List.filter (fun (_, c) -> c = cls) d.Dispatch.shed in
+      (* breaker rejections are by construction suspect-class: only a
+         client with failure history has a non-closed breaker *)
+      let rejected =
+        if cls = Policy.Suspect then List.length d.Dispatch.rejected else 0
+      in
+      let sojourns = Array.of_list (List.map Dispatch.sojourn served) in
+      Array.sort compare sojourns;
+      let n = List.length served in
+      let mean_wait =
+        if n = 0 then 0.
+        else
+          List.fold_left (fun acc s -> acc +. Dispatch.wait s) 0. served
+          /. float_of_int n
+      in
+      Sutil.Texttable.add_row tbl
+        [
+          Policy.cls_label cls;
+          string_of_int n;
+          string_of_int (List.length shed);
+          string_of_int rejected;
+          fmt_cycles (percentile sojourns 50.);
+          fmt_cycles (percentile sojourns 95.);
+          fmt_cycles (percentile sojourns 99.);
+          fmt_cycles mean_wait;
+        ])
+    [ Policy.Paying; Policy.Standard; Policy.Suspect ];
   tbl
 
 let tenant_table tenants (d : Dispatch.t) =
@@ -170,9 +267,14 @@ let tenant_table tenants (d : Dispatch.t) =
           (fun (s : Dispatch.served) -> mine s.Dispatch.outcome)
           d.Dispatch.served
       in
+      let shed_mine =
+        List.filter (fun (o, _) -> mine o) d.Dispatch.shed |> List.map fst
+      in
       let executed =
         List.map (fun (s : Dispatch.served) -> s.Dispatch.outcome) served
-        @ List.filter mine d.Dispatch.shed
+        @ shed_mine
+        @ (List.filter (fun (o, _) -> mine o) d.Dispatch.rejected
+          |> List.map fst)
       in
       let attacks =
         List.filter
@@ -187,7 +289,7 @@ let tenant_table tenants (d : Dispatch.t) =
           t.Tenant.name;
           Defenses.Defense.name t.Tenant.defense;
           string_of_int (List.length served);
-          string_of_int (List.length (List.filter mine d.Dispatch.shed));
+          string_of_int (List.length shed_mine);
           string_of_int
             (List.fold_left
                (fun acc (s : Dispatch.served) ->

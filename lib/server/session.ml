@@ -7,6 +7,8 @@ type spec = {
   sid : int;
   tenant : Tenant.t;
   kind : kind;
+  client : int;
+  paying : bool;
   sseed : int64;
   arrival : float;
 }

@@ -24,6 +24,10 @@ type spec = {
   sid : int;  (** dense, 0-based; submission order *)
   tenant : Tenant.t;
   kind : kind;
+  client : int;
+      (** stable client identity — attack sessions come from a small
+          attacker pool so session affinity can accumulate state *)
+  paying : bool;  (** paying-tier client (drives the priority class) *)
   sseed : int64;  (** drives entropy and the attack's layout guess *)
   arrival : float;  (** virtual arrival time, in VM cycles *)
 }

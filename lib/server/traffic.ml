@@ -4,10 +4,35 @@ type config = {
   chaos_pct : int;
   mean_gap : int;
   root : int64;
+  clients : int;
+  attackers : int;
+  paying_pct : int;
+  storm : Fault.Storm.t option;
 }
 
 let default =
-  { sessions = 1300; attack_pct = 12; chaos_pct = 6; mean_gap = 120; root = 11L }
+  {
+    sessions = 1300;
+    attack_pct = 12;
+    chaos_pct = 6;
+    mean_gap = 120;
+    root = 11L;
+    clients = 64;
+    attackers = 4;
+    paying_pct = 30;
+    storm = None;
+  }
+
+(* Paying tier is a property of the client, not the session: derive it
+   from the client's own keyed seed so every session of client [c]
+   agrees.  Attacker-pool clients are never paying. *)
+let paying_client c client =
+  client >= c.attackers
+  && Sutil.Simrng.int
+       (Sutil.Simrng.stream ~root:c.root
+          ~id:(Printf.sprintf "client-%04d" client))
+       ~bound:100
+     < c.paying_pct
 
 (* RNG-source plans arm as no-ops without a generator handle (the
    session path does not thread one); re-draw until the plan lands on a
@@ -22,10 +47,15 @@ let session_spec c tenants sid ~arrival =
   let rng =
     Sutil.Simrng.stream ~root:c.root ~id:(Printf.sprintf "session-%06d" sid)
   in
+  let attack_pct, chaos_pct =
+    match c.storm with
+    | None -> (c.attack_pct, c.chaos_pct)
+    | Some s -> Fault.Storm.rates_at s sid ~base:(c.attack_pct, c.chaos_pct)
+  in
   let tenant = tenants.(Sutil.Simrng.int rng ~bound:(Array.length tenants)) in
   let roll = Sutil.Simrng.int rng ~bound:100 in
   let kind =
-    if roll < c.attack_pct then
+    if roll < attack_pct then
       let attacks = tenant.Tenant.app.Apps.Sessions.sattacks in
       let atk =
         List.nth attacks (Sutil.Simrng.int rng ~bound:(List.length attacks))
@@ -33,13 +63,32 @@ let session_spec c tenants sid ~arrival =
       Session.Attack atk.Apps.Sessions.aname
     else
       let flow = tenant.Tenant.app.Apps.Sessions.benign rng in
-      if roll < c.attack_pct + c.chaos_pct then
+      if roll < attack_pct + chaos_pct then
         Session.Chaotic (flow, non_rng_plan (Sutil.Simrng.next_u64 rng))
       else Session.Benign flow
   in
+  (* Attacks come from the small attacker pool (affinity accumulates
+     state across their retries); benign and chaos sessions come from
+     the general population — infrastructure faults hit anyone, which
+     is exactly the breaker-storm pressure degradation must absorb. *)
+  let client =
+    match kind with
+    | Session.Attack _ -> Sutil.Simrng.int rng ~bound:(max 1 c.attackers)
+    | Session.Benign _ | Session.Chaotic _ ->
+        let benign_pop = max 1 (c.clients - c.attackers) in
+        c.attackers + Sutil.Simrng.int rng ~bound:benign_pop
+  in
   let sseed = Sutil.Simrng.next_u64 rng in
   let gap = 1 + Sutil.Simrng.int rng ~bound:((2 * c.mean_gap) - 1) in
-  ( { Session.sid; tenant; kind; sseed; arrival = arrival +. float_of_int gap },
+  ( {
+      Session.sid;
+      tenant;
+      kind;
+      client;
+      paying = paying_client c client;
+      sseed;
+      arrival = arrival +. float_of_int gap;
+    },
     arrival +. float_of_int gap )
 
 let generate c tenants =

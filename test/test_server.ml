@@ -163,7 +163,7 @@ let test_served_attacks_match_batch_verdicts () =
   let outcomes =
     List.map (fun (s : Server.Dispatch.served) -> s.outcome)
       d.Server.Dispatch.served
-    @ d.Server.Dispatch.shed
+    @ List.map fst d.Server.Dispatch.shed
   in
   List.iter
     (fun (o : Server.Session.outcome) ->
@@ -182,10 +182,13 @@ let test_summary_accounting () =
   let specs = Server.Traffic.generate traffic tenants in
   let d = Server.Dispatch.run tenants specs in
   let s = Server.Metrics.of_dispatch d in
-  Alcotest.(check int) "sessions = served + shed + dropped"
+  Alcotest.(check int) "sessions = served + shed + rejected + dropped"
     s.Server.Metrics.sessions
     (s.Server.Metrics.served + s.Server.Metrics.shed
-   + s.Server.Metrics.dropped);
+   + s.Server.Metrics.rejected + s.Server.Metrics.dropped);
+  Alcotest.(check int) "no policy, no rejections" 0 s.Server.Metrics.rejected;
+  Alcotest.(check (float 1e-9)) "no supervision, zero drop rate" 0.
+    s.Server.Metrics.drop_rate;
   Alcotest.(check int) "kinds partition the executed sessions"
     (s.Server.Metrics.served + s.Server.Metrics.shed)
     (s.Server.Metrics.benign + s.Server.Metrics.attacks
@@ -212,15 +215,57 @@ let dispatch_digest (d : Server.Dispatch.t) =
   let served =
     List.map
       (fun (s : Server.Dispatch.served) ->
-        Printf.sprintf "%s@%.0f-%.0f" (outcome_repr s.outcome) s.start
-          s.finish)
+        Printf.sprintf "%s@%.0f-%.0f/%s" (outcome_repr s.outcome) s.start
+          s.finish
+          (Server.Policy.cls_label s.cls))
       d.served
   in
-  let shed = List.map outcome_repr d.shed in
+  let shed =
+    List.map
+      (fun (o, c) -> outcome_repr o ^ "/" ^ Server.Policy.cls_label c)
+      d.shed
+  in
+  let rejected =
+    List.map
+      (fun (o, r) -> outcome_repr o ^ "!" ^ Server.Dispatch.refusal_label r)
+      d.rejected
+  in
+  (* breaker state, quarantine sets and per-class latencies all feed the
+     digest: the determinism property covers the whole policy layer *)
+  let policy =
+    match d.policy with
+    | None -> "none"
+    | Some p ->
+        Printf.sprintf "trips=%d;rb=%d;rq=%d;q=[%s];delay=%.0f"
+          p.Server.Policy.breaker_trips p.Server.Policy.rejected_backoff
+          p.Server.Policy.rejected_quarantine
+          (String.concat ","
+             (List.map string_of_int p.Server.Policy.quarantined))
+          p.Server.Policy.added_delay
+  in
+  let class_lat =
+    List.map
+      (fun cls ->
+        let sojourns =
+          Array.of_list
+            (List.filter_map
+               (fun (s : Server.Dispatch.served) ->
+                 if s.cls = cls then Some (Server.Dispatch.sojourn s) else None)
+               d.served)
+        in
+        Array.sort compare sojourns;
+        Printf.sprintf "%s:p99=%.0f"
+          (Server.Policy.cls_label cls)
+          (Server.Metrics.percentile sojourns 99.))
+      [ Server.Policy.Paying; Server.Policy.Standard; Server.Policy.Suspect ]
+  in
   Digest.to_hex
     (Digest.string
-       (String.concat ";" served ^ "|" ^ String.concat ";" shed
-      ^ Printf.sprintf "|peak=%d|mk=%.0f" d.peak_open d.makespan))
+       (String.concat ";" served ^ "|" ^ String.concat ";" shed ^ "|"
+      ^ String.concat ";" rejected ^ "|" ^ policy ^ "|"
+      ^ String.concat ";" class_lat
+      ^ Printf.sprintf "|peak=%d|mk=%.0f|deg=%d" d.peak_open d.makespan
+          d.degraded))
 
 let test_replay_identical_across_engines_and_widths () =
   (* the ISSUE's acceptance property: for 100+ roots, the full dispatch
@@ -282,6 +327,527 @@ let test_full_harness_report_identical () =
   Alcotest.(check string) "report identical on bytecode" seq bc
 
 (* ------------------------------------------------------------------ *)
+(* Circuit breakers: transition boundaries in virtual time *)
+
+let tight_breaker =
+  {
+    Server.Policy.failures = 2;
+    base_backoff = 100.;
+    factor = 2.;
+    max_backoff = 1000.;
+    max_trips = 2;
+  }
+
+let check_decision msg expected actual =
+  let repr = function
+    | Server.Policy.Admit -> "admit"
+    | Server.Policy.Reject_backoff w -> Printf.sprintf "backoff:%.1f" w
+    | Server.Policy.Reject_quarantine -> "quarantine"
+  in
+  Alcotest.(check string) msg (repr expected) (repr actual)
+
+let test_breaker_open_half_open_quarantine () =
+  let p =
+    Server.Policy.create { Server.Policy.affinity = true; breaker = tight_breaker }
+  in
+  let c = 7 in
+  check_decision "pristine client admits" Server.Policy.Admit
+    (Server.Policy.decide p ~client:c ~now:0.);
+  Alcotest.(check bool) "pristine client is not suspect" false
+    (Server.Policy.suspect p ~client:c);
+  (* one failure: still closed (threshold 2), but now suspect *)
+  Server.Policy.observe p ~client:c ~now:10. ~failure:true;
+  check_decision "one failure still admits" Server.Policy.Admit
+    (Server.Policy.decide p ~client:c ~now:11.);
+  Alcotest.(check bool) "failure history makes a suspect" true
+    (Server.Policy.suspect p ~client:c);
+  (* a success resets the consecutive-failure count *)
+  Server.Policy.observe p ~client:c ~now:12. ~failure:false;
+  Server.Policy.observe p ~client:c ~now:15. ~failure:true;
+  check_decision "reset count: still closed" Server.Policy.Admit
+    (Server.Policy.decide p ~client:c ~now:16.);
+  (* second consecutive failure trips: open until 20 + 100 *)
+  Server.Policy.observe p ~client:c ~now:20. ~failure:true;
+  check_decision "open rejects with remaining backoff"
+    (Server.Policy.Reject_backoff 100.)
+    (Server.Policy.decide p ~client:c ~now:20.);
+  check_decision "one cycle before the deadline still rejects"
+    (Server.Policy.Reject_backoff 1.)
+    (Server.Policy.decide p ~client:c ~now:119.);
+  (* exactly at the deadline: the half-open probe is admitted *)
+  check_decision "deadline boundary admits the probe" Server.Policy.Admit
+    (Server.Policy.decide p ~client:c ~now:120.);
+  (match Server.Policy.state_of p ~client:c with
+  | Server.Policy.Half_open _ -> ()
+  | _ -> Alcotest.fail "expected half-open after the probe admission");
+  (* probe fails: re-open with doubled backoff (trip 2) *)
+  Server.Policy.observe p ~client:c ~now:130. ~failure:true;
+  check_decision "re-opened with doubled backoff"
+    (Server.Policy.Reject_backoff 200.)
+    (Server.Policy.decide p ~client:c ~now:130.);
+  check_decision "second deadline admits again" Server.Policy.Admit
+    (Server.Policy.decide p ~client:c ~now:330.);
+  (* probe fails again: trip 3 > max_trips 2 -> quarantined for good *)
+  Server.Policy.observe p ~client:c ~now:340. ~failure:true;
+  check_decision "quarantined rejects forever"
+    Server.Policy.Reject_quarantine
+    (Server.Policy.decide p ~client:c ~now:1e9);
+  let stats = Server.Policy.stats p in
+  Alcotest.(check (list int)) "quarantine set" [ c ]
+    stats.Server.Policy.quarantined;
+  Alcotest.(check int) "two trips recorded" 2
+    stats.Server.Policy.breaker_trips
+
+let test_breaker_probe_success_closes () =
+  let p =
+    Server.Policy.create { Server.Policy.affinity = true; breaker = tight_breaker }
+  in
+  Server.Policy.observe p ~client:1 ~now:0. ~failure:true;
+  Server.Policy.observe p ~client:1 ~now:5. ~failure:true;
+  check_decision "tripped" (Server.Policy.Reject_backoff 95.)
+    (Server.Policy.decide p ~client:1 ~now:10.);
+  check_decision "probe admitted" Server.Policy.Admit
+    (Server.Policy.decide p ~client:1 ~now:200.);
+  Server.Policy.observe p ~client:1 ~now:210. ~failure:false;
+  (match Server.Policy.state_of p ~client:1 with
+  | Server.Policy.Closed 0 -> ()
+  | _ -> Alcotest.fail "probe success must close the breaker");
+  (* but the client keeps its suspect marking only while non-pristine:
+     a closed breaker with zero failures is pristine again *)
+  Alcotest.(check bool) "recovered client no longer suspect" false
+    (Server.Policy.suspect p ~client:1)
+
+let test_affinity_off_admits_everything () =
+  let p =
+    Server.Policy.create
+      { Server.Policy.affinity = false; breaker = tight_breaker }
+  in
+  for i = 0 to 9 do
+    Server.Policy.observe p ~client:0 ~now:(float_of_int i) ~failure:true;
+    check_decision "anonymous fleet always admits" Server.Policy.Admit
+      (Server.Policy.decide p ~client:0 ~now:(float_of_int i))
+  done;
+  Alcotest.(check int) "no state tracked" 0
+    (Server.Policy.stats p).Server.Policy.clients_tracked
+
+let test_brute_cost_imposes_backoff () =
+  let crashed = Attacks.Verdict.Crashed "probe" in
+  let verdicts = [ crashed; crashed; Attacks.Verdict.Success ] in
+  let breaker = { tight_breaker with failures = 1; base_backoff = 50. } in
+  let off =
+    Server.Policy.brute_cost
+      { Server.Policy.affinity = false; breaker }
+      ~gap:10. verdicts
+  in
+  Alcotest.(check int) "off: every attempt admitted" 3
+    off.Server.Policy.attempts;
+  Alcotest.(check (option (float 1e-6))) "off: cost is attempts * gap"
+    (Some 30.) off.Server.Policy.virtual_cost;
+  Alcotest.(check (float 1e-6)) "off: no imposed delay" 0.
+    off.Server.Policy.added_delay;
+  let on =
+    Server.Policy.brute_cost
+      { Server.Policy.affinity = true; breaker }
+      ~gap:10. verdicts
+  in
+  Alcotest.(check bool) "on: attacker still lands eventually" true
+    on.Server.Policy.succeeded;
+  (* crash at 10 opens until 60; wait 50; probe crashes at 70, opens
+     until 170; wait 100; success at 180 *)
+  Alcotest.(check (option (float 1e-6))) "on: cost includes the backoffs"
+    (Some 180.) on.Server.Policy.virtual_cost;
+  Alcotest.(check (float 1e-6)) "on: imposed delay accounted" 150.
+    on.Server.Policy.added_delay;
+  Alcotest.(check int) "on: two backoff waits" 2 on.Server.Policy.rejected
+
+let test_brute_cost_quarantines_persistent_failures () =
+  let crashed = Attacks.Verdict.Crashed "probe" in
+  let breaker = { tight_breaker with failures = 1; max_trips = 1 } in
+  let cost =
+    Server.Policy.brute_cost
+      { Server.Policy.affinity = true; breaker }
+      ~gap:10.
+      [ crashed; crashed; crashed; Attacks.Verdict.Success ]
+  in
+  Alcotest.(check bool) "never lands" false cost.Server.Policy.succeeded;
+  Alcotest.(check (option int)) "quarantined after two admitted probes"
+    (Some 2) cost.Server.Policy.quarantined_at;
+  Alcotest.(check (option (float 1e-6))) "unreachable: no finite cost" None
+    cost.Server.Policy.virtual_cost
+
+(* ------------------------------------------------------------------ *)
+(* Fault storms *)
+
+let test_storm_deterministic_and_bounded () =
+  let mk () = Fault.Storm.plan ~root:3L ~sessions:600 () in
+  let s = mk () in
+  Alcotest.(check bool) "storm replays" true (mk () = s);
+  Alcotest.(check int) "three bursts" 3 (List.length s.Fault.Storm.bursts);
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "burst within the schedule" true
+        (a >= 0 && b <= 600 && a < b))
+    s.Fault.Storm.bursts;
+  ignore
+    (List.fold_left
+       (fun prev (a, b) ->
+         Alcotest.(check bool) "bursts disjoint ascending" true (a >= prev);
+         b)
+       0 s.Fault.Storm.bursts);
+  Alcotest.(check int) "burst coverage" (Fault.Storm.storm_sessions s)
+    (List.fold_left (fun acc (a, b) -> acc + (b - a)) 0 s.Fault.Storm.bursts);
+  let inside, outside =
+    List.partition (fun sid -> Fault.Storm.in_burst s sid)
+      (List.init 600 Fun.id)
+  in
+  Alcotest.(check int) "in_burst agrees with coverage"
+    (Fault.Storm.storm_sessions s)
+    (List.length inside);
+  List.iter
+    (fun sid ->
+      Alcotest.(check (pair int int)) "storm rates inside bursts" (35, 30)
+        (Fault.Storm.rates_at s sid ~base:(12, 6)))
+    inside;
+  List.iter
+    (fun sid ->
+      Alcotest.(check (pair int int)) "base rates outside bursts" (12, 6)
+        (Fault.Storm.rates_at s sid ~base:(12, 6)))
+    outside
+
+let test_storm_shifts_the_census () =
+  let tenants = Server.Tenant.fleet ~apps:small_apps ~root:9L () in
+  let base = { Server.Traffic.default with sessions = 400; root = 9L } in
+  let storm =
+    {
+      base with
+      Server.Traffic.storm =
+        Some (Fault.Storm.plan ~root:9L ~sessions:400 ());
+    }
+  in
+  let _, _, chaos_base =
+    Server.Traffic.census (Server.Traffic.generate base tenants)
+  in
+  let _, _, chaos_storm =
+    Server.Traffic.census (Server.Traffic.generate storm tenants)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "storm inflates chaos (%d -> %d)" chaos_base chaos_storm)
+    true
+    (chaos_storm > chaos_base)
+
+let test_client_identity_is_stable () =
+  let tenants = Server.Tenant.fleet ~apps:small_apps ~root:21L () in
+  let config =
+    { Server.Traffic.default with sessions = 300; root = 21L; attackers = 3 }
+  in
+  let specs = Server.Traffic.generate config tenants in
+  (* attack sessions come from the attacker pool, everyone else from the
+     general population; the paying bit is a function of the client *)
+  let tiers = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Server.Session.spec) ->
+      (match s.Server.Session.kind with
+      | Server.Session.Attack _ ->
+          Alcotest.(check bool) "attacks from the attacker pool" true
+            (s.Server.Session.client < 3)
+      | _ ->
+          Alcotest.(check bool) "benign/chaos from the population" true
+            (s.Server.Session.client >= 3
+            && s.Server.Session.client < config.Server.Traffic.clients));
+      match Hashtbl.find_opt tiers s.Server.Session.client with
+      | None -> Hashtbl.add tiers s.Server.Session.client s.Server.Session.paying
+      | Some paying ->
+          Alcotest.(check bool) "paying bit stable per client" paying
+            s.Server.Session.paying)
+    specs;
+  Alcotest.(check bool) "some paying clients exist" true
+    (Hashtbl.fold (fun _ p acc -> acc || p) tiers false)
+
+(* ------------------------------------------------------------------ *)
+(* The admission simulator, driven directly with synthetic outcomes *)
+
+let synth_tenant =
+  lazy (List.hd (Server.Tenant.fleet ~apps:small_apps ~root:1L ()))
+
+let mk_outcome ~sid ~client ~paying ~arrival ~svc ~verdict =
+  {
+    Server.Session.spec =
+      {
+        Server.Session.sid;
+        tenant = Lazy.force synth_tenant;
+        kind = Server.Session.Benign [ "x" ];
+        client;
+        paying;
+        sseed = 0L;
+        arrival;
+      };
+    verdict;
+    service_cycles = svc;
+    requests = 1;
+    fired = 0;
+    batch_match = None;
+  }
+
+let ok = Attacks.Verdict.No_effect
+let crash = Attacks.Verdict.Crashed "synthetic"
+
+let test_wfq_sheds_by_class () =
+  (* 1 worker, queue of 1: a paying arrival finding the queue full must
+     evict the queued standard session instead of being refused *)
+  let cfg =
+    {
+      Server.Dispatch.default with
+      Server.Dispatch.virtual_workers = 1;
+      queue_capacity = 1;
+      discipline = Server.Dispatch.Wfq;
+    }
+  in
+  let outcomes =
+    [
+      mk_outcome ~sid:0 ~client:10 ~paying:false ~arrival:0. ~svc:100.
+        ~verdict:ok;
+      mk_outcome ~sid:1 ~client:11 ~paying:false ~arrival:1. ~svc:100.
+        ~verdict:ok;
+      mk_outcome ~sid:2 ~client:12 ~paying:true ~arrival:2. ~svc:100.
+        ~verdict:ok;
+      mk_outcome ~sid:3 ~client:13 ~paying:false ~arrival:3. ~svc:100.
+        ~verdict:ok;
+    ]
+  in
+  let d = Server.Dispatch.admit cfg outcomes in
+  let sids l = List.map (fun (s : Server.Dispatch.served) ->
+      s.outcome.Server.Session.spec.Server.Session.sid) l in
+  Alcotest.(check (list int)) "sid 0 served, paying sid 2 took the slot"
+    [ 0; 2 ] (sids d.Server.Dispatch.served);
+  Alcotest.(check (list int)) "standard sids 1 and 3 shed" [ 1; 3 ]
+    (List.map
+       (fun ((o : Server.Session.outcome), _) ->
+         o.Server.Session.spec.Server.Session.sid)
+       d.Server.Dispatch.shed);
+  let paying_served =
+    List.find
+      (fun (s : Server.Dispatch.served) ->
+        s.outcome.Server.Session.spec.Server.Session.sid = 2)
+      d.Server.Dispatch.served
+  in
+  Alcotest.(check (float 1e-6)) "queued paying starts when the worker frees"
+    100. paying_served.Server.Dispatch.start;
+  Alcotest.(check string) "classified paying" "paying"
+    (Server.Policy.cls_label paying_served.Server.Dispatch.cls)
+
+let test_fcfs_sheds_blindly () =
+  let cfg =
+    {
+      Server.Dispatch.default with
+      Server.Dispatch.virtual_workers = 1;
+      queue_capacity = 1;
+    }
+  in
+  let outcomes =
+    [
+      mk_outcome ~sid:0 ~client:10 ~paying:false ~arrival:0. ~svc:100.
+        ~verdict:ok;
+      mk_outcome ~sid:1 ~client:11 ~paying:false ~arrival:1. ~svc:100.
+        ~verdict:ok;
+      mk_outcome ~sid:2 ~client:12 ~paying:true ~arrival:2. ~svc:100.
+        ~verdict:ok;
+    ]
+  in
+  let d = Server.Dispatch.admit cfg outcomes in
+  (* under FCFS the paying arrival is shed like anyone else *)
+  Alcotest.(check (list int)) "paying shed under FCFS" [ 2 ]
+    (List.map
+       (fun ((o : Server.Session.outcome), _) ->
+         o.Server.Session.spec.Server.Session.sid)
+       d.Server.Dispatch.shed)
+
+let test_breakers_reject_through_dispatch () =
+  let cfg =
+    {
+      Server.Dispatch.default with
+      Server.Dispatch.virtual_workers = 4;
+      policy =
+        Some
+          {
+            Server.Policy.affinity = true;
+            breaker =
+              {
+                Server.Policy.failures = 1;
+                base_backoff = 1000.;
+                factor = 2.;
+                max_backoff = 1e6;
+                max_trips = 1;
+              };
+          };
+    }
+  in
+  let outcomes =
+    [
+      (* client 0 crashes at finish=10: breaker opens until 1010 *)
+      mk_outcome ~sid:0 ~client:0 ~paying:false ~arrival:0. ~svc:10.
+        ~verdict:crash;
+      (* inside the backoff window: rejected without reaching the queue *)
+      mk_outcome ~sid:1 ~client:0 ~paying:false ~arrival:100. ~svc:10.
+        ~verdict:ok;
+      (* past the deadline: half-open probe admitted, crashes again ->
+         trip 2 > max_trips 1 -> quarantined *)
+      mk_outcome ~sid:2 ~client:0 ~paying:false ~arrival:2000. ~svc:10.
+        ~verdict:crash;
+      mk_outcome ~sid:3 ~client:0 ~paying:false ~arrival:3000. ~svc:10.
+        ~verdict:ok;
+      (* an unrelated client sails through *)
+      mk_outcome ~sid:4 ~client:9 ~paying:false ~arrival:3100. ~svc:10.
+        ~verdict:ok;
+    ]
+  in
+  let d = Server.Dispatch.admit cfg outcomes in
+  Alcotest.(check (list (pair int string))) "breaker walk through dispatch"
+    [ (1, "backoff"); (3, "quarantine") ]
+    (List.map
+       (fun ((o : Server.Session.outcome), r) ->
+         ( o.Server.Session.spec.Server.Session.sid,
+           Server.Dispatch.refusal_label r ))
+       d.Server.Dispatch.rejected);
+  (match d.Server.Dispatch.policy with
+  | Some p ->
+      Alcotest.(check (list int)) "client 0 quarantined" [ 0 ]
+        p.Server.Policy.quarantined
+  | None -> Alcotest.fail "policy stats expected");
+  (* the probe (sid 2) was admitted and served as a suspect *)
+  let probe =
+    List.find
+      (fun (s : Server.Dispatch.served) ->
+        s.outcome.Server.Session.spec.Server.Session.sid = 2)
+      d.Server.Dispatch.served
+  in
+  Alcotest.(check string) "probe classified suspect" "suspect"
+    (Server.Policy.cls_label probe.Server.Dispatch.cls);
+  let summary = Server.Metrics.of_dispatch d in
+  Alcotest.(check int) "summary counts rejections" 2
+    summary.Server.Metrics.rejected;
+  Alcotest.(check int) "sessions = served + shed + rejected + dropped"
+    summary.Server.Metrics.sessions
+    (summary.Server.Metrics.served + summary.Server.Metrics.shed
+   + summary.Server.Metrics.rejected + summary.Server.Metrics.dropped)
+
+let test_degradation_starves_suspects () =
+  let cfg =
+    {
+      Server.Dispatch.default with
+      Server.Dispatch.virtual_workers = 1;
+      queue_capacity = 8;
+      discipline = Server.Dispatch.Wfq;
+      policy = Some { Server.Policy.default with Server.Policy.affinity = true };
+      degradation =
+        Some
+          { Server.Dispatch.window = 10_000.; storm_failures = 2; reserve = 0.5 };
+    }
+  in
+  (* two early chaos crashes put the fleet in degraded mode; client 5
+     has one failure (suspect, breaker still closed at threshold 2);
+     its next arrival finds the worker busy and, degraded, is shed
+     rather than queued *)
+  let outcomes =
+    [
+      mk_outcome ~sid:0 ~client:20 ~paying:false ~arrival:0. ~svc:10.
+        ~verdict:crash;
+      mk_outcome ~sid:1 ~client:21 ~paying:false ~arrival:20. ~svc:10.
+        ~verdict:crash;
+      mk_outcome ~sid:2 ~client:5 ~paying:false ~arrival:40. ~svc:10.
+        ~verdict:crash;
+      mk_outcome ~sid:3 ~client:22 ~paying:false ~arrival:60. ~svc:500.
+        ~verdict:ok;
+      mk_outcome ~sid:4 ~client:5 ~paying:false ~arrival:70. ~svc:10.
+        ~verdict:ok;
+      mk_outcome ~sid:5 ~client:23 ~paying:true ~arrival:80. ~svc:10.
+        ~verdict:ok;
+    ]
+  in
+  let d = Server.Dispatch.admit cfg outcomes in
+  Alcotest.(check bool) "degraded mode engaged" true
+    (d.Server.Dispatch.degraded > 0);
+  let shed_sids =
+    List.map
+      (fun ((o : Server.Session.outcome), _) ->
+        o.Server.Session.spec.Server.Session.sid)
+      d.Server.Dispatch.shed
+  in
+  Alcotest.(check bool) "suspect arrival shed while degraded" true
+    (List.mem 4 shed_sids);
+  Alcotest.(check bool) "paying arrival still queued" false
+    (List.mem 5 shed_sids)
+
+(* ------------------------------------------------------------------ *)
+(* Policy determinism: engines x widths over 100+ roots *)
+
+let test_policy_replay_identical_across_engines_and_widths () =
+  (* same shape as the legacy 104-root property, but with the full
+     control plane on: breakers, WFQ classes, degradation, storm.  The
+     digest covers breaker counters, quarantine sets, rejections and
+     per-class latencies. *)
+  Sched.Pool.with_pool ~jobs:8 @@ fun pool ->
+  let config =
+    {
+      Server.Dispatch.default with
+      Server.Dispatch.virtual_workers = 2;
+      queue_capacity = 3;
+      shard = 2;
+      discipline = Server.Dispatch.Wfq;
+      policy =
+        Some
+          {
+            Server.Policy.affinity = true;
+            breaker =
+              {
+                Server.Policy.default_breaker with
+                Server.Policy.failures = 1;
+                base_backoff = 500.;
+                max_trips = 1;
+              };
+          };
+      degradation =
+        Some
+          { Server.Dispatch.window = 5_000.; storm_failures = 2; reserve = 0.5 };
+    }
+  in
+  for root = 0 to 103 do
+    let root = Int64.of_int root in
+    let tenants = Server.Tenant.fleet ~apps:small_apps ~root () in
+    let traffic =
+      {
+        Server.Traffic.default with
+        sessions = 8;
+        root;
+        mean_gap = 40;
+        attackers = 2;
+        clients = 8;
+        attack_pct = 30;
+        chaos_pct = 20;
+        storm = Some (Fault.Storm.plan ~root ~sessions:8 ~burst_len:3 ());
+      }
+    in
+    let specs = Server.Traffic.generate traffic tenants in
+    let seq_ref =
+      dispatch_digest
+        (Server.Dispatch.run ~backend:ref_backend ~config tenants specs)
+    in
+    let par_ref =
+      dispatch_digest
+        (Server.Dispatch.run ~pool ~backend:ref_backend ~config tenants specs)
+    in
+    let seq_bc =
+      dispatch_digest
+        (Server.Dispatch.run ~backend:bc_backend ~config tenants specs)
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "root %Ld: policy digest jobs=8 == jobs=1" root)
+      seq_ref par_ref;
+    Alcotest.(check string)
+      (Printf.sprintf "root %Ld: policy digest bytecode == reference" root)
+      seq_ref seq_bc
+  done
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "server"
@@ -305,10 +871,44 @@ let () =
           Alcotest.test_case "summary accounting" `Quick
             test_summary_accounting;
         ] );
+      ( "policy",
+        [
+          Alcotest.test_case "breaker open/half-open/quarantine" `Quick
+            test_breaker_open_half_open_quarantine;
+          Alcotest.test_case "half-open probe success closes" `Quick
+            test_breaker_probe_success_closes;
+          Alcotest.test_case "affinity off admits everything" `Quick
+            test_affinity_off_admits_everything;
+          Alcotest.test_case "brute cost imposes backoff" `Quick
+            test_brute_cost_imposes_backoff;
+          Alcotest.test_case "brute cost quarantines" `Quick
+            test_brute_cost_quarantines_persistent_failures;
+        ] );
+      ( "storm",
+        [
+          Alcotest.test_case "deterministic, bounded windows" `Quick
+            test_storm_deterministic_and_bounded;
+          Alcotest.test_case "census shift" `Quick test_storm_shifts_the_census;
+          Alcotest.test_case "client identity stable" `Quick
+            test_client_identity_is_stable;
+        ] );
+      ( "control-plane",
+        [
+          Alcotest.test_case "wfq sheds by class" `Quick
+            test_wfq_sheds_by_class;
+          Alcotest.test_case "fcfs sheds blindly" `Quick
+            test_fcfs_sheds_blindly;
+          Alcotest.test_case "breakers reject through dispatch" `Quick
+            test_breakers_reject_through_dispatch;
+          Alcotest.test_case "degradation starves suspects" `Quick
+            test_degradation_starves_suspects;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "104 roots, engines x widths" `Quick
             test_replay_identical_across_engines_and_widths;
+          Alcotest.test_case "104 roots, policy control plane" `Quick
+            test_policy_replay_identical_across_engines_and_widths;
           Alcotest.test_case "full E15 report" `Quick
             test_full_harness_report_identical;
         ] );
