@@ -11,7 +11,7 @@
      dune exec bench/main.exe -- --jobs=8 fig3
    Experiments: table1 fig3 fig4 bypass pentest realvuln brute rngsec
    rerand ablation analysis selective chaos serve campaign attack
-   resilience micro engine
+   leaks resilience micro engine
 
    --jobs=N runs each paper-table experiment's cells on N domains;
    tables are identical for every N.  The wall-clock benchmarks (micro,
@@ -245,6 +245,23 @@ let run_attack pool =
      chains grounded: %b"
     t.landed_unhardened t.full_successes t.all_grounded
 
+let run_leaks pool =
+  Engine.Backend.install ();
+  let t = Harness.Leakcheck.run ~pool () in
+  emit ~name:"leaks"
+    ~title:
+      "E19: static layout-leak verdict vs dynamic seed-variance, full \
+       hardening"
+    (Harness.Leakcheck.table t);
+  emit ~name:"leaks_guided"
+    ~title:"E19: leak-guided attack vs blind Algorithm-1 walk (stack-leaky)"
+    (Harness.Leakcheck.guided_table t);
+  say "static/dynamic disagreements: %d; guided within factor-3 bound: %s"
+    t.disagreements
+    (match t.guided with
+    | None -> "NO GUIDED CHAIN"
+    | Some g -> if g.within_bound then "yes" else "NO")
+
 let run_resilience pool =
   Engine.Backend.install ();
   let t0 = Unix.gettimeofday () in
@@ -462,6 +479,7 @@ let experiments =
     ("serve", run_serve);
     ("campaign", run_campaign);
     ("attack", run_attack);
+    ("leaks", run_leaks);
     ("resilience", run_resilience);
     (* wall-clock benchmarks: always sequential, the pool is unused *)
     ("micro", fun (_ : Sched.Pool.t) -> run_micro ());

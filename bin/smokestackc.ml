@@ -461,12 +461,22 @@ let workload_opt cmd =
              cmd))
 
 let analyze_cmd =
-  let action file workload json_path no_score optimize =
+  let action file workload progen leaky json_path no_score leaks optimize =
+    if leaky && progen = None then
+      usage_fail "analyze: --leaky needs --progen SEED";
     let name, prog =
-      match (workload, file) with
-      | Some w, _ -> builtin_workload w
-      | None, Some f -> (Filename.basename f, compile ~optimize f)
-      | None, None -> usage_fail "analyze: need a FILE or --workload NAME"
+      match (workload, progen, file) with
+      | Some w, _, _ -> builtin_workload w
+      | None, Some s, _ ->
+          let src =
+            if leaky then Minic.Progen.generate_leaky ~seed:s
+            else Minic.Progen.generate ~seed:s
+          in
+          ( Printf.sprintf "progen-%s%Ld" (if leaky then "leaky-" else "") s,
+            Minic.Driver.compile ~optimize src )
+      | None, None, Some f -> (Filename.basename f, compile ~optimize f)
+      | None, None, None ->
+          usage_fail "analyze: need a FILE, --workload NAME or --progen SEED"
     in
     let report = Analysis.Report.analyze_prog ~name ~score:(not no_score) prog in
     (match json_path with
@@ -478,7 +488,37 @@ let analyze_cmd =
             Sutil.Json.doc_to_channel ~indent:true oc
               (Analysis.Report.to_json report))
     | None -> ());
-    print_string (Analysis.Report.to_text report)
+    if leaks then begin
+      (* leak-focused view: just the disclosure flows and their cost *)
+      let lk = report.Analysis.Report.leakage in
+      Printf.printf "layout leaks: %s\n" name;
+      if lk.Analysis.Leakan.leaks = [] then
+        print_endline "  none (no layout secret reaches an observable sink)"
+      else begin
+        List.iter
+          (fun l -> Printf.printf "  %s\n" (Analysis.Leakan.leak_to_string l))
+          lk.Analysis.Leakan.leaks;
+        List.iter
+          (fun (fb : Analysis.Leakan.func_bits) ->
+            Printf.printf "  %s: %.2f of %.2f frame bits disclosed\n"
+              fb.fname fb.leaked_bits fb.frame_bits)
+          lk.Analysis.Leakan.funcs;
+        Printf.printf "  total: %.2f bits\n" lk.Analysis.Leakan.total_bits;
+        if not no_score then begin
+          print_endline "  easiest pair per defense (blind -> leak-guided):";
+          List.iter2
+            (fun (d, blind) (_, guided) ->
+              Printf.printf "    %-12s %s -> %s\n" d
+                (if blind = infinity then "-"
+                 else Format.asprintf "%.3g" blind)
+                (if guided = infinity then "-"
+                 else Format.asprintf "%.3g" guided))
+            (Analysis.Report.summary report)
+            (Analysis.Report.summary_degraded report)
+        end
+      end
+    end
+    else print_string (Analysis.Report.to_text report)
   in
   let file_opt =
     Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
@@ -499,6 +539,34 @@ let analyze_cmd =
             "Skip the per-defense expected-attempts scoring (classification \
              and pair enumeration only; much faster)")
   in
+  let leaks_arg =
+    Arg.(
+      value & flag
+      & info [ "leaks" ]
+          ~doc:
+            "Leak-focused view: print only the interprocedural layout-leak \
+             flows (source, channel, sink, bits) and the leak-degraded \
+             expected attempts per defense")
+  in
+  let progen_arg =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "progen" ] ~docv:"SEED"
+          ~doc:
+            "Analyze the Progen-generated program of $(docv) instead of a \
+             file (the differential-testing corpus shape)")
+  in
+  let leaky_arg =
+    Arg.(
+      value & flag
+      & info [ "leaky" ]
+          ~doc:
+            "With $(b,--progen): generate the leak-shaped variant — the \
+             same program with a layout disclosure (an address print or a \
+             comparison oracle) spliced in before the checksum; a \
+             ground-truth positive for the leak analyzer")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
@@ -506,12 +574,12 @@ let analyze_cmd =
           overflow-capable or safe, enumerate (buffer, victim) DOP pairs, \
           and score expected brute-force attempts per defense")
     Term.(
-      const action $ file_opt $ workload_arg $ json_arg $ no_score_arg
-      $ opt_flag)
+      const action $ file_opt $ workload_arg $ progen_arg $ leaky_arg
+      $ json_arg $ no_score_arg $ leaks_arg $ opt_flag)
 
 let lint_cmd =
   let action file workload progen scheme no_fid selective seed json_path mutate
-      optimize =
+      leaks optimize =
     let name, prog =
       match (workload, progen, file) with
       | Some w, _, _ -> builtin_workload w
@@ -539,6 +607,11 @@ let lint_cmd =
         exit exit_compile
     in
     let violations = Analysis.Validate.check ~original:prog hardened in
+    (* Advisory layout-leak lint (opt-in): flows from layout secrets to
+       observable sinks in the hardened build. *)
+    let leak_violations =
+      if leaks then Analysis.Validate.check_leaks hardened else []
+    in
     (* Mutation smoke test: N seeded mutants cycling the classes, each
        applicable one must be caught by its expected rule. *)
     let mutants =
@@ -576,9 +649,12 @@ let lint_cmd =
         let base =
           [
             ("program", J.String name);
-            ("clean", J.Bool (violations = []));
+            ("clean", J.Bool (violations = [] && leak_violations = []));
             ("violations", J.List (List.map violation_json violations));
           ]
+          @
+          if not leaks then []
+          else [ ("leaks", J.List (List.map violation_json leak_violations)) ]
         in
         let fields =
           if mutants = [] then base
@@ -616,6 +692,10 @@ let lint_cmd =
         Printf.printf "violation: %s\n" (Analysis.Validate.violation_to_string v))
       violations;
     List.iter
+      (fun v ->
+        Printf.printf "leak: %s\n" (Analysis.Validate.violation_to_string v))
+      leak_violations;
+    List.iter
       (fun (m, st) ->
         let mname = Analysis.Validate.mutation_to_string m in
         match st with
@@ -625,8 +705,10 @@ let lint_cmd =
       mutants;
     let elided = hardened.Smokestack.Harden.elided in
     Printf.printf "%s: %s (%d function(s) checked%s%s)\n" name
-      (if violations = [] then "clean" else
-         Printf.sprintf "%d violation(s)" (List.length violations))
+      (if violations = [] && leak_violations = [] then "clean"
+       else
+         Printf.sprintf "%d violation(s)"
+           (List.length violations + List.length leak_violations))
       (List.length hardened.Smokestack.Harden.prog.Ir.Prog.funcs)
       (if selective then Printf.sprintf ", %d elided" (List.length elided)
        else "")
@@ -638,7 +720,7 @@ let lint_cmd =
                  (fun (_, st) -> match st with `Caught _ -> true | _ -> false)
                  mutants))
            mutate);
-    if violations <> [] || missed <> [] then exit 1
+    if violations <> [] || leak_violations <> [] || missed <> [] then exit 1
   in
   let file_opt =
     Arg.(
@@ -676,6 +758,16 @@ let lint_cmd =
              and assert the validator catches each applicable one with the \
              expected rule; a missed mutant is a lint failure")
   in
+  let leaks_flag =
+    Arg.(
+      value & flag
+      & info [ "leaks" ]
+          ~doc:
+            "Also run the advisory layout-leak rule: flag hardened \
+             functions whose observable outputs are taint-reachable from \
+             the layout secrets (ss.rand draws, P-BOX rows, slice \
+             addresses); each flow is a lint finding")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
@@ -685,7 +777,8 @@ let lint_cmd =
           missed mutation.")
     Term.(
       const action $ file_opt $ workload_arg $ progen_arg $ scheme_arg $ no_fid
-      $ selective_flag $ seed_arg $ json_arg $ mutate_arg $ opt_flag)
+      $ selective_flag $ seed_arg $ json_arg $ mutate_arg $ leaks_flag
+      $ opt_flag)
 
 let serve_cmd =
   let action sessions attack_pct chaos_pct mean_gap workers capacity seed jobs
@@ -1074,7 +1167,7 @@ let campaign_cmd =
 
 let attack_cmd =
   let action workloads progen chains trials budget store_dir engine jobs
-      json_path =
+      json_path leak_guided =
     if progen < 0 then usage_fail "attack: --progen must be non-negative";
     if chains < 1 then usage_fail "attack: --chains must be >= 1";
     if trials < 1 then usage_fail "attack: --trials must be >= 1";
@@ -1132,6 +1225,31 @@ let attack_cmd =
        landing chains grounded: %b\n"
       t.Harness.Offense.landed_unhardened t.Harness.Offense.full_successes
       t.Harness.Offense.all_grounded;
+    (* --leak-guided: the disclosure-guided planner mode — leak guides
+       from Analysis.Leakan pin the revealed offsets and the guided
+       brute walk runs next to the blind one on the disclosing target *)
+    let guided =
+      if not leak_guided then None
+      else begin
+        let g = Harness.Leakcheck.guided_run ~budget () in
+        Sutil.Texttable.print
+          ~title:
+            "leak-guided attack vs blind Algorithm-1 walk (full hardening)"
+          (Harness.Leakcheck.guided_only_table g);
+        (match g with
+        | None ->
+            Printf.printf
+              "leak-guided: no guidable chain (no disclosure gadget \
+               reaches a plannable buffer)\n"
+        | Some g ->
+            Printf.printf
+              "leak-guided: predicted %.1f attempts, measured mean %.1f, \
+               within factor-3 bound: %b\n"
+              g.Harness.Leakcheck.predicted g.Harness.Leakcheck.guided_mean
+              g.Harness.Leakcheck.within_bound);
+        Some g
+      end
+    in
     (match json_path with
     | Some path ->
         let oc = open_out path in
@@ -1144,7 +1262,7 @@ let attack_cmd =
             let module J = Sutil.Json in
             J.doc_to_channel ~indent:true oc
               (J.Obj
-                 [
+                 ([
                    ( "synthesis",
                      Sutil.Texttable.to_json (Harness.Offense.synth_table t) );
                    ( "chains",
@@ -1164,7 +1282,16 @@ let attack_cmd =
                          ("all_grounded", J.Bool t.Harness.Offense.all_grounded);
                          ("trials", J.Int t.Harness.Offense.trials);
                        ] );
-                 ]))
+                 ]
+                 @
+                 match guided with
+                 | None -> []
+                 | Some g ->
+                     [
+                       ( "leak_guided",
+                         Sutil.Texttable.to_json
+                           (Harness.Leakcheck.guided_only_table g) );
+                     ])))
     | None -> ());
     (* host-dependent numbers go to stderr, never into the report *)
     Printf.eprintf "attack: %.1f s wall; pool: %d jobs, peak queue %d\n" wall
@@ -1234,6 +1361,18 @@ let attack_cmd =
             "Also write the four tables and the summary (all deterministic) \
              as JSON to $(docv)")
   in
+  let leak_guided_flag =
+    Arg.(
+      value & flag
+      & info [ "leak-guided" ]
+          ~doc:
+            "Also run the leak-guided planner mode: consume the \
+             Analysis.Leakan disclosure gadgets of the disclosing \
+             $(b,stack-leaky) target, pin the revealed offsets mid-session \
+             and shrink the Algorithm-1 guess, reporting measured guided \
+             attempts against the degraded-entropy prediction (and the \
+             blind walk next to it); shares $(b,--budget)")
+  in
   Cmd.v
     (Cmd.info "attack"
        ~doc:
@@ -1247,7 +1386,8 @@ let attack_cmd =
           if a landing chain has no static DOP pair.")
     Term.(
       const action $ workload_arg $ progen_arg $ chains_arg $ trials_arg
-      $ budget_arg $ store_arg $ engine_arg $ jobs_arg $ json_arg)
+      $ budget_arg $ store_arg $ engine_arg $ jobs_arg $ json_arg
+      $ leak_guided_flag)
 
 let () =
   (* force the engine library to link so --engine=bytecode resolves *)

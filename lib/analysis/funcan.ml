@@ -851,13 +851,37 @@ let analyze_func (prog : Ir.Prog.t) (f : Ir.Func.t) =
     f.blocks;
   List.iter (fun v -> sink v Wild_data) !wild_values;
   (* ---------------- per-slot taint -> roles ---------------- *)
+  (* Two channels (DESIGN.md §10): [vt] marks registers carrying a
+     slot's *value*; [at] marks registers carrying an *address derived
+     from* that value (gep indexing, pointer arithmetic).  A load
+     through a tainted address deliberately launders the value channel
+     — the loaded data is influenced only via *where* it came from,
+     which the Mem_addr role already records — so address taint grants
+     Mem_addr and nothing else, and the laundered value is clean.
+     Suppression is per-channel: a slot whose value is both compared
+     directly and used as an index still gets Branch_feed from the
+     direct use. *)
   let nregs = max 1 f.next_reg in
   let roles_of s =
-    let tainted = Array.make nregs false in
-    let mark r = if r >= 0 && r < nregs && not (tainted.(r)) then tainted.(r) <- true in
-    List.iter mark (Option.value ~default:[] (Hashtbl.find_opt loads s));
-    (* tainted slots (memory-mediated propagation) *)
-    let tslots = Hashtbl.create 4 in
+    let vt = Array.make nregs false in
+    let at = Array.make nregs false in
+    let mark arr r =
+      if r >= 0 && r < nregs && not arr.(r) then begin
+        arr.(r) <- true;
+        true
+      end
+      else false
+    in
+    let op_in arr = function
+      | Ir.Instr.Reg r -> r >= 0 && r < nregs && arr.(r)
+      | _ -> false
+    in
+    List.iter
+      (fun r -> ignore (mark vt r))
+      (Option.value ~default:[] (Hashtbl.find_opt loads s));
+    (* tainted slots (memory-mediated propagation), per channel *)
+    let tslots_v = Hashtbl.create 4 in
+    let tslots_a = Hashtbl.create 4 in
     let changed = ref true in
     while !changed do
       changed := false;
@@ -866,31 +890,61 @@ let analyze_func (prog : Ir.Prog.t) (f : Ir.Func.t) =
         (fun (b : Ir.Func.block) ->
           List.iter
             (fun (i : Ir.Instr.t) ->
-              match Ir.Instr.defined_reg i with
-              | Some d when not tainted.(d) ->
-                  let uses = List.filter_map reg_op (Ir.Instr.operands i) in
-                  if List.exists (fun r -> r < nregs && tainted.(r)) uses then begin
-                    tainted.(d) <- true;
-                    changed := true
-                  end
-              | _ -> ())
+              let step moved = if moved then changed := true in
+              match i with
+              | Ir.Instr.Load _ ->
+                  (* the address operand does not taint the loaded
+                     value: dereferencing is the laundering point *)
+                  ()
+              | Ir.Instr.Gep { dst; base; index; _ } ->
+                  let ops =
+                    base :: (match index with Some (x, _) -> [ x ] | None -> [])
+                  in
+                  if List.exists (fun o -> op_in vt o || op_in at o) ops then
+                    step (mark at dst)
+              | Ir.Instr.Icmp { dst; lhs; rhs; _ } ->
+                  (* comparing tainted *addresses* yields one oracle
+                     bit, not the value (Leakan's Comparison_oracle
+                     channel); only value taint survives a compare *)
+                  if op_in vt lhs || op_in vt rhs then step (mark vt dst)
+              | _ -> (
+                  match Ir.Instr.defined_reg i with
+                  | Some d ->
+                      let uses = Ir.Instr.operands i in
+                      if List.exists (op_in vt) uses then step (mark vt d);
+                      if List.exists (op_in at) uses then step (mark at d)
+                  | None -> ()))
             b.instrs)
         f.blocks;
-      (* stores of tainted values into other slots taint those slots' loads *)
+      (* stores of tainted values into other slots taint those slots'
+         loads, preserving the channel *)
       List.iter
         (fun (v, t) ->
-          if v < nregs && tainted.(v) && not (Hashtbl.mem tslots t) then begin
-            Hashtbl.replace tslots t ();
-            List.iter mark (Option.value ~default:[] (Hashtbl.find_opt loads t));
-            changed := true
+          if v >= 0 && v < nregs then begin
+            if vt.(v) && not (Hashtbl.mem tslots_v t) then begin
+              Hashtbl.replace tslots_v t ();
+              List.iter
+                (fun r -> ignore (mark vt r))
+                (Option.value ~default:[] (Hashtbl.find_opt loads t));
+              changed := true
+            end;
+            if at.(v) && not (Hashtbl.mem tslots_a t) then begin
+              Hashtbl.replace tslots_a t ();
+              List.iter
+                (fun r -> ignore (mark at r))
+                (Option.value ~default:[] (Hashtbl.find_opt loads t));
+              changed := true
+            end
           end)
         !store_edges
     done;
     let roles = ref [] in
+    let grant role = if not (List.mem role !roles) then roles := role :: !roles in
     List.iter
       (fun (r, role) ->
-        if r < nregs && tainted.(r) && not (List.mem role !roles) then
-          roles := role :: !roles)
+        if r >= 0 && r < nregs then
+          if vt.(r) then grant role
+          else if at.(r) && role = Mem_addr then grant role)
       !sinks;
     List.sort compare !roles
   in

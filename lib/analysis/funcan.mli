@@ -35,6 +35,16 @@ type role =
   | Call_arg  (** passed to a call *)
   | Wild_data  (** becomes the value written through a wild pointer *)
 
+(** Role taint is tracked per channel: the {e value} channel (the
+    slot's content and its arithmetic derivations) grants every role;
+    the {e address} channel (gep/pointer arithmetic over that value)
+    grants only [Mem_addr].  Dereferencing is the laundering point — a
+    value loaded through a tainted address is clean, so a slice index
+    deliberately laundered through a table lookup does not leak into
+    [Branch_feed]/[Call_arg] reports.  Suppression is per-channel, not
+    global: a direct compare of the same slot still yields
+    [Branch_feed]. *)
+
 type slot = {
   index : int;  (** static slot index (P-BOX column order) *)
   name : string;

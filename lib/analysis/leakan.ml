@@ -1,0 +1,591 @@
+type source = Rand_draw | Pbox_row | Slot_addr of string | Slice_addr
+type channel = Direct_value | Address_disclosure | Comparison_oracle
+
+type sink =
+  | Output of string
+  | Global_store of string
+  | Readable_buffer of string
+  | Oracle_branch
+
+type leak = {
+  func : string;
+  source_func : string;
+  source : source;
+  channel : channel;
+  sink : sink;
+  bits : float;
+}
+
+type func_bits = { fname : string; frame_bits : float; leaked_bits : float }
+type t = { leaks : leak list; funcs : func_bits list; total_bits : float }
+
+let source_to_string = function
+  | Rand_draw -> "rand-draw"
+  | Pbox_row -> "pbox-row"
+  | Slot_addr s -> "&" ^ s
+  | Slice_addr -> "slice-addr"
+
+let channel_to_string = function
+  | Direct_value -> "direct-value"
+  | Address_disclosure -> "address-disclosure"
+  | Comparison_oracle -> "comparison-oracle"
+
+let sink_to_string = function
+  | Output who -> "output(" ^ who ^ ")"
+  | Global_store g -> "global(" ^ g ^ ")"
+  | Readable_buffer b -> "readable(" ^ b ^ ")"
+  | Oracle_branch -> "branch"
+
+let leak_to_string l =
+  Printf.sprintf "%s: %s of %s:%s -> %s (%.2f bits)" l.func
+    (channel_to_string l.channel)
+    l.source_func
+    (source_to_string l.source)
+    (sink_to_string l.sink) l.bits
+
+(* ------------------------------------------------------------------ *)
+(* Taint atoms *)
+
+(* [oracle] marks taint that survived a comparison: one bit, not the
+   value. *)
+type atom =
+  | Asrc of source * string * bool  (** source, source function, oracle *)
+  | Aparam of int * bool  (** parameter index, oracle *)
+
+let oracle_ify =
+  List.map (function
+    | Asrc (s, f, _) -> Asrc (s, f, true)
+    | Aparam (i, _) -> Aparam (i, true))
+
+let union a b = List.sort_uniq compare (List.rev_append a b)
+
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  arity : int;
+  mutable ret_atoms : atom list;
+  mutable out_params : bool array;  (** param value reaches an output *)
+  mutable oracle_params : bool array;
+      (** param feeds a branch in an output-emitting context *)
+  mutable emits_output : bool;
+}
+
+type root = Rglob of string | Rslot of Ir.Instr.reg * string * bool | Rother
+(** [Rslot (alloca reg, name, const_path)] — [const_path] is true when
+    every gep on the way had no index operand (a fixed-offset access). *)
+
+let defs_of (f : Ir.Func.t) =
+  let defs = Hashtbl.create 64 in
+  Ir.Func.iter_instrs f (fun i ->
+      match Ir.Instr.defined_reg i with
+      | Some r -> Hashtbl.replace defs r i
+      | None -> ());
+  defs
+
+let rec resolve_root defs fuel konly (op : Ir.Instr.operand) =
+  match op with
+  | Ir.Instr.Global g -> Rglob g
+  | Ir.Instr.Reg r when fuel > 0 -> (
+      match Hashtbl.find_opt defs r with
+      | Some (Ir.Instr.Alloca { dst; count = None; name; _ }) ->
+          Rslot (dst, name, konly)
+      | Some (Ir.Instr.Gep { base; index; _ }) ->
+          resolve_root defs (fuel - 1) (konly && index = None) base
+      | _ -> Rother)
+  | _ -> Rother
+
+let analyze ?hardened ?(readable = []) (prog : Ir.Prog.t) =
+  let hardened_prog =
+    List.exists
+      (fun (f : Ir.Func.t) ->
+        Ir.Func.has_attr f Smokestack.Abi.smokestack_attr
+        || Ir.Func.has_attr f Smokestack.Abi.smokestack_elided_attr)
+      prog.funcs
+  in
+  let harden_ctx =
+    match hardened with
+    | Some h -> Some h
+    | None ->
+        if hardened_prog then None
+        else (
+          try
+            Some
+              (Smokestack.Harden.harden ~validate:false
+                 Smokestack.Config.default prog)
+          with _ -> None)
+  in
+  let summaries = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      let n = List.length f.params in
+      Hashtbl.replace summaries f.name
+        {
+          arity = n;
+          ret_atoms = [];
+          out_params = Array.make (max n 1) false;
+          oracle_params = Array.make (max n 1) false;
+          emits_output = false;
+        })
+    prog.funcs;
+  let globals : (string, atom list) Hashtbl.t = Hashtbl.create 8 in
+  let prog_changed = ref false in
+  (* --------- one flow-insensitive pass over a function ---------- *)
+  let analyze_func ~record push_leak (f : Ir.Func.t) =
+    let sum = Hashtbl.find summaries f.name in
+    let fn_hardened = Ir.Func.has_attr f Smokestack.Abi.smokestack_attr in
+    let defs = defs_of f in
+    let nregs = max 1 f.next_reg in
+    let regs = Array.make nregs [] in
+    List.iteri
+      (fun i (r, _) -> if r < nregs then regs.(r) <- [ Aparam (i, false) ])
+      f.params;
+    let content : (Ir.Instr.reg, atom list) Hashtbl.t = Hashtbl.create 8 in
+    let atoms_of = function
+      | Ir.Instr.Reg r when r >= 0 && r < nregs -> regs.(r)
+      | _ -> []
+    in
+    let changed = ref true in
+    let add_reg r atoms =
+      if r >= 0 && r < nregs && atoms <> [] then begin
+        let u = union regs.(r) atoms in
+        if List.length u <> List.length regs.(r) then begin
+          regs.(r) <- u;
+          changed := true
+        end
+      end
+    in
+    let add_content key atoms =
+      if atoms <> [] then begin
+        let cur = Option.value ~default:[] (Hashtbl.find_opt content key) in
+        let u = union cur atoms in
+        if List.length u <> List.length cur then begin
+          Hashtbl.replace content key u;
+          changed := true
+        end
+      end
+    in
+    let add_global g atoms =
+      if atoms <> [] then begin
+        let cur = Option.value ~default:[] (Hashtbl.find_opt globals g) in
+        let u = union cur atoms in
+        if List.length u <> List.length cur then begin
+          Hashtbl.replace globals g u;
+          changed := true;
+          prog_changed := true
+        end
+      end
+    in
+    let set_out i =
+      if i >= 0 && i < sum.arity && not sum.out_params.(i) then begin
+        sum.out_params.(i) <- true;
+        prog_changed := true
+      end
+    in
+    let set_oracle i =
+      if i >= 0 && i < sum.arity && not sum.oracle_params.(i) then begin
+        sum.oracle_params.(i) <- true;
+        prog_changed := true
+      end
+    in
+    let set_emits () =
+      if not sum.emits_output then begin
+        sum.emits_output <- true;
+        prog_changed := true
+      end
+    in
+    (* Record a sink fed by [atoms].  Real atoms become leak rows (in
+       the recording pass); parameter atoms become summary flows. *)
+    let at_sink ?(force_oracle = false) sink atoms =
+      List.iter
+        (fun a ->
+          match a with
+          | Asrc (src, sfunc, orc) ->
+              if record then
+                let channel =
+                  if orc || force_oracle then Comparison_oracle
+                  else
+                    match src with
+                    | Slot_addr _ | Slice_addr -> Address_disclosure
+                    | Rand_draw | Pbox_row -> Direct_value
+                in
+                push_leak
+                  {
+                    func = f.name;
+                    source_func = sfunc;
+                    source = src;
+                    channel;
+                    sink;
+                    bits = 0.;
+                  }
+          | Aparam (i, _) -> (
+              match sink with
+              | Oracle_branch -> set_oracle i
+              | Output _ | Global_store _ | Readable_buffer _ ->
+                  if force_oracle then set_oracle i else set_out i))
+        atoms
+    in
+    let root = resolve_root defs 12 true in
+    let content_of op =
+      match root op with
+      | Rglob g when g <> Smokestack.Abi.pbox_global ->
+          Option.value ~default:[] (Hashtbl.find_opt globals g)
+      | Rslot (r, _, _) ->
+          Option.value ~default:[] (Hashtbl.find_opt content r)
+      | _ -> []
+    in
+    let transfer (i : Ir.Instr.t) =
+      match i with
+      | Ir.Instr.Alloca { dst; count = None; name; _ } ->
+          (* an unhardened program's slot addresses are the quantities
+             randomization will hide; in a hardened program the raw
+             allocas (the slab, elided or excluded frames) are fixed *)
+          if not hardened_prog then
+            add_reg dst [ Asrc (Slot_addr name, f.name, false) ]
+      | Ir.Instr.Alloca _ -> ()
+      | Ir.Instr.Load { dst; addr; _ } -> (
+          (* dereference launders the address channel: the loaded value
+             only picks up *content* taint *)
+          match root addr with
+          | Rglob g when g = Smokestack.Abi.pbox_global ->
+              add_reg dst [ Asrc (Pbox_row, f.name, false) ]
+          | Rglob g ->
+              add_reg dst
+                (Option.value ~default:[] (Hashtbl.find_opt globals g))
+          | Rslot (r, name, konly) ->
+              (* content taint survives a memory round-trip; in a
+                 hardened function the key is the slab alloca, merging
+                 all slices — conservative but sound *)
+              add_reg dst
+                (Option.value ~default:[] (Hashtbl.find_opt content r));
+              (* fixed-offset reads of the slab head are the decoded
+                 dynamic-layout offsets *)
+              if fn_hardened && name = "__ss_total" && konly then
+                add_reg dst [ Asrc (Pbox_row, f.name, false) ]
+          | Rother -> ())
+      | Ir.Instr.Store { value; addr; _ } -> (
+          let va = atoms_of value in
+          if va <> [] then
+            match root addr with
+            | Rglob g when g <> Smokestack.Abi.pbox_global ->
+                add_global g va;
+                at_sink (Global_store g) va
+            | Rglob _ -> ()
+            | Rslot (r, name, _) ->
+                add_content r va;
+                if List.mem (f.name, name) readable then
+                  at_sink (Readable_buffer name) va
+            | Rother -> at_sink (Global_store "*") va)
+      | Ir.Instr.Gep { dst; base; index; _ } -> (
+          let base_atoms = atoms_of base in
+          let idx_op = match index with Some (x, _) -> Some x | None -> None in
+          let idx_atoms =
+            match idx_op with Some x -> atoms_of x | None -> []
+          in
+          let is_secret_index =
+            List.exists
+              (function
+                | Asrc ((Rand_draw | Pbox_row), _, false) -> true | _ -> false)
+              idx_atoms
+          in
+          match root base with
+          | Rslot (_, "__ss_total", _) when fn_hardened && is_secret_index ->
+              (* the instrumented slice: slab base plus the drawn
+                 offset — an address whose value is the secret *)
+              add_reg dst
+                (union base_atoms [ Asrc (Slice_addr, f.name, false) ])
+          | _ -> add_reg dst (union base_atoms idx_atoms))
+      | Ir.Instr.Binop { dst; lhs; rhs; _ } ->
+          add_reg dst (union (atoms_of lhs) (atoms_of rhs))
+      | Ir.Instr.Icmp { dst; lhs; rhs; _ } ->
+          add_reg dst (oracle_ify (union (atoms_of lhs) (atoms_of rhs)))
+      | Ir.Instr.Select { dst; cond; if_true; if_false } ->
+          add_reg dst
+            (union
+               (oracle_ify (atoms_of cond))
+               (union (atoms_of if_true) (atoms_of if_false)))
+      | Ir.Instr.Sext { dst; value; _ } | Ir.Instr.Trunc { dst; value; _ } ->
+          add_reg dst (atoms_of value)
+      | Ir.Instr.Call { dst; callee; args } -> (
+          let arg i = List.nth_opt args i in
+          let arg_atoms i = Option.fold ~none:[] ~some:atoms_of (arg i) in
+          match Hashtbl.find_opt summaries callee with
+          | Some cs ->
+              (* defined callee: consult its flow summary *)
+              if cs.emits_output then set_emits ();
+              List.iteri
+                (fun i a ->
+                  let aa = atoms_of a in
+                  if aa <> [] then begin
+                    if i < cs.arity && cs.out_params.(i) then
+                      at_sink (Output callee) aa;
+                    if i < cs.arity && cs.oracle_params.(i) then
+                      at_sink ~force_oracle:true Oracle_branch aa
+                  end)
+                args;
+              Option.iter
+                (fun d ->
+                  let ret =
+                    List.concat_map
+                      (function
+                        | Asrc _ as a -> [ a ]
+                        | Aparam (i, orc) ->
+                            let aa = arg_atoms i in
+                            if orc then oracle_ify aa else aa)
+                      cs.ret_atoms
+                  in
+                  add_reg d ret)
+                dst
+          | None -> (
+              match callee with
+              | "print_int" | "print_char" ->
+                  set_emits ();
+                  at_sink (Output callee) (arg_atoms 0)
+              | "print_str" ->
+                  set_emits ();
+                  Option.iter
+                    (fun a -> at_sink (Output callee) (content_of a))
+                    (arg 0)
+              | "print_newline" -> set_emits ()
+              | "memcpy" | "strncpy" | "strcpy" | "snprintf_cat" ->
+                  (* content copy: src buffer content flows into dst *)
+                  let src_idx = if callee = "snprintf_cat" then 2 else 1 in
+                  Option.iter
+                    (fun d ->
+                      match root d with
+                      | Rslot (r, _, _) ->
+                          Option.iter
+                            (fun s -> add_content r (content_of s))
+                            (arg src_idx)
+                      | Rglob g ->
+                          Option.iter
+                            (fun s -> add_global g (content_of s))
+                            (arg src_idx)
+                      | _ -> ())
+                    (arg 0)
+              | "memset" ->
+                  Option.iter
+                    (fun d ->
+                      match root d with
+                      | Rslot (r, _, _) -> add_content r (arg_atoms 1)
+                      | Rglob g -> add_global g (arg_atoms 1)
+                      | _ -> ())
+                    (arg 0)
+              | "memcmp" ->
+                  Option.iter
+                    (fun d ->
+                      let c =
+                        union
+                          (Option.fold ~none:[] ~some:content_of (arg 0))
+                          (Option.fold ~none:[] ~some:content_of (arg 1))
+                      in
+                      add_reg d (oracle_ify c))
+                    dst
+              | "strlen" ->
+                  Option.iter
+                    (fun d ->
+                      add_reg d
+                        (Option.fold ~none:[] ~some:content_of (arg 0)))
+                    dst
+              | "read_input" | "input_byte" | "exit" | "abort" | "free"
+              | "malloc" ->
+                  ()
+              | _ ->
+                  (* unknown extern: a tainted argument escapes the
+                     analysis — treat as observable *)
+                  List.iter
+                    (fun a ->
+                      let aa = atoms_of a in
+                      if aa <> [] then at_sink (Output callee) aa)
+                    args))
+      | Ir.Instr.Call_ind { dst; callee = _; args } ->
+          set_emits ();
+          List.iter
+            (fun a ->
+              let aa = atoms_of a in
+              if aa <> [] then at_sink (Output "indirect-call") aa)
+            args;
+          Option.iter
+            (fun d ->
+              add_reg d
+                (List.fold_left (fun acc a -> union acc (atoms_of a)) [] args))
+            dst
+      | Ir.Instr.Intrinsic { dst; name; args = _ } ->
+          if name = Smokestack.Abi.intr_rand || name = Smokestack.Abi.intr_pad
+          then
+            Option.iter
+              (fun d -> add_reg d [ Asrc (Rand_draw, f.name, false) ])
+              dst
+    in
+    let rounds = ref 0 in
+    while !changed && !rounds < 64 do
+      changed := false;
+      incr rounds;
+      List.iter
+        (fun (b : Ir.Func.block) -> List.iter transfer b.instrs)
+        f.blocks
+    done;
+    (* terminators: branch oracles and return flows *)
+    List.iter
+      (fun (b : Ir.Func.block) ->
+        match b.term with
+        | Ir.Instr.Cond_br { cond; _ } ->
+            let ca = atoms_of cond in
+            if ca <> [] && sum.emits_output then
+              at_sink ~force_oracle:true Oracle_branch ca
+        | Ir.Instr.Ret (Some op) ->
+            let ra = atoms_of op in
+            if ra <> [] then begin
+              let u = union sum.ret_atoms ra in
+              if List.length u <> List.length sum.ret_atoms then begin
+                sum.ret_atoms <- u;
+                prog_changed := true
+              end
+            end
+        | Ir.Instr.Ret None | Ir.Instr.Br _ | Ir.Instr.Unreachable -> ())
+      f.blocks;
+    (* select conditions are oracles too *)
+    if sum.emits_output then
+      Ir.Func.iter_instrs f (function
+        | Ir.Instr.Select { cond; _ } ->
+            let ca = atoms_of cond in
+            if ca <> [] then at_sink ~force_oracle:true Oracle_branch ca
+        | _ -> ())
+  in
+  (* --------- program fixpoint over summaries + globals ---------- *)
+  let no_push _ = () in
+  let rounds = ref 0 in
+  prog_changed := true;
+  while !prog_changed && !rounds < 32 do
+    prog_changed := false;
+    incr rounds;
+    List.iter (analyze_func ~record:false no_push) prog.funcs
+  done;
+  (* --------- recording pass ---------- *)
+  let leaks = ref [] in
+  let seen = Hashtbl.create 32 in
+  let push_leak l =
+    let key = (l.func, l.source_func, l.source, l.channel, l.sink) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      leaks := l :: !leaks
+    end
+  in
+  List.iter (analyze_func ~record:true push_leak) prog.funcs;
+  let leaks = List.rev !leaks in
+  (* --------- quantification ---------- *)
+  let log2 x = if x <= 1. then 0. else log x /. log 2. in
+  let entropy_cache = Hashtbl.create 8 in
+  let entropy_of fname =
+    match Hashtbl.find_opt entropy_cache fname with
+    | Some e -> e
+    | None ->
+        let e =
+          match harden_ctx with
+          | None -> None
+          | Some h -> (
+              match Smokestack.Pbox.binding h.pbox fname with
+              | None -> None
+              | Some b -> Some (Smokestack.Entropy_an.of_binding h.pbox b))
+        in
+        Hashtbl.replace entropy_cache fname e;
+        e
+  in
+  let frame_bits fname =
+    match entropy_of fname with
+    | Some e -> log2 e.expected_bruteforce_attempts
+    | None -> 0.
+  in
+  let slot_index fname name =
+    match Ir.Prog.find_func prog fname with
+    | None -> None
+    | Some f -> (
+        match f.blocks with
+        | [] -> None
+        | entry :: _ ->
+            let names =
+              List.filter_map
+                (function
+                  | Ir.Instr.Alloca { count = None; name = n; _ } -> Some n
+                  | _ -> None)
+                entry.instrs
+            in
+            let rec idx i = function
+              | [] -> None
+              | n :: _ when n = name -> Some i
+              | _ :: tl -> idx (i + 1) tl
+            in
+            idx 0 names)
+  in
+  let slot_bits fname name =
+    match (entropy_of fname, slot_index fname name) with
+    | Some e, Some i -> (
+        match
+          List.find_opt
+            (fun (s : Smokestack.Entropy_an.slot_stats) -> s.orig_index = i)
+            e.per_slot
+        with
+        | Some s when s.collision_probability > 0. ->
+            (* -log2 Σp², the slot's Rényi collision entropy *)
+            Float.max 0. (-.(log s.collision_probability /. log 2.))
+        | _ -> 0.)
+    | _ -> 0.
+  in
+  let base_bits l =
+    match l.source with
+    | Slot_addr n -> slot_bits l.source_func n
+    | Slice_addr | Rand_draw | Pbox_row -> frame_bits l.source_func
+  in
+  let leaks =
+    List.map
+      (fun l ->
+        let b = base_bits l in
+        let bits =
+          match l.channel with
+          | Comparison_oracle -> Float.min 1. b
+          | Direct_value | Address_disclosure -> b
+        in
+        { l with bits })
+      leaks
+  in
+  (* per-source-function totals: max per distinct source, summed, then
+     capped at the frame's own entropy *)
+  let by_func = ref [] in
+  List.iter
+    (fun l ->
+      if not (List.mem_assoc l.source_func !by_func) then
+        by_func := !by_func @ [ (l.source_func, ref []) ])
+    leaks;
+  List.iter
+    (fun l ->
+      let cell = List.assoc l.source_func !by_func in
+      cell := !cell @ [ l ])
+    leaks;
+  let funcs =
+    List.map
+      (fun (fname, cell) ->
+        let per_source = ref [] in
+        List.iter
+          (fun l ->
+            match List.assoc_opt l.source !per_source with
+            | Some b -> if l.bits > !b then b := l.bits
+            | None -> per_source := !per_source @ [ (l.source, ref l.bits) ])
+          !cell;
+        let sum =
+          List.fold_left (fun acc (_, b) -> acc +. !b) 0. !per_source
+        in
+        let fb = frame_bits fname in
+        let leaked = if fb > 0. then Float.min sum fb else sum in
+        { fname; frame_bits = fb; leaked_bits = leaked })
+      !by_func
+  in
+  let total_bits = List.fold_left (fun a f -> a +. f.leaked_bits) 0. funcs in
+  { leaks; funcs; total_bits }
+
+let leaked_bits_for t fnames =
+  let fnames = List.sort_uniq compare fnames in
+  List.fold_left
+    (fun acc f ->
+      match List.find_opt (fun fb -> fb.fname = f) t.funcs with
+      | Some fb -> acc +. fb.leaked_bits
+      | None -> acc)
+    0. fnames

@@ -1,0 +1,105 @@
+(** Interprocedural layout-leak analysis (DESIGN.md §17).
+
+    Smokestack's security argument is the entropy an attacker cannot
+    observe; this pass finds the flows that hand that entropy back.  It
+    tracks taint from the layout secrets — [ss.rand] draws, P-BOX row
+    contents, and slot/slice addresses — through a call graph with
+    per-function flow summaries (argument → return/output), down to the
+    observable sinks: output builtins, stores to global (attacker-
+    readable) memory, and stores into overflow buffers of
+    {!Analysis.Dop} pairs.
+
+    The taint discipline matches {!Funcan}'s per-channel laundering:
+    dereferencing a secret-derived address yields a {e clean} value (a
+    hardened prologue's slice loads are the product, not the secret),
+    while the numeric value of such an address — or of a draw, or of a
+    P-BOX row entry — stays tainted through arithmetic, casts, memory
+    round-trips and calls.  Comparisons collapse taint to a one-bit
+    oracle.
+
+    On an {e unhardened} program every fixed-size entry alloca's
+    address is a source: the analysis answers "which layout bits would
+    this program disclose once hardened".  On a {e hardened} program
+    (any function carrying the smokestack attribute) the sources are
+    the [ss.rand] results, P-BOX row loads and the slab-slice geps the
+    instrumentation emitted; raw allocas are not secret there.
+
+    Each leak is quantified in bits of Rényi collision entropy
+    ([-log2 Σp²] over the default hardening's offset distribution), the
+    same quantity {!Score}'s 1/Σp² attempt model exponentiates — so
+    [attempts / 2^bits] is exactly the conditional collision estimate
+    the degraded scoring and the leak-guided planner use. *)
+
+type source =
+  | Rand_draw  (** an [ss.rand] permutation draw *)
+  | Pbox_row  (** a value loaded from the P-BOX rodata (or a decoded
+                  dynamic-layout offset read back from the slab) *)
+  | Slot_addr of string
+      (** the address of a named slot of an unhardened function — the
+          quantity randomization will turn into a secret *)
+  | Slice_addr
+      (** a P-BOX-indexed slice of the [__ss_total] slab in a hardened
+          function: slab base plus the drawn offset *)
+
+type channel =
+  | Direct_value  (** a draw or row content reaches the sink as-is *)
+  | Address_disclosure  (** a slot/slice address value reaches the sink *)
+  | Comparison_oracle
+      (** the taint survives only a comparison: one bit per observation *)
+
+type sink =
+  | Output of string
+      (** an output builtin, or a defined callee whose summary shows the
+          argument reaching output *)
+  | Global_store of string  (** stored to a writable global ["*"] = wild *)
+  | Readable_buffer of string
+      (** stored into an overflow buffer of a DOP pair — attacker-
+          adjacent memory *)
+  | Oracle_branch
+      (** a branch/select condition in a function that emits output *)
+
+type leak = {
+  func : string;  (** function containing the sink *)
+  source_func : string;  (** function whose layout secret escapes *)
+  source : source;
+  channel : channel;
+  sink : sink;
+  bits : float;  (** collision entropy handed to the attacker *)
+}
+
+type func_bits = {
+  fname : string;
+  frame_bits : float;
+      (** log2 of the frame's expected brute-force attempts *)
+  leaked_bits : float;
+      (** per-source max, summed over distinct sources, capped at
+          [frame_bits] *)
+}
+
+type t = {
+  leaks : leak list;  (** deduplicated, deterministic order *)
+  funcs : func_bits list;  (** one row per leaking source function *)
+  total_bits : float;  (** sum of [leaked_bits] *)
+}
+
+val source_to_string : source -> string
+val channel_to_string : channel -> string
+val sink_to_string : sink -> string
+val leak_to_string : leak -> string
+
+val analyze :
+  ?hardened:Smokestack.Harden.t ->
+  ?readable:(string * string) list ->
+  Ir.Prog.t ->
+  t
+(** [analyze prog] runs the interprocedural flow analysis on [prog].
+    [hardened] supplies the P-BOX used to quantify bits (and is
+    mandatory for non-zero bits when [prog] itself is the hardened IR);
+    without it, an unhardened [prog] is hardened internally under the
+    default config (bits are 0 if that fails).  [readable] lists
+    [(func, slot)] overflow buffers (from {!Dop} pairs) treated as
+    attacker-readable store sinks. *)
+
+val leaked_bits_for : t -> string list -> float
+(** Total [leaked_bits] over the given source functions (deduplicated)
+    — the exponent the degraded attempt scoring divides by. *)

@@ -1,6 +1,13 @@
 module J = Sutil.Json
 
-type scored_pair = { pair : Dop.pair; attempts : (string * float) list }
+type scored_pair = {
+  pair : Dop.pair;
+  attempts : (string * float) list;
+  degraded : (string * float) list;
+      (** expected attempts after conditioning on the statically-found
+          leaks of the pair's two frames; [= attempts] rows are elided
+          and the list is [[]] when the pair's frames leak nothing *)
+}
 
 type func_summary = {
   fname : string;
@@ -12,6 +19,9 @@ type func_summary = {
   validated : bool;
       (** default-config hardening of this program passes the static
           validator with no violation attributed to this function *)
+  leaked_bits : float;
+      (** collision-entropy bits this function's layout secrets leak to
+          observable sinks ({!Leakan}) *)
 }
 
 type t = {
@@ -20,30 +30,81 @@ type t = {
   analyses : Funcan.t list;
   pairs : scored_pair list;
   defense_names : string list;
+  leakage : Leakan.t;
 }
+
+(* Conditioning the attempt model on disclosure (DESIGN.md §17): for
+   the per-invocation defense the attacker re-learns the leaked bits
+   every run, so expected attempts divide by [2^bits] — exactly the
+   conditional collision estimate [Σp_b² / Σp_joint²].  For per-build
+   defenses the layout is fixed, so any value/address disclosure
+   reveals it once and for all (one attempt); an oracle alone still
+   only divides. *)
+let degrade (leakage : Leakan.t) (p : Dop.pair) attempts =
+  let relevant = [ p.buf_func; p.victim_func ] in
+  let rel_leaks =
+    List.filter
+      (fun (l : Leakan.leak) -> List.mem l.source_func relevant)
+      leakage.leaks
+  in
+  if rel_leaks = [] then []
+  else
+    let bits = Leakan.leaked_bits_for leakage relevant in
+    let full_disclosure =
+      List.exists
+        (fun (l : Leakan.leak) -> l.channel <> Leakan.Comparison_oracle)
+        rel_leaks
+    in
+    List.map
+      (fun (d, a) ->
+        let a' =
+          if d = "none" then a
+          else if d = "smokestack" then
+            Float.max 1. (a /. Float.pow 2. bits)
+          else if full_disclosure then Float.min a 1.
+          else Float.max 1. (a /. Float.pow 2. bits)
+        in
+        (d, a'))
+      attempts
 
 let analyze_prog ?(name = "program") ?(score = true) prog =
   let analyses = Funcan.analyze prog in
   let raw_pairs = Dop.enumerate prog analyses in
-  let pairs =
-    if score && raw_pairs <> [] then
-      let ctx = Score.make_ctx prog analyses in
-      List.map (fun p -> { pair = p; attempts = Score.attempts ctx p }) raw_pairs
-    else List.map (fun p -> { pair = p; attempts = [] }) raw_pairs
-  in
-  (* Per-function validation verdict: harden with the default config
-     and ask the static validator which functions (if any) violate a
-     post-condition.  A program that cannot be hardened at all (e.g. it
-     already is) validates nothing. *)
-  let invalidated =
+  (* Harden once under the default config: the same artifact feeds the
+     per-function validation verdict and the leak quantification. *)
+  let hardened =
     match
       Smokestack.Harden.harden ~validate:false Smokestack.Config.default prog
     with
-    | hardened ->
-        let vs = Validate.check ~original:prog hardened in
+    | h -> Some h
+    | exception _ -> None
+  in
+  let readable =
+    List.sort_uniq compare
+      (List.map (fun (p : Dop.pair) -> (p.buf_func, p.buf_slot)) raw_pairs)
+  in
+  let leakage = Leakan.analyze ?hardened ~readable prog in
+  let pairs =
+    if score && raw_pairs <> [] then
+      let ctx = Score.make_ctx prog analyses in
+      List.map
+        (fun p ->
+          let attempts = Score.attempts ctx p in
+          { pair = p; attempts; degraded = degrade leakage p attempts })
+        raw_pairs
+    else List.map (fun p -> { pair = p; attempts = []; degraded = [] }) raw_pairs
+  in
+  (* Per-function validation verdict: ask the static validator which
+     functions (if any) violate a post-condition.  A program that
+     cannot be hardened at all (e.g. it already is) validates
+     nothing. *)
+  let invalidated =
+    match hardened with
+    | Some h ->
+        let vs = Validate.check ~original:prog h in
         fun fname ->
           List.exists (fun (v : Validate.violation) -> v.func = fname) vs
-    | exception _ -> fun _ -> true
+    | None -> fun _ -> true
   in
   let funcs =
     List.map
@@ -65,11 +126,12 @@ let analyze_prog ?(name = "program") ?(score = true) prog =
           wild_stores = a.wild_stores;
           frame_bytes = frame;
           validated = not (invalidated a.fname);
+          leaked_bits = Leakan.leaked_bits_for leakage [ a.fname ];
         })
       analyses
   in
   let defense_names = if score then Score.defense_names else [] in
-  { name; funcs; analyses; pairs; defense_names }
+  { name; funcs; analyses; pairs; defense_names; leakage }
 
 let summary t =
   List.map
@@ -80,6 +142,23 @@ let summary t =
             match List.assoc_opt d sp.attempts with
             | Some a when a < acc -> a
             | _ -> acc)
+          infinity t.pairs
+      in
+      (d, best))
+    t.defense_names
+
+let summary_degraded t =
+  List.map
+    (fun d ->
+      let best =
+        List.fold_left
+          (fun acc sp ->
+            let eff =
+              match List.assoc_opt d sp.degraded with
+              | Some a -> Some a
+              | None -> List.assoc_opt d sp.attempts
+            in
+            match eff with Some a when a < acc -> a | _ -> acc)
           infinity t.pairs
       in
       (d, best))
@@ -129,7 +208,7 @@ let funcs_table t =
         :: List.map
              (fun c -> (c, Sutil.Texttable.Right))
              [ "slots"; "overflow"; "victims"; "wild stores"; "frame B";
-               "validated" ])
+               "validated"; "leak bits" ])
   in
   List.iter
     (fun f ->
@@ -142,6 +221,8 @@ let funcs_table t =
           string_of_int f.wild_stores;
           string_of_int f.frame_bytes;
           (if f.validated then "yes" else "NO");
+          (if f.leaked_bits = 0. then "-"
+           else Format.asprintf "%.2f" f.leaked_bits);
         ])
     t.funcs;
   tt
@@ -175,6 +256,25 @@ let to_text t =
   if t.defense_names <> [] then begin
     out "easiest pair per defense:\n";
     List.iter (fun (d, a) -> out "  %-12s %s\n" d (att_str a)) (summary t)
+  end;
+  if t.leakage.leaks <> [] then begin
+    out "\nlayout leaks (%d flows, %.2f bits total)\n"
+      (List.length t.leakage.leaks)
+      t.leakage.total_bits;
+    List.iter
+      (fun l -> out "  %s\n" (Leakan.leak_to_string l))
+      t.leakage.leaks;
+    List.iter
+      (fun (fb : Leakan.func_bits) ->
+        out "  %s: %.2f of %.2f frame bits disclosed\n" fb.fname
+          fb.leaked_bits fb.frame_bits)
+      t.leakage.funcs;
+    if t.defense_names <> [] then begin
+      out "easiest pair per defense, leak-degraded:\n";
+      List.iter
+        (fun (d, a) -> out "  %-12s %s\n" d (att_str a))
+        (summary_degraded t)
+    end
   end;
   Buffer.contents buf
 
@@ -237,21 +337,28 @@ let funcan_to_json (a : Funcan.t) =
 let pair_to_json sp =
   let p = sp.pair in
   J.Obj
-    [
-      ("pair_id", J.String p.pair_id);
-      ("kind", J.String (Dop.kind_to_string p.kind));
-      ("buf_func", J.String p.buf_func);
-      ("buf_slot", J.String p.buf_slot);
-      ("victim_func", J.String p.victim_func);
-      ("victim_slot", J.String p.victim_slot);
-      ( "static_distance",
-        match p.static_distance with Some d -> J.Int d | None -> J.Null );
-      ("path", J.List (List.map (fun s -> J.String s) p.path));
-      ("victim_roles", J.List (List.map role_to_json p.victim_roles));
-      ("reasons", J.List (List.map reason_to_json p.reasons));
-      ( "attempts",
-        J.Obj (List.map (fun (d, a) -> (d, J.Float a)) sp.attempts) );
-    ]
+    ([
+       ("pair_id", J.String p.pair_id);
+       ("kind", J.String (Dop.kind_to_string p.kind));
+       ("buf_func", J.String p.buf_func);
+       ("buf_slot", J.String p.buf_slot);
+       ("victim_func", J.String p.victim_func);
+       ("victim_slot", J.String p.victim_slot);
+       ( "static_distance",
+         match p.static_distance with Some d -> J.Int d | None -> J.Null );
+       ("path", J.List (List.map (fun s -> J.String s) p.path));
+       ("victim_roles", J.List (List.map role_to_json p.victim_roles));
+       ("reasons", J.List (List.map reason_to_json p.reasons));
+       ( "attempts",
+         J.Obj (List.map (fun (d, a) -> (d, J.Float a)) sp.attempts) );
+     ]
+    @
+    if sp.degraded = [] then []
+    else
+      [
+        ( "degraded",
+          J.Obj (List.map (fun (d, a) -> (d, J.Float a)) sp.degraded) );
+      ])
 
 let func_summary_to_json f =
   J.Obj
@@ -263,6 +370,42 @@ let func_summary_to_json f =
       ("wild_stores", J.Int f.wild_stores);
       ("frame_bytes", J.Int f.frame_bytes);
       ("validated", J.Bool f.validated);
+      ("leaked_bits", J.Float f.leaked_bits);
+    ]
+
+let leak_to_json (l : Leakan.leak) =
+  let sink_kind, sink_arg =
+    match l.sink with
+    | Leakan.Output s -> ("output", s)
+    | Leakan.Global_store s -> ("global-store", s)
+    | Leakan.Readable_buffer s -> ("readable-buffer", s)
+    | Leakan.Oracle_branch -> ("oracle-branch", "")
+  in
+  J.Obj
+    [
+      ("func", J.String l.func);
+      ("source_func", J.String l.source_func);
+      ("source", J.String (Leakan.source_to_string l.source));
+      ("channel", J.String (Leakan.channel_to_string l.channel));
+      ("sink", J.String sink_kind);
+      ("sink_arg", J.String sink_arg);
+      ("bits", J.Float l.bits);
+    ]
+
+let leak_func_to_json (fb : Leakan.func_bits) =
+  J.Obj
+    [
+      ("fname", J.String fb.fname);
+      ("frame_bits", J.Float fb.frame_bits);
+      ("leaked_bits", J.Float fb.leaked_bits);
+    ]
+
+let leakage_to_json (lk : Leakan.t) =
+  J.Obj
+    [
+      ("leaks", J.List (List.map leak_to_json lk.leaks));
+      ("funcs", J.List (List.map leak_func_to_json lk.funcs));
+      ("total_bits", J.Float lk.total_bits);
     ]
 
 let to_json t =
@@ -273,8 +416,11 @@ let to_json t =
       ("funcs", J.List (List.map func_summary_to_json t.funcs));
       ("analyses", J.List (List.map funcan_to_json t.analyses));
       ("pairs", J.List (List.map pair_to_json t.pairs));
+      ("leakage", leakage_to_json t.leakage);
       ( "summary",
         J.Obj (List.map (fun (d, a) -> (d, J.Float a)) (summary t)) );
+      ( "summary_degraded",
+        J.Obj (List.map (fun (d, a) -> (d, J.Float a)) (summary_degraded t)) );
     ]
 
 (* -------- parsing (the round-trip direction) -------- *)
@@ -386,16 +532,18 @@ let pair_of_json j =
   in
   let* victim_roles = map_result role_of_json (list_field "victim_roles" j) in
   let* reasons = map_result reason_of_json (list_field "reasons" j) in
-  let* attempts =
-    match J.member "attempts" j with
+  let float_assoc key =
+    match J.member key j with
     | Some (J.Obj kvs) ->
         map_result
           (fun (d, v) ->
-            let* a = need ("attempts." ^ d) (J.to_float_opt v) in
+            let* a = need (key ^ "." ^ d) (J.to_float_opt v) in
             Ok (d, a))
           kvs
     | _ -> Ok []
   in
+  let* attempts = float_assoc "attempts" in
+  let* degraded = float_assoc "degraded" in
   (* Documents written before pair ids existed lack the field; the
      digest is a pure function of the tuple, so recomputing it is both
      the backward-compatible path and a consistency check for documents
@@ -423,7 +571,12 @@ let pair_of_json j =
           reasons;
         };
       attempts;
+      degraded;
     }
+
+let float_field_opt ~default k j =
+  Option.fold ~none:default ~some:Fun.id
+    (Option.bind (J.member k j) J.to_float_opt)
 
 let func_summary_of_json j =
   let* fname = str_field "fname" j in
@@ -433,9 +586,62 @@ let func_summary_of_json j =
   let* wild_stores = int_field "wild_stores" j in
   let* frame_bytes = int_field "frame_bytes" j in
   let* validated = bool_field "validated" j in
+  (* documents written before the leak analyzer existed lack the field *)
+  let leaked_bits = float_field_opt ~default:0. "leaked_bits" j in
   Ok
     { fname; n_slots; n_overflow; n_victims; wild_stores; frame_bytes;
-      validated }
+      validated; leaked_bits }
+
+let source_of_string s : (Leakan.source, string) result =
+  match s with
+  | "rand-draw" -> Ok Leakan.Rand_draw
+  | "pbox-row" -> Ok Leakan.Pbox_row
+  | "slice-addr" -> Ok Leakan.Slice_addr
+  | s when String.length s > 1 && s.[0] = '&' ->
+      Ok (Leakan.Slot_addr (String.sub s 1 (String.length s - 1)))
+  | s -> Error ("bad leak source " ^ s)
+
+let channel_of_string = function
+  | "direct-value" -> Ok Leakan.Direct_value
+  | "address-disclosure" -> Ok Leakan.Address_disclosure
+  | "comparison-oracle" -> Ok Leakan.Comparison_oracle
+  | s -> Error ("bad leak channel " ^ s)
+
+let leak_of_json j =
+  let* func = str_field "func" j in
+  let* source_func = str_field "source_func" j in
+  let* source = Result.bind (str_field "source" j) source_of_string in
+  let* channel = Result.bind (str_field "channel" j) channel_of_string in
+  let* sink_kind = str_field "sink" j in
+  let sink_arg =
+    Option.value ~default:""
+      (Option.bind (J.member "sink_arg" j) J.to_str_opt)
+  in
+  let* sink =
+    match sink_kind with
+    | "output" -> Ok (Leakan.Output sink_arg)
+    | "global-store" -> Ok (Leakan.Global_store sink_arg)
+    | "readable-buffer" -> Ok (Leakan.Readable_buffer sink_arg)
+    | "oracle-branch" -> Ok Leakan.Oracle_branch
+    | s -> Error ("bad leak sink " ^ s)
+  in
+  let bits = float_field_opt ~default:0. "bits" j in
+  Ok { Leakan.func; source_func; source; channel; sink; bits }
+
+let leak_func_of_json j =
+  let* fname = str_field "fname" j in
+  let frame_bits = float_field_opt ~default:0. "frame_bits" j in
+  let leaked_bits = float_field_opt ~default:0. "leaked_bits" j in
+  Ok { Leakan.fname; frame_bits; leaked_bits }
+
+let leakage_of_json j : (Leakan.t, string) result =
+  match j with
+  | None -> Ok { Leakan.leaks = []; funcs = []; total_bits = 0. }
+  | Some j ->
+      let* leaks = map_result leak_of_json (list_field "leaks" j) in
+      let* funcs = map_result leak_func_of_json (list_field "funcs" j) in
+      let total_bits = float_field_opt ~default:0. "total_bits" j in
+      Ok { Leakan.leaks; funcs; total_bits }
 
 let of_json j =
   let* name = str_field "name" j in
@@ -447,4 +653,5 @@ let of_json j =
   let* funcs = map_result func_summary_of_json (list_field "funcs" j) in
   let* analyses = map_result funcan_of_json (list_field "analyses" j) in
   let* pairs = map_result pair_of_json (list_field "pairs" j) in
-  Ok { name; funcs; analyses; pairs; defense_names }
+  let* leakage = leakage_of_json (J.member "leakage" j) in
+  Ok { name; funcs; analyses; pairs; defense_names; leakage }

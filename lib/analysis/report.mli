@@ -9,7 +9,17 @@
     The JSON form round-trips: [of_json (to_json t)] reconstructs the
     report exactly (floats via their shortest decimal form). *)
 
-type scored_pair = { pair : Dop.pair; attempts : (string * float) list }
+type scored_pair = {
+  pair : Dop.pair;
+  attempts : (string * float) list;
+  degraded : (string * float) list;
+      (** expected attempts after conditioning on the statically-found
+          layout leaks ({!Leakan}) of the pair's two frames; [[]] when
+          those frames leak nothing.  For the per-invocation defense
+          this divides by [2^leaked_bits] (the conditional collision
+          estimate); per-build defenses collapse to one attempt under
+          any value/address disclosure. *)
+}
 
 type func_summary = {
   fname : string;
@@ -22,6 +32,9 @@ type func_summary = {
       (** default-config hardening of the program passes the static
           validator ({!Validate}) with no violation attributed to this
           function *)
+  leaked_bits : float;
+      (** collision-entropy bits this function's layout secrets
+          disclose ({!Leakan.leaked_bits_for}); [0.] when leak-free *)
 }
 
 type t = {
@@ -30,16 +43,22 @@ type t = {
   analyses : Funcan.t list;
   pairs : scored_pair list;
   defense_names : string list;
+  leakage : Leakan.t;
 }
 
 val analyze_prog : ?name:string -> ?score:bool -> Ir.Prog.t -> t
 (** [score] defaults to [true]; pass [false] to skip the (sampled)
-    per-defense attempts and get classification + pairs only. *)
+    per-defense attempts and get classification + pairs only.  Leak
+    analysis always runs (it is cheap and unsampled). *)
 
 val summary : t -> (string * float) list
 (** Per defense, the expected attempts of the {e easiest} pair — the
     attacker picks the cheapest channel.  [infinity] when the program
     has no pairs at all. *)
+
+val summary_degraded : t -> (string * float) list
+(** Like {!summary} but using each pair's leak-degraded attempts where
+    available — the disclosure-aware attacker's cost. *)
 
 val to_table : t -> Sutil.Texttable.t
 (** Pair-level table (one row per scored pair). *)

@@ -11,6 +11,7 @@ type rule =
   | Index_hygiene
   | Fid_pairing
   | Elision
+  | Layout_leak
 
 let rule_to_string = function
   | Frame_integrity -> "frame-integrity"
@@ -18,6 +19,7 @@ let rule_to_string = function
   | Index_hygiene -> "index-hygiene"
   | Fid_pairing -> "fid-pairing"
   | Elision -> "elision"
+  | Layout_leak -> "layout-leak"
 
 type violation = {
   rule : rule;
@@ -670,6 +672,32 @@ let result ?original t =
   match check ?original t with
   | [] -> Ok ()
   | vs -> Error (String.concat "\n" (List.map violation_to_string vs))
+
+(* Advisory lint, not a hardening post-condition: a program can be a
+   perfectly well-formed Smokestack build and still print one of its
+   slice addresses.  Index hygiene already forbids the *instrumented*
+   secrets (draw, row pointer, loaded offsets) from flowing into stores
+   or calls; this rule additionally catches application-level flows —
+   address-of results, comparison oracles, interprocedural summaries —
+   via the {!Leakan} information-flow analysis, and so is only offered
+   through [check_leaks]/[smokestackc lint --leaks]. *)
+let check_leaks (t : Harden.t) =
+  let lk = Leakan.analyze ~hardened:t t.prog in
+  List.map
+    (fun (l : Leakan.leak) ->
+      {
+        rule = Layout_leak;
+        func = l.func;
+        row = None;
+        detail =
+          Printf.sprintf "%s of %s:%s reaches %s (%.2f bits)"
+            (Leakan.channel_to_string l.channel)
+            l.source_func
+            (Leakan.source_to_string l.source)
+            (Leakan.sink_to_string l.sink)
+            l.bits;
+      })
+    lk.leaks
 
 (* ------------------------------------------------------------------ *)
 (* The elision oracle                                                  *)

@@ -35,6 +35,9 @@ type rule =
   | Index_hygiene
   | Fid_pairing
   | Elision
+  | Layout_leak
+      (** advisory ({!check_leaks} only): a hardened function's
+          observable outputs are taint-reachable from a layout secret *)
 
 val rule_to_string : rule -> string
 
@@ -56,6 +59,12 @@ val check : ?original:Ir.Prog.t -> Smokestack.Harden.t -> violation list
 val result : ?original:Ir.Prog.t -> Smokestack.Harden.t -> (unit, string) result
 (** [check] rendered as the pass pipeline's post-condition: [Error]
     carries one {!violation_to_string} line per violation. *)
+
+val check_leaks : Smokestack.Harden.t -> violation list
+(** Advisory {!Layout_leak} lint over the hardened IR: one violation
+    per {!Leakan} flow from a layout secret to an observable sink.
+    Deliberately {e not} part of {!check} — a leaking program is still
+    a well-formed hardening; surfaced by [smokestackc lint --leaks]. *)
 
 val elidable : Ir.Prog.t -> string list
 (** The selective-hardening oracle: functions with static slots, no

@@ -51,6 +51,49 @@ void serve() {
 int main() { serve(); return 0; }
 |}
 
+(* stack-direct with a disclosure preamble: serve() prints every
+   local's absolute address — one integer line each, in frame
+   declaration order — before its first read.  The deliberately-leaky
+   target for the leak-guided attack path: the static analyzer
+   (Analysis.Leakan) finds the address-disclosure flows, and the guided
+   executor (Dopc.Exec.run_chain_guided) parses the preamble live and
+   pins the revealed offsets.  Deliberately NOT in [variants]: its
+   output depends on the drawn layout, which would poison the
+   deterministic pentest and offense tables. *)
+let stack_leaky_src =
+  {|
+long vr0 = 1;
+long vr1 = 0;
+long auth = 0;
+
+void serve() {
+  long ctr = 0;
+  long *size = &vr1;
+  long *step = &vr0;
+  long req = 0;
+  long n = 0;
+  char buff[64];
+  print_int((long)&ctr); print_newline();
+  print_int((long)&size); print_newline();
+  print_int((long)&step); print_newline();
+  print_int((long)&req); print_newline();
+  print_int((long)&n); print_newline();
+  print_int((long)&buff); print_newline();
+  while (ctr < 8) {
+    n = read_input(buff, 4096);
+    if (n <= 0) break;
+    if (req == 1) *size += *step;
+    else if (req == 2) *size -= *step;
+    else if (req == 3) *step = *size;
+    ctr += 1;
+  }
+  if (auth == 4919) { print_str("GRANTED:"); print_int(auth); print_newline(); }
+  else { print_str("denied"); print_newline(); }
+}
+
+int main() { serve(); return 0; }
+|}
+
 let stack_indirect_src =
   {|
 long g_log = 0;
@@ -420,4 +463,12 @@ let variants =
     mk "heap-indirect" `Indirect `Heap heap_indirect_src heap_indirect_chunks;
   ]
 
-let find name = List.find_opt (fun v -> String.equal v.vname name) variants
+(* Findable but not enumerated: the disclosing target's output is
+   layout-dependent, so it must stay out of every table that iterates
+   [variants].  Its blind hand attack is stack-direct's — the frames
+   are identical — which anchors the guided-vs-blind comparison. *)
+let hidden =
+  [ mk "stack-leaky" `Direct `Stack stack_leaky_src stack_direct_chunks ]
+
+let find name =
+  List.find_opt (fun v -> String.equal v.vname name) (variants @ hidden)

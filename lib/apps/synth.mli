@@ -38,6 +38,14 @@ val variants : variant list
 (** All six, in (stack, data, heap) x (direct, indirect) order. *)
 
 val find : string -> variant option
+(** Looks up [variants] plus the hidden [stack-leaky] target — the
+    stack-direct program with a disclosure preamble that prints every
+    local's absolute address (one integer line each, frame declaration
+    order) before its first read.  It is the ground-truth positive for
+    the {!Analysis.Leakan} address-disclosure channel and the target of
+    the leak-guided attack path; it stays out of [variants] because its
+    output is layout-dependent and would break the deterministic
+    pentest tables. *)
 
 val granted : string
 (** The success marker in program output. *)

@@ -112,7 +112,7 @@ let gen_helper rng ~name ~arity ~funcs =
   Buffer.add_string buf (Printf.sprintf "  return %s;\n}\n\n" (gen_expr c));
   Buffer.contents buf
 
-let generate ~seed =
+let gen ~leaky ~seed =
   let rng = Sutil.Simrng.create ~seed in
   let buf = Buffer.create 1024 in
   (* globals *)
@@ -156,10 +156,29 @@ let generate ~seed =
       Buffer.add_string buf
         (Printf.sprintf "  %s += acc & 1023;\n" (pick rng globals))
   done;
+  Buffer.add_string buf "  acc = acc * 31 + mbuf[acc & 7];\n";
+  (* Leak-shaped tail (ground-truth positives for the leak analyzer and
+     E19): either print a local's address outright, or branch on the
+     relative order of two locals — a one-bit comparison oracle.  The
+     shape draw is the rng's last use, so the benign prefix is
+     byte-identical to the leaky=false output of the same seed. *)
+  if leaky then begin
+    match Sutil.Simrng.int rng ~bound:2 with
+    | 0 ->
+        Buffer.add_string buf
+          "  print_int((long)&mbuf);\n  print_newline();\n"
+    | _ ->
+        Buffer.add_string buf
+          "  if ((long)&mbuf < (long)&acc) { print_str(\"L\"); } else { \
+           print_str(\"R\"); }\n\
+          \  print_newline();\n"
+  end;
   Buffer.add_string buf
-    "  acc = acc * 31 + mbuf[acc & 7];\n\
-    \  print_int(acc);\n  print_newline();\n  return 0;\n}\n";
+    "  print_int(acc);\n  print_newline();\n  return 0;\n}\n";
   Buffer.contents buf
+
+let generate ~seed = gen ~leaky:false ~seed
+let generate_leaky ~seed = gen ~leaky:true ~seed
 
 let generate_many ~seed n =
   let rng = Sutil.Simrng.create ~seed in

@@ -16,6 +16,17 @@ val generate : seed:int64 -> string
     so every frame gives the permutation passes (and the DOP pair
     enumeration) something to separate. *)
 
+val generate_leaky : seed:int64 -> string
+(** {!generate}'s program with a leak-shaped tail: before the checksum
+    it additionally discloses layout — either printing a local's
+    address or printing which of two locals sits lower (a comparison
+    oracle), the shape seed-chosen.  Leaky programs are ground-truth
+    positives for the {!Analysis.Leakan} analyzer and the E19
+    cross-validation; they deliberately {e break} the
+    differential-oracle property (their output depends on the drawn
+    layout), so they must never enter the diff corpus.  The benign
+    prefix is byte-identical to {!generate} of the same seed. *)
+
 val generate_many : seed:int64 -> int -> string list
 (** [n] programs with seeds drawn from one stream rooted at [seed]
     (the historical smoke-test corpus shape).  Materializes the list;

@@ -11,18 +11,14 @@ let resolve_value (applied : Defenses.Defense.applied) = function
       | Some a -> Int64.of_int a
       | None -> invalid_arg ("Offense.Payload: no global " ^ g))
 
-let lower (applied : Defenses.Defense.applied) (chain : Chain.t) ~seed =
-  let vars =
-    List.sort_uniq compare
-      (List.concat_map
-         (fun (s : Chain.step) ->
-           List.map (fun (w : Chain.write) -> w.target) s.writes)
-         chain.steps)
-  in
-  let l =
-    layout applied ~func:chain.func ~buffer:chain.buffer ~vars
-      ~slots:chain.slots ~seed
-  in
+let written_vars (chain : Chain.t) =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun (s : Chain.step) ->
+         List.map (fun (w : Chain.write) -> w.target) s.writes)
+       chain.steps)
+
+let lower_at (applied : Defenses.Defense.applied) (chain : Chain.t) ~layout:l =
   let offset_of target =
     match List.assoc_opt target l with
     | Some o -> o
@@ -40,3 +36,29 @@ let lower (applied : Defenses.Defense.applied) (chain : Chain.t) ~seed =
                (resolve_value applied w.value))
            s.writes))
     chain.steps
+
+let lower (applied : Defenses.Defense.applied) (chain : Chain.t) ~seed =
+  let vars = written_vars chain in
+  let l =
+    layout applied ~func:chain.func ~buffer:chain.buffer ~vars
+      ~slots:chain.slots ~seed
+  in
+  lower_at applied chain ~layout:l
+
+let lower_pinned (applied : Defenses.Defense.applied) (chain : Chain.t)
+    ~pinned ~seed =
+  let vars = written_vars chain in
+  let l =
+    layout applied ~func:chain.func ~buffer:chain.buffer ~vars
+      ~slots:chain.slots ~seed
+  in
+  (* disclosed offsets override the guess; slots the guess missed but
+     the target disclosed are simply added *)
+  let l =
+    List.map
+      (fun (v, o) ->
+        match List.assoc_opt v pinned with Some p -> (v, p) | None -> (v, o))
+      l
+    @ List.filter (fun (v, _) -> not (List.mem_assoc v l)) pinned
+  in
+  lower_at applied chain ~layout:l

@@ -28,3 +28,16 @@ val lower :
   Defenses.Defense.applied -> Chain.t -> seed:int64 -> string list
 (** One byte string per chain step.  Raises [Invalid_argument] when the
     layout (under this build and seed) cannot host the writes. *)
+
+val lower_pinned :
+  Defenses.Defense.applied ->
+  Chain.t ->
+  pinned:(string * int) list ->
+  seed:int64 ->
+  string list
+(** {!lower}, but [pinned] buffer-relative offsets — observed from a
+    live disclosure, see {!Exec.run_chain_guided} — override the
+    corresponding entries of the derived layout; only the slots the
+    target did not disclose keep their Algorithm-1 guess.  Raises
+    [Invalid_argument] exactly as {!lower} does when the combined
+    layout is geometrically impossible. *)

@@ -177,6 +177,69 @@ let dispatch_step ctx ~sel ~k ~dst_first ~dst ~src =
   { Chain.writes = writes @ pins ctx.same_pairs ~written }
 
 (* ------------------------------------------------------------------ *)
+(* Leak-guided planning: turn the static leak analysis into disclosure
+   gadgets the executor can consume. *)
+
+type guide = { gfunc : string; disclosed : string list; gbits : float }
+
+let leak_guides prog =
+  let lk = Analysis.Leakan.analyze prog in
+  (* slots whose addresses reach an output sink, per owning function *)
+  let disclosed_by : (string, string list ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (l : Analysis.Leakan.leak) ->
+      match (l.source, l.channel, l.sink) with
+      | ( Analysis.Leakan.Slot_addr s,
+          Analysis.Leakan.Address_disclosure,
+          Analysis.Leakan.Output _ ) ->
+          let cell =
+            match Hashtbl.find_opt disclosed_by l.source_func with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.replace disclosed_by l.source_func c;
+                c
+          in
+          if not (List.mem s !cell) then cell := s :: !cell
+      | _ -> ())
+    lk.leaks;
+  (* one guide per disclosing function, slots in frame declaration
+     order — the order the disclosure preamble prints them (the
+     {!Exec.run_chain_guided} convention) *)
+  List.filter_map
+    (fun (f : Ir.Func.t) ->
+      match Hashtbl.find_opt disclosed_by f.name with
+      | None -> None
+      | Some cell ->
+          let decl_order =
+            match f.blocks with
+            | [] -> []
+            | entry :: _ ->
+                List.filter_map
+                  (function
+                    | Ir.Instr.Alloca { count = None; name; _ } -> Some name
+                    | _ -> None)
+                  entry.instrs
+          in
+          let disclosed =
+            List.filter (fun n -> List.mem n !cell) decl_order
+          in
+          if disclosed = [] then None
+          else
+            Some
+              {
+                gfunc = f.name;
+                disclosed;
+                gbits = Analysis.Leakan.leaked_bits_for lk [ f.name ];
+              })
+    prog.funcs
+
+let guide_for guides (chain : Chain.t) =
+  List.find_opt
+    (fun g -> g.gfunc = chain.func && List.mem chain.buffer g.disclosed)
+    guides
+
+(* ------------------------------------------------------------------ *)
 
 let synthesize ?(max_chains = 8) ~target prog =
   let funcans = Analysis.Funcan.analyze prog in

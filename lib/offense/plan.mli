@@ -42,3 +42,31 @@ val synthesize :
 (** [max_chains] (default 8) caps the emitted chain list.  Everything —
     analysis, mining, probing, planning — is deterministic: same
     program, same model, same chains, byte for byte. *)
+
+(** {2 Leak-guided planning}
+
+    The static leak analyzer ({!Analysis.Leakan}) finds
+    address-disclosure flows — slot addresses reaching an output sink.
+    A {!guide} packages each disclosing function's gadget for the
+    guided executor: which slots the target prints (in frame
+    declaration order, the order the disclosure preamble emits them)
+    and how many collision-entropy bits that surrenders.  Pinning the
+    revealed offsets shrinks Algorithm-1's guess space by [2^gbits]
+    ({!Analysis.Report}'s degraded attempt count);
+    {!Exec.run_chain_guided} measures it. *)
+
+type guide = {
+  gfunc : string;  (** the disclosing function *)
+  disclosed : string list;
+      (** slots whose addresses reach output, frame declaration order *)
+  gbits : float;  (** {!Analysis.Leakan.leaked_bits_for} of [gfunc] *)
+}
+
+val leak_guides : Ir.Prog.t -> guide list
+(** Deterministic (program order); analyzes the {e original} program,
+    like {!synthesize}.  Empty for leak-free programs. *)
+
+val guide_for : guide list -> Chain.t -> guide option
+(** The guide usable by a chain: same frame, and the chain's buffer is
+    among the disclosed slots (the executor needs the buffer address
+    as the base all other disclosures are made relative to). *)
